@@ -1,0 +1,54 @@
+// ABL-1: how much of /dev/poll's win comes from kernel-state interest sets
+// alone (§3.1) versus driver hints (§3.2)?
+//
+// Three configurations at 501 inactive connections: stock poll(), /dev/poll
+// with hints disabled (every scan calls every driver), /dev/poll with hints.
+
+#include <iostream>
+
+#include "bench/figure_harness.h"
+#include "src/metrics/table.h"
+
+int main(int argc, char** argv) {
+  using namespace scio;
+  FigureSweepConfig base;
+  base.inactive = 501;
+  ApplyCommandLine(argc, argv, &base);
+
+  struct Variant {
+    const char* name;
+    ServerKind server;
+    bool hints;
+  };
+  const Variant variants[] = {
+      {"stock_poll", ServerKind::kThttpdPoll, false},
+      {"devpoll_no_hints", ServerKind::kThttpdDevPoll, false},
+      {"devpoll_hints", ServerKind::kThttpdDevPoll, true},
+  };
+
+  std::vector<BenchmarkResult> results[3];
+  for (int i = 0; i < 3; ++i) {
+    FigureSweepConfig config = base;
+    config.figure_id = std::string("abl1_") + variants[i].name;
+    config.title = "interest-set state vs driver hints";
+    config.server = variants[i].server;
+    config.base.devpoll_config.devpoll.hints_enabled = variants[i].hints;
+    results[i] = RunFigureSweep(config);
+  }
+
+  std::cout << "=== abl1 summary: reply_avg (and driver poll calls) ===\n\n";
+  Table table({"rate", "stock_poll", "devpoll_no_hints", "devpoll_hints",
+               "driver_calls_no_hints", "driver_calls_hints", "avoided_by_hints"});
+  for (size_t i = 0; i < base.rates.size(); ++i) {
+    table.AddRow({base.rates[i], results[0][i].reply_avg, results[1][i].reply_avg,
+                  results[2][i].reply_avg,
+                  static_cast<double>(results[1][i].kernel_stats.devpoll_driver_calls),
+                  static_cast<double>(results[2][i].kernel_stats.devpoll_driver_calls),
+                  static_cast<double>(
+                      results[2][i].kernel_stats.devpoll_driver_calls_avoided)},
+                 0);
+  }
+  table.Print(std::cout);
+  table.WriteCsvFile("abl1_hints.csv");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// ABL-2: value of the mmap'ed result area (§3.3) — DP_POLL copying results
+// out versus depositing them in the shared mapping. The paper predicts a
+// small effect ("the size of the result set is small compared to the size of
+// the entire interest set").
+
+#include <iostream>
+
+#include "bench/figure_harness.h"
+#include "src/metrics/table.h"
+
+int main(int argc, char** argv) {
+  using namespace scio;
+  FigureSweepConfig base;
+  base.inactive = 251;
+  ApplyCommandLine(argc, argv, &base);
+
+  std::vector<BenchmarkResult> results[2];
+  for (int use_mmap = 0; use_mmap <= 1; ++use_mmap) {
+    FigureSweepConfig config = base;
+    config.figure_id = use_mmap ? "abl2_mmap" : "abl2_copyout";
+    config.title = "result copy elimination";
+    config.server = ServerKind::kThttpdDevPoll;
+    config.base.devpoll_config.use_mmap_results = use_mmap != 0;
+    results[use_mmap] = RunFigureSweep(config);
+  }
+
+  std::cout << "=== abl2 summary ===\n\n";
+  Table table({"rate", "reply_copyout", "reply_mmap", "median_copyout_ms",
+               "median_mmap_ms", "results_copied", "results_mapped"});
+  for (size_t i = 0; i < base.rates.size(); ++i) {
+    table.AddRow({base.rates[i], results[0][i].reply_avg, results[1][i].reply_avg,
+                  results[0][i].median_conn_ms, results[1][i].median_conn_ms,
+                  static_cast<double>(results[0][i].kernel_stats.devpoll_results_copied),
+                  static_cast<double>(results[1][i].kernel_stats.devpoll_results_mapped)},
+                 1);
+  }
+  table.Print(std::cout);
+  table.WriteCsvFile("abl2_mmap.csv");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// ABL-4: the sigtimedwait4() batch-dequeue extension (§6 future work) — how
+// much does dequeuing signals in groups instead of singly help a
+// signal-driven server? Measured with the hybrid server pinned to signal
+// mode (watermarks set so it never switches), batch sizes 1/8/32/128.
+
+#include <iostream>
+
+#include "bench/figure_harness.h"
+#include "src/metrics/table.h"
+
+int main(int argc, char** argv) {
+  using namespace scio;
+  FigureSweepConfig base;
+  base.inactive = 251;
+  ApplyCommandLine(argc, argv, &base);
+
+  const int batches[] = {1, 8, 32, 128};
+  std::vector<BenchmarkResult> results[4];
+  for (int i = 0; i < 4; ++i) {
+    FigureSweepConfig config = base;
+    config.figure_id = "abl4_batch" + std::to_string(batches[i]);
+    config.title = "sigtimedwait4 batch size";
+    config.server = ServerKind::kHybrid;
+    config.base.hybrid_config.signal_batch = batches[i];
+    // Pin to signal mode: switching threshold above the queue maximum.
+    config.base.hybrid_config.policy.high_watermark = 2.0;
+    results[i] = RunFigureSweep(config);
+  }
+
+  std::cout << "=== abl4 summary: avg reply rate by batch size ===\n\n";
+  Table table({"rate", "batch1", "batch8", "batch32", "batch128", "syscalls_b1",
+               "syscalls_b128"});
+  for (size_t i = 0; i < base.rates.size(); ++i) {
+    table.AddRow({base.rates[i], results[0][i].reply_avg, results[1][i].reply_avg,
+                  results[2][i].reply_avg, results[3][i].reply_avg,
+                  static_cast<double>(results[0][i].kernel_stats.syscalls),
+                  static_cast<double>(results[3][i].kernel_stats.syscalls)},
+                 0);
+  }
+  table.Print(std::cout);
+  table.WriteCsvFile("abl4_sigbatch.csv");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// ABL-5: the fused write+poll ioctl (§6 future work: "a single ioctl() that
+// handles both operations at once could improve efficiency"). Separate
+// write() + ioctl(DP_POLL) versus the fused call, under the normal
+// connection churn (two interest updates per connection).
+
+#include <iostream>
+
+#include "bench/figure_harness.h"
+#include "src/metrics/table.h"
+
+int main(int argc, char** argv) {
+  using namespace scio;
+  FigureSweepConfig base;
+  base.inactive = 251;
+  ApplyCommandLine(argc, argv, &base);
+
+  std::vector<BenchmarkResult> results[2];
+  for (int fused = 0; fused <= 1; ++fused) {
+    FigureSweepConfig config = base;
+    config.figure_id = fused ? "abl5_fused" : "abl5_separate";
+    config.title = "fused interest-update + poll ioctl";
+    config.server = ServerKind::kThttpdDevPoll;
+    config.base.devpoll_config.use_fused_ioctl = fused != 0;
+    results[fused] = RunFigureSweep(config);
+  }
+
+  std::cout << "=== abl5 summary ===\n\n";
+  Table table({"rate", "reply_separate", "reply_fused", "median_separate_ms",
+               "median_fused_ms", "syscalls_separate", "syscalls_fused"});
+  for (size_t i = 0; i < base.rates.size(); ++i) {
+    table.AddRow({base.rates[i], results[0][i].reply_avg, results[1][i].reply_avg,
+                  results[0][i].median_conn_ms, results[1][i].median_conn_ms,
+                  static_cast<double>(results[0][i].kernel_stats.syscalls),
+                  static_cast<double>(results[1][i].kernel_stats.syscalls)},
+                 1);
+  }
+  table.Print(std::cout);
+  table.WriteCsvFile("abl5_fused.csv");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// ABL-6: wait-queue churn and scan ordering (§6).
+//
+// Brown postulated that "expensive wait_queue manipulation is where POSIX RT
+// signals have an advantage over poll()". Variant A charges/uncharges the
+// per-fd wait-queue work in stock poll(). Variant B implements the paper's
+// proposed "active connections are checked first" refinement as /dev/poll's
+// hinted-first scan list (the germ of epoll's ready list).
+
+#include <iostream>
+
+#include "bench/figure_harness.h"
+#include "src/metrics/table.h"
+
+int main(int argc, char** argv) {
+  using namespace scio;
+  FigureSweepConfig base;
+  base.inactive = 501;
+  ApplyCommandLine(argc, argv, &base);
+
+  struct Variant {
+    const char* name;
+    ServerKind server;
+    bool charge_waitqueue;
+    bool hinted_first;
+  };
+  const Variant variants[] = {
+      {"poll_with_waitqueue", ServerKind::kThttpdPoll, true, false},
+      {"poll_free_waitqueue", ServerKind::kThttpdPoll, false, false},
+      {"devpoll_full_scan", ServerKind::kThttpdDevPoll, true, false},
+      {"devpoll_hinted_first", ServerKind::kThttpdDevPoll, true, true},
+  };
+  std::vector<BenchmarkResult> results[4];
+  for (int i = 0; i < 4; ++i) {
+    FigureSweepConfig config = base;
+    config.figure_id = std::string("abl6_") + variants[i].name;
+    config.title = "wait-queue churn / scan ordering";
+    config.server = variants[i].server;
+    config.base.poll_options.charge_waitqueue = variants[i].charge_waitqueue;
+    config.base.devpoll_config.devpoll.hinted_first_scan = variants[i].hinted_first;
+    results[i] = RunFigureSweep(config);
+  }
+
+  std::cout << "=== abl6 summary: median latency (ms) ===\n\n";
+  Table table({"rate", "poll_wq", "poll_nowq", "devpoll_scan", "devpoll_hinted1st",
+               "interests_scanned_full", "interests_scanned_hinted"});
+  for (size_t i = 0; i < base.rates.size(); ++i) {
+    table.AddRow(
+        {base.rates[i], results[0][i].median_conn_ms, results[1][i].median_conn_ms,
+         results[2][i].median_conn_ms, results[3][i].median_conn_ms,
+         static_cast<double>(results[2][i].kernel_stats.devpoll_interests_scanned),
+         static_cast<double>(results[3][i].kernel_stats.devpoll_interests_scanned)},
+        1);
+  }
+  table.Print(std::cout);
+  table.WriteCsvFile("abl6_waitqueue.csv");
+  return 0;
+}

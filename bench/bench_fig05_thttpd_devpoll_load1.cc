@@ -1,0 +1,15 @@
+// FIG 05 of Provos & Lever 2000: thttpd + /dev/poll, 1 inactive connection.
+// Prints avg/min/max/stddev reply rate vs targeted request rate.
+
+#include "bench/figure_harness.h"
+
+int main(int argc, char** argv) {
+  scio::FigureSweepConfig config;
+  config.figure_id = "fig05";
+  config.title = "thttpd + /dev/poll, 1 inactive connection";
+  config.server = scio::ServerKind::kThttpdDevPoll;
+  config.inactive = 1;
+  scio::ApplyCommandLine(argc, argv, &config);
+  scio::RunFigureSweep(config);
+  return 0;
+}

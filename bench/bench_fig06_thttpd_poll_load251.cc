@@ -1,0 +1,15 @@
+// FIG 06 of Provos & Lever 2000: stock thttpd + poll(), 251 inactive connections.
+// Prints avg/min/max/stddev reply rate vs targeted request rate.
+
+#include "bench/figure_harness.h"
+
+int main(int argc, char** argv) {
+  scio::FigureSweepConfig config;
+  config.figure_id = "fig06";
+  config.title = "stock thttpd + poll(), 251 inactive connections";
+  config.server = scio::ServerKind::kThttpdPoll;
+  config.inactive = 251;
+  scio::ApplyCommandLine(argc, argv, &config);
+  scio::RunFigureSweep(config);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// FIG 10 of Provos & Lever 2000: percentage of connections aborted due to
+// errors, stock thttpd (poll) vs thttpd + /dev/poll, at 251 and 501 inactive
+// connections.
+
+#include <iostream>
+
+#include "bench/figure_harness.h"
+#include "src/metrics/table.h"
+
+int main(int argc, char** argv) {
+  using namespace scio;
+  FigureSweepConfig base;
+  ApplyCommandLine(argc, argv, &base);
+
+  for (int inactive : {251, 501}) {
+    std::cout << "=== fig10: error rate with load " << inactive << " ===\n\n";
+    Table table({"rate", "err_pct_devpoll", "err_pct_normal_poll"});
+    std::vector<BenchmarkResult> devpoll;
+    std::vector<BenchmarkResult> poll;
+    for (ServerKind kind : {ServerKind::kThttpdDevPoll, ServerKind::kThttpdPoll}) {
+      FigureSweepConfig config = base;
+      config.figure_id =
+          "fig10_" + ServerKindName(kind) + "_" + std::to_string(inactive);
+      config.title = "error rates (component sweep)";
+      config.server = kind;
+      config.inactive = inactive;
+      auto results = RunFigureSweep(config);
+      (kind == ServerKind::kThttpdDevPoll ? devpoll : poll) = std::move(results);
+    }
+    for (size_t i = 0; i < base.rates.size(); ++i) {
+      table.AddRow({base.rates[i], devpoll[i].error_pct, poll[i].error_pct}, 2);
+    }
+    table.Print(std::cout);
+    table.WriteCsvFile("fig10_load" + std::to_string(inactive) + ".csv");
+    std::cout << std::endl;
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+// FIG 13 of Provos & Lever 2000: phhttpd (RT signals), 501 inactive connections.
+// Prints avg/min/max/stddev reply rate vs targeted request rate.
+
+#include "bench/figure_harness.h"
+
+int main(int argc, char** argv) {
+  scio::FigureSweepConfig config;
+  config.figure_id = "fig13";
+  config.title = "phhttpd (RT signals), 501 inactive connections";
+  config.server = scio::ServerKind::kPhhttpd;
+  config.inactive = 501;
+  scio::ApplyCommandLine(argc, argv, &config);
+  scio::RunFigureSweep(config);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// FIG 14 of Provos & Lever 2000: median connection time (ms) vs targeted
+// request rate with 251 extra inactive connections, for thttpd + /dev/poll,
+// stock thttpd (normal poll), and phhttpd.
+
+#include <iostream>
+
+#include "bench/figure_harness.h"
+#include "src/metrics/table.h"
+
+int main(int argc, char** argv) {
+  using namespace scio;
+  FigureSweepConfig base;
+  base.inactive = 251;
+  ApplyCommandLine(argc, argv, &base);
+
+  std::vector<BenchmarkResult> by_server[3];
+  const ServerKind kinds[3] = {ServerKind::kThttpdDevPoll, ServerKind::kThttpdPoll,
+                               ServerKind::kPhhttpd};
+  for (int i = 0; i < 3; ++i) {
+    FigureSweepConfig config = base;
+    config.figure_id = "fig14_" + ServerKindName(kinds[i]);
+    config.title = "median latency (component sweep)";
+    config.server = kinds[i];
+    by_server[i] = RunFigureSweep(config);
+  }
+
+  std::cout << "=== fig14: median connection time in ms, load " << base.inactive
+            << " ===\n\n";
+  Table table({"rate", "devpoll_ms", "normal_poll_ms", "phhttpd_ms"});
+  for (size_t i = 0; i < base.rates.size(); ++i) {
+    table.AddRow({base.rates[i], by_server[0][i].median_conn_ms,
+                  by_server[1][i].median_conn_ms, by_server[2][i].median_conn_ms},
+                 2);
+  }
+  table.Print(std::cout);
+  table.WriteCsvFile("fig14.csv");
+  std::cout << std::endl;
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Calibration smoke run: one quick point per server at a few rates/loads.
+// Not a paper figure; used to sanity-check the cost model (EXPERIMENTS.md
+// records the calibration this produced).
+
+#include <iostream>
+
+#include "bench/figure_harness.h"
+
+int main(int argc, char** argv) {
+  using namespace scio;
+  for (ServerKind kind :
+       {ServerKind::kThttpdPoll, ServerKind::kThttpdDevPoll, ServerKind::kPhhttpd}) {
+    for (int inactive : {1, 251, 501}) {
+      FigureSweepConfig config;
+      config.figure_id = "smoke_" + ServerKindName(kind) + "_" + std::to_string(inactive);
+      config.title = "calibration smoke";
+      config.server = kind;
+      config.inactive = inactive;
+      config.rates = {500, 700, 900, 1000, 1100};
+      config.duration = Seconds(5);
+      ApplyCommandLine(argc, argv, &config);
+      RunFigureSweep(config);
+    }
+  }
+  return 0;
+}

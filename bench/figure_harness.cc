@@ -1,0 +1,68 @@
+#include "bench/figure_harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+
+#include "src/metrics/table.h"
+
+namespace scio {
+
+void ApplyCommandLine(int argc, char** argv, FigureSweepConfig* config) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--rates=", 0) == 0) {
+      config->rates.clear();
+      std::stringstream ss(arg.substr(8));
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        config->rates.push_back(std::atof(item.c_str()));
+      }
+    } else if (arg.rfind("--duration=", 0) == 0) {
+      config->duration = SecondsF(std::atof(arg.c_str() + 11));
+    } else if (arg.rfind("--inactive=", 0) == 0) {
+      config->inactive = std::atoi(arg.c_str() + 11);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config->seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg == "--quick") {
+      config->duration = Seconds(4);
+      config->rates = {500, 700, 900, 1100};
+    }
+  }
+}
+
+std::vector<BenchmarkResult> RunFigureSweep(const FigureSweepConfig& config) {
+  std::cout << "=== " << config.figure_id << ": " << config.title << " ===\n";
+  std::cout << "server=" << ServerKindName(config.server) << " inactive=" << config.inactive
+            << " duration=" << ToSeconds(config.duration) << "s\n\n";
+
+  Table table({"rate", "reply_avg", "reply_min", "reply_max", "reply_sd", "err_pct",
+               "median_ms", "p90_ms"});
+  std::vector<BenchmarkResult> results;
+  for (double rate : config.rates) {
+    BenchmarkRunConfig run = config.base;
+    run.server = config.server;
+    run.active.request_rate = rate;
+    run.active.duration = config.duration;
+    run.active.seed = config.seed + static_cast<uint64_t>(rate);
+    run.inactive.connections = config.inactive;
+    run.inactive.seed = config.seed * 31 + static_cast<uint64_t>(rate);
+    run.sample_width = config.sample_width;
+    BenchmarkResult result = RunBenchmark(run);
+    results.push_back(result);
+    table.AddRow({rate, result.reply_avg, result.reply_min, result.reply_max,
+                  result.reply_stddev, result.error_pct, result.median_conn_ms,
+                  result.p90_conn_ms});
+  }
+  table.Print(std::cout);
+  const std::string csv = config.figure_id + ".csv";
+  if (table.WriteCsvFile(csv)) {
+    std::cout << "\n(csv written to " << csv << ")\n";
+  }
+  std::cout << std::endl;
+  return results;
+}
+
+}  // namespace scio

@@ -1,0 +1,77 @@
+// Real-OS demo: the same tiny echo workload dispatched through each live
+// kernel backend (poll, select, epoll level/edge, POSIX RT signals), with
+// wall-clock timings — the modern footnote to the paper's comparison.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "src/posix/event_backend.h"
+#include "src/posix/socketpair_rig.h"
+
+namespace {
+
+// Poke-and-dispatch rounds over `watched` pairs, `active` of them hot.
+double RunRounds(scio::EventBackend& backend, scio::SocketpairRig& rig, size_t active,
+                 int rounds) {
+  std::vector<scio::PosixEvent> events;
+  const auto start = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    for (size_t i = 0; i < active; ++i) {
+      rig.Poke((static_cast<size_t>(round) + i * 37) % rig.size());
+    }
+    size_t got = 0;
+    while (got < active) {
+      events.clear();
+      const int rc = backend.Wait(events, 1000);
+      if (rc <= 0) {
+        break;
+      }
+      got += static_cast<size_t>(rc);
+      for (const scio::PosixEvent& ev : events) {
+        // Echo handling: drain the byte.
+        char buf[64];
+        while (::read(ev.fd, buf, sizeof buf) > 0) {
+        }
+      }
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count() /
+         (rounds * static_cast<double>(active));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t watched = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 256;
+  const size_t active = 4;
+  const int rounds = 2000;
+  std::cout << "dispatch cost per event, " << watched << " watched fds, " << active
+            << " active per round (lower is better)\n\n";
+
+  for (scio::BackendKind kind :
+       {scio::BackendKind::kPoll, scio::BackendKind::kSelect, scio::BackendKind::kEpoll,
+        scio::BackendKind::kEpollEdge, scio::BackendKind::kRtSig}) {
+    scio::SocketpairRig rig(watched);
+    if (!rig.ok()) {
+      std::cerr << "socketpair setup failed (fd limit too low?)\n";
+      return 1;
+    }
+    auto backend = scio::EventBackend::Create(kind);
+    if (rig.RegisterAll(*backend) != 0) {
+      std::cout << backend->name() << ": registration failed (skipped)\n";
+      continue;
+    }
+    const double us = RunRounds(*backend, rig, active, rounds);
+    std::cout << backend->name() << ": " << us << " us/event\n";
+  }
+  std::cout << "\npoll/select scan all " << watched
+            << " descriptors per call; epoll and RT signals do not — the\n"
+               "scaling gap the paper's /dev/poll work opened up.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// BackmapLink: one entry of a socket's backmapping list (paper §3.2).
+//
+// "The /dev/poll implementation maintains this information in a backmapping
+// list. When an event occurs, the driver marks the appropriate file
+// descriptor for each process in its backmapping list."
+//
+// A link registers itself on the file's status-listener list and forwards
+// state changes to its owner (a DevPollDevice marking a hint). It is owned
+// by the Interest it serves and unregisters itself on destruction if the
+// file is still alive; if the file dies first, the expired weak_ptr makes
+// unregistration a no-op.
+
+#ifndef SRC_CORE_BACKMAP_H_
+#define SRC_CORE_BACKMAP_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "src/kernel/file.h"
+
+namespace scio {
+
+class BackmapLink : public StatusListener {
+ public:
+  using Callback = std::function<void(int fd, PollEvents mask)>;
+
+  BackmapLink(Callback on_status, int fd, std::weak_ptr<File> file)
+      : on_status_(std::move(on_status)), fd_(fd), file_(std::move(file)) {
+    if (auto f = file_.lock()) {
+      f->AddStatusListener(this);
+    }
+  }
+
+  ~BackmapLink() override {
+    if (auto f = file_.lock()) {
+      f->RemoveStatusListener(this);
+    }
+  }
+
+  void OnFileStatus(File& file, PollEvents mask) override {
+    (void)file;
+    on_status_(fd_, mask);
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  Callback on_status_;
+  int fd_;
+  std::weak_ptr<File> file_;
+};
+
+}  // namespace scio
+
+#endif  // SRC_CORE_BACKMAP_H_

@@ -1,0 +1,329 @@
+#include "src/core/devpoll.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace scio {
+
+DevPollDevice::DevPollDevice(SimKernel* kernel, Process* owner, DevPollOptions options)
+    : File(kernel), owner_(owner), options_(options) {}
+
+DevPollDevice::~DevPollDevice() = default;
+
+void DevPollDevice::OnFdClose() {
+  closed_ = true;
+  // Destroying the table unregisters every backmap link.
+  table_ = InterestHashTable();
+  active_list_.clear();
+}
+
+void DevPollDevice::BindInterest(Interest& interest) {
+  std::shared_ptr<File> current = owner_->fds().Get(interest.fd);
+  std::shared_ptr<File> bound = interest.file.lock();
+  if (current == bound && bound != nullptr) {
+    return;  // still bound to the right file
+  }
+  interest.link.reset();
+  interest.file = current;
+  interest.cached = 0;
+  interest.hint = true;  // never polled this file yet
+  interest.hintable = false;
+  if (current == nullptr) {
+    return;  // stale fd: EvaluateInterest reports POLLNVAL
+  }
+  interest.hintable = options_.hints_enabled && current->SupportsPollHints();
+  if (interest.hintable) {
+    interest.link = std::make_unique<BackmapLink>(
+        [this](int fd, PollEvents mask) { MarkHint(fd, mask); }, interest.fd, interest.file);
+  }
+}
+
+long DevPollDevice::Write(std::span<const PollFd> updates) {
+  ++kernel()->stats().syscalls;
+  kernel()->Charge(kernel()->cost().syscall_entry);
+  return WriteInternal(updates);
+}
+
+long DevPollDevice::WriteInternal(std::span<const PollFd> updates) {
+  KernelStats& stats = kernel()->stats();
+  ++stats.devpoll_writes;
+  stats.devpoll_interests_written += updates.size();
+  // Interest-set mutation takes the backmap lock for writing (§3.2).
+  ++stats.devpoll_lock_write_acquires;
+  kernel()->Charge(kernel()->cost().devpoll_lock_acquire +
+                   kernel()->cost().devpoll_write_per_fd *
+                       static_cast<SimDuration>(updates.size()));
+
+  const uint64_t resizes_before = table_.resize_count();
+  for (const PollFd& update : updates) {
+    if (update.fd < 0) {
+      return -1;
+    }
+    if ((update.events & kPollRemove) != 0) {
+      table_.Erase(update.fd);
+      continue;
+    }
+    bool inserted = false;
+    Interest& interest = table_.FindOrInsert(update.fd, &inserted);
+    if (inserted || !options_.solaris_or_semantics) {
+      // Paper §3.1: "the contents of the events field replace the previous
+      // interest, unlike the Solaris implementation".
+      interest.events = update.events;
+    } else {
+      interest.events |= update.events;
+    }
+    BindInterest(interest);
+    if (options_.hinted_first_scan) {
+      PushActive(interest);
+    }
+  }
+  kernel()->stats().devpoll_table_resizes += table_.resize_count() - resizes_before;
+  return static_cast<long>(updates.size() * sizeof(PollFd));
+}
+
+int DevPollDevice::IoctlDpAlloc(int nfds) {
+  ++kernel()->stats().syscalls;
+  kernel()->Charge(kernel()->cost().syscall_entry + kernel()->cost().devpoll_ioctl_extra);
+  if (nfds <= 0) {
+    return -1;
+  }
+  result_area_.assign(static_cast<size_t>(nfds), PollFd{});
+  alloc_done_ = true;
+  return 0;
+}
+
+PollFd* DevPollDevice::Mmap() {
+  ++kernel()->stats().syscalls;
+  kernel()->Charge(kernel()->cost().syscall_entry);
+  if (!alloc_done_) {
+    return nullptr;
+  }
+  mapped_ = true;
+  return result_area_.data();
+}
+
+int DevPollDevice::Munmap() {
+  ++kernel()->stats().syscalls;
+  kernel()->Charge(kernel()->cost().syscall_entry);
+  if (!mapped_) {
+    return -1;
+  }
+  mapped_ = false;
+  return 0;
+}
+
+void DevPollDevice::PushActive(Interest& interest) {
+  if (!interest.queued) {
+    interest.queued = true;
+    active_list_.push_back(interest.fd);
+  }
+}
+
+void DevPollDevice::MarkHint(int fd, PollEvents mask) {
+  (void)mask;
+  KernelStats& stats = kernel()->stats();
+  ++stats.devpoll_hints_set;
+  // Hint marking takes the backmap lock for reading (§3.2: "hints require
+  // only a read lock, so the lock itself is generally not contended").
+  ++stats.devpoll_lock_read_acquires;
+  kernel()->ChargeDebt(kernel()->cost().devpoll_hint_set + kernel()->cost().devpoll_lock_acquire);
+  Interest* interest = table_.Find(fd);
+  if (interest == nullptr) {
+    return;
+  }
+  interest->hint = true;
+  if (options_.hinted_first_scan) {
+    PushActive(*interest);
+  }
+  // Wake a sleeping DP_POLL (and let composed pollers see us readable).
+  owner_->Wake();
+  poll_wait().WakeAll();
+}
+
+PollEvents DevPollDevice::EvaluateInterest(Interest& interest) {
+  KernelStats& stats = kernel()->stats();
+  const CostModel& cost = kernel()->cost();
+
+  std::shared_ptr<File> file = interest.file.lock();
+  std::shared_ptr<File> current = owner_->fds().Get(interest.fd);
+  if (current == nullptr) {
+    return kPollNval;  // fd closed while interest outstanding
+  }
+  if (file != current) {
+    BindInterest(interest);  // fd number was reused; rebind
+    file = current;
+  }
+
+  if (!interest.hintable) {
+    // Driver doesn't hint (or hints disabled): poll it every scan.
+    ++stats.devpoll_driver_calls;
+    kernel()->Charge(cost.poll_driver_poll_per_fd);
+    interest.cached = file->PollMask();
+  } else if (interest.hint) {
+    // A hint invalidates the cache: call the driver and erase the hint.
+    ++stats.devpoll_driver_calls;
+    kernel()->Charge(cost.poll_driver_poll_per_fd);
+    interest.cached = file->PollMask();
+    interest.hint = false;
+  } else if ((interest.cached & (interest.events | kPollAlwaysReported)) != 0) {
+    // §3.2: there is no ready->not-ready hint, so a cached result that
+    // indicates readiness must be reevaluated every time.
+    ++stats.devpoll_driver_calls;
+    ++stats.devpoll_cached_ready_rechecks;
+    kernel()->Charge(cost.poll_driver_poll_per_fd);
+    interest.cached = file->PollMask();
+  } else {
+    // Cached not-ready and no hint: trust the cache, skip the driver.
+    ++stats.devpoll_driver_calls_avoided;
+  }
+  return interest.cached & (interest.events | kPollAlwaysReported);
+}
+
+int DevPollDevice::ScanOnce(PollFd* out, int max, bool charge_copyout) {
+  KernelStats& stats = kernel()->stats();
+  const CostModel& cost = kernel()->cost();
+  ++stats.devpoll_lock_read_acquires;
+  kernel()->Charge(cost.devpoll_lock_acquire);
+
+  int ready = 0;
+  auto emit = [&](Interest& interest, PollEvents revents) {
+    if (ready >= max) {
+      return;
+    }
+    out[ready].fd = interest.fd;
+    out[ready].events = interest.events;
+    out[ready].revents = revents;
+    ++ready;
+    if (charge_copyout) {
+      ++stats.devpoll_results_copied;
+      kernel()->Charge(cost.devpoll_copyout_per_ready);
+    } else {
+      ++stats.devpoll_results_mapped;
+    }
+  };
+
+  if (options_.hinted_first_scan && options_.hints_enabled) {
+    // Future-work mode: visit only hinted / cached-ready interests.
+    std::vector<int> worklist;
+    worklist.swap(active_list_);
+    for (int fd : worklist) {
+      Interest* interest = table_.Find(fd);
+      if (interest == nullptr) {
+        continue;  // removed since queued
+      }
+      interest->queued = false;
+      ++stats.devpoll_interests_scanned;
+      kernel()->Charge(cost.devpoll_scan_per_interest);
+      const PollEvents revents = EvaluateInterest(*interest);
+      if (revents != 0) {
+        // Ready results must be rechecked on the next scan (no
+        // ready->not-ready hint), so keep the interest on the worklist.
+        PushActive(*interest);
+        emit(*interest, revents);
+      }
+    }
+    return ready;
+  }
+
+  table_.ForEach([&](Interest& interest) {
+    ++stats.devpoll_interests_scanned;
+    kernel()->Charge(cost.devpoll_scan_per_interest);
+    const PollEvents revents = EvaluateInterest(interest);
+    if (revents != 0) {
+      emit(interest, revents);
+    }
+  });
+  return ready;
+}
+
+int DevPollDevice::IoctlDpPoll(DvPoll* args) {
+  ++kernel()->stats().syscalls;
+  kernel()->Charge(kernel()->cost().syscall_entry);
+  return PollInternal(args);
+}
+
+int DevPollDevice::PollInternal(DvPoll* args) {
+  KernelStats& stats = kernel()->stats();
+  const CostModel& cost = kernel()->cost();
+  ++stats.devpoll_polls;
+  kernel()->Charge(cost.devpoll_ioctl_extra);
+
+  const bool use_mapping = args->dp_fds == nullptr;
+  PollFd* out = use_mapping ? result_area_.data() : args->dp_fds;
+  int max = args->dp_nfds;
+  if (use_mapping) {
+    if (!mapped_) {
+      return -1;
+    }
+    max = std::min(max, static_cast<int>(result_area_.size()));
+  }
+  if (max <= 0 || out == nullptr) {
+    return -1;
+  }
+
+  const SimTime deadline = args->dp_timeout < 0
+                               ? kSimTimeNever
+                               : kernel()->now() + Millis(args->dp_timeout);
+  while (true) {
+    const int ready = ScanOnce(out, max, /*charge_copyout=*/!use_mapping);
+    if (ready > 0 || args->dp_timeout == 0 || kernel()->stopped()) {
+      return ready;
+    }
+    if (kernel()->now() >= deadline) {
+      return 0;
+    }
+
+    // Sleep. Hintable interests wake us through MarkHint; anything else
+    // needs classic per-file wait queue entries (with their churn costs).
+    std::vector<std::unique_ptr<Waiter>> waiters;
+    table_.ForEach([&](Interest& interest) {
+      if (interest.hintable) {
+        return;
+      }
+      if (std::shared_ptr<File> file = interest.file.lock()) {
+        auto waiter = std::make_unique<Waiter>([this] { owner_->Wake(); });
+        file->poll_wait().Add(waiter.get());
+        waiters.push_back(std::move(waiter));
+        ++stats.poll_waitqueue_adds;
+        kernel()->Charge(cost.poll_waitqueue_add_per_fd);
+      }
+    });
+    kernel()->BlockProcess(*owner_, deadline);
+    if (!waiters.empty()) {
+      stats.poll_waitqueue_removes += waiters.size();
+      kernel()->Charge(cost.poll_waitqueue_remove_per_fd *
+                       static_cast<SimDuration>(waiters.size()));
+      waiters.clear();
+    }
+  }
+}
+
+int DevPollDevice::IoctlDpWritePoll(std::span<const PollFd> updates, DvPoll* args) {
+  // §6 future work: "a single ioctl() that handles both operations at once
+  // could improve efficiency" — one syscall entry covers both halves.
+  ++kernel()->stats().syscalls;
+  kernel()->Charge(kernel()->cost().syscall_entry);
+  if (WriteInternal(updates) < 0) {
+    return -1;
+  }
+  return PollInternal(args);
+}
+
+PollEvents DevPollDevice::PollMask() const {
+  // Heuristic readiness for composition: pending hints or cached-ready
+  // entries mean a DP_POLL would likely return immediately.
+  PollEvents mask = 0;
+  auto* self = const_cast<DevPollDevice*>(this);
+  self->table_.ForEach([&](Interest& interest) {
+    if (interest.hint || (interest.cached & (interest.events | kPollAlwaysReported)) != 0) {
+      mask = kPollIn;
+    }
+  });
+  return mask;
+}
+
+const Interest* DevPollDevice::FindInterest(int fd) const {
+  return const_cast<DevPollDevice*>(this)->table_.Find(fd);
+}
+
+}  // namespace scio

@@ -1,0 +1,91 @@
+// Mode-switching policy for the paper's hypothetical hybrid server (§4).
+//
+// "Such a server might use the RT signal queue maximum as a crossover point
+// ... the queue length tracks server workload fairly well. Thus it becomes an
+// obvious indicator to cause a workload-triggered switch between event-driven
+// and polling modes."
+//
+// The policy is hysteretic: switch to polling when the signal queue
+// occupancy crosses the high watermark (or overflows outright), and return
+// to signals only after occupancy stays below the low watermark for a dwell
+// period — the switch-back logic Brown never implemented (§6).
+
+#ifndef SRC_CORE_HYBRID_POLICY_H_
+#define SRC_CORE_HYBRID_POLICY_H_
+
+#include <cstddef>
+
+#include "src/sim/time.h"
+
+namespace scio {
+
+enum class EventMode {
+  kSignals,  // RT-signal driven, low latency
+  kPolling,  // /dev/poll driven, high throughput
+};
+
+struct HybridPolicyConfig {
+  // Fractions of the RT queue maximum.
+  double high_watermark = 0.5;
+  double low_watermark = 0.05;
+  // Occupancy must stay below the low watermark this long before we switch
+  // back to signal mode.
+  SimDuration switch_back_dwell = Millis(250);
+};
+
+class HybridPolicy {
+ public:
+  HybridPolicy(HybridPolicyConfig config, size_t queue_max)
+      : config_(config),
+        queue_max_(queue_max),
+        high_(static_cast<size_t>(config.high_watermark * static_cast<double>(queue_max))),
+        low_(static_cast<size_t>(config.low_watermark * static_cast<double>(queue_max))) {}
+
+  // Feed an observation; returns the mode the server should be in.
+  EventMode Update(size_t queue_len, bool overflowed, SimTime now) {
+    if (mode_ == EventMode::kSignals) {
+      if (overflowed || queue_len >= high_) {
+        mode_ = EventMode::kPolling;
+        ++switches_to_polling_;
+        below_low_since_ = kSimTimeNever;
+      }
+      return mode_;
+    }
+    // Polling mode: wait for sustained calm.
+    if (queue_len > low_ || overflowed) {
+      below_low_since_ = kSimTimeNever;
+      return mode_;
+    }
+    if (below_low_since_ == kSimTimeNever) {
+      below_low_since_ = now;
+      return mode_;
+    }
+    if (now - below_low_since_ >= config_.switch_back_dwell) {
+      mode_ = EventMode::kSignals;
+      ++switches_to_signals_;
+      below_low_since_ = kSimTimeNever;
+    }
+    return mode_;
+  }
+
+  EventMode mode() const { return mode_; }
+  size_t high_watermark() const { return high_; }
+  size_t low_watermark() const { return low_; }
+  size_t queue_max() const { return queue_max_; }
+  uint64_t switches_to_polling() const { return switches_to_polling_; }
+  uint64_t switches_to_signals() const { return switches_to_signals_; }
+
+ private:
+  HybridPolicyConfig config_;
+  size_t queue_max_;
+  size_t high_;
+  size_t low_;
+  EventMode mode_ = EventMode::kSignals;
+  SimTime below_low_since_ = kSimTimeNever;
+  uint64_t switches_to_polling_ = 0;
+  uint64_t switches_to_signals_ = 0;
+};
+
+}  // namespace scio
+
+#endif  // SRC_CORE_HYBRID_POLICY_H_

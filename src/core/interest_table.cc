@@ -1,0 +1,72 @@
+#include "src/core/interest_table.h"
+
+#include <utility>
+
+namespace scio {
+
+namespace {
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+}  // namespace
+
+InterestHashTable::InterestHashTable(size_t initial_buckets)
+    : buckets_(RoundUpPow2(initial_buckets < 1 ? 1 : initial_buckets)) {}
+
+Interest* InterestHashTable::Find(int fd) {
+  for (auto& interest : buckets_[BucketOf(fd)]) {
+    if (interest.fd == fd) {
+      return &interest;
+    }
+  }
+  return nullptr;
+}
+
+Interest& InterestHashTable::FindOrInsert(int fd, bool* inserted) {
+  if (Interest* found = Find(fd)) {
+    *inserted = false;
+    return *found;
+  }
+  MaybeGrow();
+  auto& bucket = buckets_[BucketOf(fd)];
+  bucket.emplace_back();
+  bucket.back().fd = fd;
+  ++size_;
+  *inserted = true;
+  return bucket.back();
+}
+
+bool InterestHashTable::Erase(int fd) {
+  auto& bucket = buckets_[BucketOf(fd)];
+  for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+    if (it->fd == fd) {
+      bucket.erase(it);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void InterestHashTable::MaybeGrow() {
+  // Paper §3.1: double the bucket count when the average bucket size reaches
+  // two; never shrink.
+  if (size_ + 1 < buckets_.size() * 2) {
+    return;
+  }
+  std::vector<std::vector<Interest>> old = std::move(buckets_);
+  buckets_.clear();
+  buckets_.resize(old.size() * 2);
+  ++resize_count_;
+  for (auto& bucket : old) {
+    for (auto& interest : bucket) {
+      buckets_[BucketOf(interest.fd)].push_back(std::move(interest));
+    }
+  }
+}
+
+}  // namespace scio

@@ -1,0 +1,84 @@
+// The in-kernel interest set: a hash table of pollfd interests keyed by fd.
+//
+// Matches the paper's description (§3.1) exactly: open chaining, fast
+// average-case lookup/insert/delete, and "for simplicity, when the average
+// bucket size is two, the number of buckets in the hash table is doubled.
+// The hash table is never shrunk."
+//
+// Each Interest also carries the §3.2 hint machinery: the hint bit set by the
+// driver's backmap traversal, and the cached result of the last driver poll
+// callback.
+
+#ifndef SRC_CORE_INTEREST_TABLE_H_
+#define SRC_CORE_INTEREST_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/backmap.h"
+#include "src/kernel/file.h"
+#include "src/kernel/poll_types.h"
+
+namespace scio {
+
+struct Interest {
+  int fd = -1;
+  PollEvents events = 0;
+
+  // The file this interest was bound to at write() time. If the fd is closed
+  // the pointer expires and DP_POLL reports POLLNVAL; if the fd number was
+  // reused, DP_POLL rebinds to the new file.
+  std::weak_ptr<File> file;
+
+  // --- §3.2 hint state ---------------------------------------------------------
+  bool hint = true;        // driver flagged a change; starts true (never polled)
+  PollEvents cached = 0;   // last driver poll result
+  bool queued = false;     // on the active scan list (hinted-first mode)
+  bool hintable = false;   // the bound driver participates in hinting
+
+  // Owns the registration of this interest on the file's listener list.
+  std::unique_ptr<BackmapLink> link;
+};
+
+class InterestHashTable {
+ public:
+  explicit InterestHashTable(size_t initial_buckets = 8);
+
+  // Returns the interest for fd, or nullptr.
+  Interest* Find(int fd);
+
+  // Returns the interest for fd, inserting a default one if absent.
+  // `inserted` reports whether a new entry was created.
+  Interest& FindOrInsert(int fd, bool* inserted);
+
+  // Returns true if an entry was removed.
+  bool Erase(int fd);
+
+  size_t size() const { return size_; }
+  size_t bucket_count() const { return buckets_.size(); }
+  uint64_t resize_count() const { return resize_count_; }
+
+  // Visit every interest (scan order: bucket order). The callback must not
+  // insert or erase.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (auto& bucket : buckets_) {
+      for (auto& interest : bucket) {
+        fn(interest);
+      }
+    }
+  }
+
+ private:
+  size_t BucketOf(int fd) const { return static_cast<size_t>(fd) & (buckets_.size() - 1); }
+  void MaybeGrow();
+
+  std::vector<std::vector<Interest>> buckets_;  // bucket count is a power of two
+  size_t size_ = 0;
+  uint64_t resize_count_ = 0;
+};
+
+}  // namespace scio
+
+#endif  // SRC_CORE_INTEREST_TABLE_H_

@@ -1,0 +1,88 @@
+#include "src/core/poll_syscall.h"
+
+#include <memory>
+#include <vector>
+
+namespace scio {
+
+int PollSyscall::ScanOnce(std::span<PollFd> fds) {
+  KernelStats& stats = kernel_->stats();
+  const CostModel& cost = kernel_->cost();
+  int ready = 0;
+  for (PollFd& pfd : fds) {
+    ++stats.poll_fds_scanned;
+    pfd.revents = 0;
+    if (pfd.fd < 0) {
+      continue;  // negative fds are ignored, as in poll(2)
+    }
+    std::shared_ptr<File> file = proc_->fds().Get(pfd.fd);
+    if (file == nullptr) {
+      pfd.revents = kPollNval;
+      ++ready;
+      continue;
+    }
+    // Stock poll() has no hints: the driver poll callback runs for every
+    // descriptor on every scan, no matter how idle it is.
+    ++stats.poll_driver_calls;
+    kernel_->Charge(cost.poll_driver_poll_per_fd);
+    pfd.revents = file->PollMask() & (pfd.events | kPollAlwaysReported);
+    if (pfd.revents != 0) {
+      ++ready;
+    }
+  }
+  return ready;
+}
+
+int PollSyscall::Poll(std::span<PollFd> fds, int timeout_ms) {
+  KernelStats& stats = kernel_->stats();
+  const CostModel& cost = kernel_->cost();
+  ++stats.syscalls;
+  ++stats.poll_calls;
+  // Copy the entire interest set into the kernel (§3.1's first complaint).
+  kernel_->Charge(cost.syscall_entry +
+                  cost.poll_copyin_per_fd * static_cast<SimDuration>(fds.size()));
+
+  const SimTime deadline =
+      timeout_ms < 0 ? kSimTimeNever : kernel_->now() + Millis(timeout_ms);
+  while (true) {
+    const int ready = ScanOnce(fds);
+    if (ready > 0 || timeout_ms == 0 || kernel_->stopped()) {
+      stats.poll_results_copied += static_cast<uint64_t>(ready);
+      kernel_->Charge(cost.poll_copyout_per_ready * static_cast<SimDuration>(ready));
+      return ready;
+    }
+    if (kernel_->now() >= deadline) {
+      return 0;
+    }
+
+    // Sleep: enqueue a waiter on every polled file, then tear them all down
+    // on wake — the wait-queue churn of §6.
+    std::vector<std::unique_ptr<Waiter>> waiters;
+    waiters.reserve(fds.size());
+    for (const PollFd& pfd : fds) {
+      if (pfd.fd < 0) {
+        continue;
+      }
+      std::shared_ptr<File> file = proc_->fds().Get(pfd.fd);
+      if (file == nullptr) {
+        continue;
+      }
+      auto waiter = std::make_unique<Waiter>([this] { proc_->Wake(); });
+      file->poll_wait().Add(waiter.get());
+      waiters.push_back(std::move(waiter));
+      ++stats.poll_waitqueue_adds;
+      if (options_.charge_waitqueue) {
+        kernel_->Charge(cost.poll_waitqueue_add_per_fd);
+      }
+    }
+    kernel_->BlockProcess(*proc_, deadline);
+    stats.poll_waitqueue_removes += waiters.size();
+    if (options_.charge_waitqueue) {
+      kernel_->Charge(cost.poll_waitqueue_remove_per_fd *
+                      static_cast<SimDuration>(waiters.size()));
+    }
+    waiters.clear();
+  }
+}
+
+}  // namespace scio

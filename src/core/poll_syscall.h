@@ -1,0 +1,46 @@
+// Classic poll(2), as stock Linux 2.2 implemented it.
+//
+// This is the baseline the paper improves on (§3): every call copies the
+// whole interest set into the kernel, invokes each file's driver poll
+// callback, and — when it has to sleep — adds and removes a wait-queue entry
+// per file per sleep/wake cycle (the churn Brown fingered in §6). Every one
+// of those operations is charged to the cost model.
+
+#ifndef SRC_CORE_POLL_SYSCALL_H_
+#define SRC_CORE_POLL_SYSCALL_H_
+
+#include <span>
+
+#include "src/kernel/poll_types.h"
+#include "src/kernel/process.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace scio {
+
+struct PollSyscallOptions {
+  // ABL-6: disable to measure how much of poll()'s cost is wait-queue churn.
+  bool charge_waitqueue = true;
+};
+
+class PollSyscall {
+ public:
+  PollSyscall(SimKernel* kernel, Process* proc, PollSyscallOptions options = PollSyscallOptions{})
+      : kernel_(kernel), proc_(proc), options_(options) {}
+
+  // poll(2): fills revents for each entry; returns the number of entries
+  // with non-zero revents (POLLNVAL counts, as in Linux), or 0 on timeout.
+  // timeout_ms < 0 waits forever.
+  int Poll(std::span<PollFd> fds, int timeout_ms);
+
+ private:
+  // One scan over the set; returns the ready count.
+  int ScanOnce(std::span<PollFd> fds);
+
+  SimKernel* kernel_;
+  Process* proc_;
+  PollSyscallOptions options_;
+};
+
+}  // namespace scio
+
+#endif  // SRC_CORE_POLL_SYSCALL_H_

@@ -1,0 +1,84 @@
+#include "src/core/rt_io.h"
+
+namespace scio {
+
+int RtIo::ArmAsync(int fd, int signo) {
+  KernelStats& stats = kernel_->stats();
+  stats.syscalls += 2;
+  stats.fcntls += 2;
+  kernel_->Charge(2 * (kernel_->cost().syscall_entry + kernel_->cost().fcntl_extra));
+  std::shared_ptr<File> file = proc_->fds().Get(fd);
+  if (file == nullptr) {
+    return -1;
+  }
+  file->SetAsyncSignal(signo == 0 ? nullptr : proc_, signo);
+  return 0;
+}
+
+bool RtIo::WaitForSignal(int timeout_ms) {
+  const SimTime deadline =
+      timeout_ms < 0 ? kSimTimeNever : kernel_->now() + Millis(timeout_ms);
+  while (!proc_->HasPendingSignals()) {
+    if (kernel_->stopped() || kernel_->now() >= deadline) {
+      return false;
+    }
+    kernel_->BlockProcess(*proc_, deadline);
+  }
+  return true;
+}
+
+std::optional<SigInfo> RtIo::SigWaitInfo(int timeout_ms) {
+  KernelStats& stats = kernel_->stats();
+  ++stats.syscalls;
+  kernel_->Charge(kernel_->cost().syscall_entry + kernel_->cost().rt_sigwaitinfo_extra);
+  if (!WaitForSignal(timeout_ms)) {
+    return std::nullopt;
+  }
+  std::optional<SigInfo> si = proc_->DequeueSignal();
+  if (si.has_value()) {
+    if (si->signo == kSigIo) {
+      ++stats.sigio_deliveries;
+    } else {
+      ++stats.rt_signals_delivered;
+    }
+  }
+  return si;
+}
+
+int RtIo::SigTimedWait4(std::span<SigInfo> out, int timeout_ms) {
+  KernelStats& stats = kernel_->stats();
+  ++stats.syscalls;
+  kernel_->Charge(kernel_->cost().syscall_entry + kernel_->cost().rt_sigwaitinfo_extra);
+  if (out.empty() || !WaitForSignal(timeout_ms)) {
+    return 0;
+  }
+  int n = 0;
+  while (n < static_cast<int>(out.size())) {
+    std::optional<SigInfo> si = proc_->DequeueSignal();
+    if (!si.has_value()) {
+      break;
+    }
+    if (si->signo == kSigIo) {
+      ++stats.sigio_deliveries;
+    } else {
+      ++stats.rt_signals_delivered;
+    }
+    out[n++] = *si;
+    if (n > 1) {
+      kernel_->Charge(kernel_->cost().rt_sigwait_per_extra_sig);
+    }
+  }
+  return n;
+}
+
+size_t RtIo::FlushRtSignals() {
+  ++kernel_->stats().syscalls;
+  const size_t flushed = proc_->FlushRtSignals();
+  // The kernel walks the pending queue freeing each siginfo.
+  kernel_->Charge(kernel_->cost().syscall_entry +
+                  kernel_->cost().rt_signal_flush_per_sig *
+                      static_cast<SimDuration>(flushed));
+  return flushed;
+}
+
+}  // namespace scio

@@ -1,0 +1,126 @@
+#include "src/core/sys.h"
+
+namespace scio {
+
+int Sys::Listen(int backlog) {
+  KernelStats& stats = kernel_->stats();
+  // socket() + bind() + listen().
+  stats.syscalls += 3;
+  kernel_->Charge(3 * kernel_->cost().syscall_entry);
+  auto listener = std::make_shared<SimListener>(kernel_, net_, backlog);
+  return proc_->fds().Allocate(std::move(listener));
+}
+
+int Sys::Accept(int listener_fd) {
+  KernelStats& stats = kernel_->stats();
+  ++stats.syscalls;
+  ++stats.accepts;
+  kernel_->Charge(kernel_->cost().syscall_entry);
+  auto listener = std::dynamic_pointer_cast<SimListener>(proc_->fds().Get(listener_fd));
+  if (listener == nullptr) {
+    return -2;
+  }
+  std::shared_ptr<SimSocket> conn = listener->Accept();
+  if (conn == nullptr) {
+    return -1;
+  }
+  kernel_->Charge(kernel_->cost().accept_extra);
+  const int fd = proc_->fds().Allocate(conn);
+  if (fd < 0) {
+    // EMFILE: the kernel tears the connection down.
+    conn->Close();
+    return -3;
+  }
+  return fd;
+}
+
+ReadResult Sys::Read(int fd, size_t max_bytes) {
+  KernelStats& stats = kernel_->stats();
+  ++stats.syscalls;
+  ++stats.reads;
+  kernel_->Charge(kernel_->cost().syscall_entry + kernel_->cost().read_extra);
+  auto socket = std::dynamic_pointer_cast<SimSocket>(proc_->fds().Get(fd));
+  if (socket == nullptr) {
+    return ReadResult{};  // EBADF modelled as empty non-eof read
+  }
+  ReadResult result = socket->Read(max_bytes);
+  stats.bytes_read += result.n;
+  kernel_->Charge(kernel_->cost().read_per_byte * static_cast<SimDuration>(result.n));
+  return result;
+}
+
+long Sys::Write(int fd, Chunk chunk) {
+  KernelStats& stats = kernel_->stats();
+  ++stats.syscalls;
+  ++stats.writes;
+  kernel_->Charge(kernel_->cost().syscall_entry + kernel_->cost().write_extra);
+  auto socket = std::dynamic_pointer_cast<SimSocket>(proc_->fds().Get(fd));
+  if (socket == nullptr) {
+    return -1;
+  }
+  const size_t accepted = socket->Write(std::move(chunk));
+  stats.bytes_written += accepted;
+  kernel_->Charge(kernel_->cost().write_per_byte * static_cast<SimDuration>(accepted));
+  return static_cast<long>(accepted);
+}
+
+int Sys::Close(int fd) {
+  KernelStats& stats = kernel_->stats();
+  ++stats.syscalls;
+  ++stats.closes;
+  kernel_->Charge(kernel_->cost().syscall_entry + kernel_->cost().close_extra);
+  return proc_->fds().Close(fd);
+}
+
+int Sys::Poll(std::span<PollFd> fds, int timeout_ms) { return poll_.Poll(fds, timeout_ms); }
+
+int Sys::OpenDevPoll(DevPollOptions options) {
+  ++kernel_->stats().syscalls;
+  kernel_->Charge(kernel_->cost().syscall_entry);
+  auto device = std::make_shared<DevPollDevice>(kernel_, proc_, options);
+  return proc_->fds().Allocate(std::move(device));
+}
+
+std::shared_ptr<DevPollDevice> Sys::devpoll(int dpfd) {
+  return std::dynamic_pointer_cast<DevPollDevice>(proc_->fds().Get(dpfd));
+}
+
+long Sys::DevPollWrite(int dpfd, std::span<const PollFd> updates) {
+  auto device = devpoll(dpfd);
+  return device == nullptr ? -1 : device->Write(updates);
+}
+
+int Sys::DevPollAlloc(int dpfd, int nfds) {
+  auto device = devpoll(dpfd);
+  return device == nullptr ? -1 : device->IoctlDpAlloc(nfds);
+}
+
+PollFd* Sys::DevPollMmap(int dpfd) {
+  auto device = devpoll(dpfd);
+  return device == nullptr ? nullptr : device->Mmap();
+}
+
+int Sys::DevPollMunmap(int dpfd) {
+  auto device = devpoll(dpfd);
+  return device == nullptr ? -1 : device->Munmap();
+}
+
+int Sys::DevPollPoll(int dpfd, DvPoll* args) {
+  auto device = devpoll(dpfd);
+  return device == nullptr ? -1 : device->IoctlDpPoll(args);
+}
+
+int Sys::DevPollWritePoll(int dpfd, std::span<const PollFd> updates, DvPoll* args) {
+  auto device = devpoll(dpfd);
+  return device == nullptr ? -1 : device->IoctlDpWritePoll(updates, args);
+}
+
+std::shared_ptr<SimListener> Sys::listener(int fd) {
+  return std::dynamic_pointer_cast<SimListener>(proc_->fds().Get(fd));
+}
+
+std::shared_ptr<SimSocket> Sys::socket(int fd) {
+  return std::dynamic_pointer_cast<SimSocket>(proc_->fds().Get(fd));
+}
+
+}  // namespace scio

@@ -1,0 +1,94 @@
+// Sys: the simulated syscall surface, as seen by server applications.
+//
+// This is the library's main public API for simulation users. It binds a
+// Process to the SimKernel and NetStack and exposes the calls the paper's
+// servers make — BSD sockets, classic poll(), the /dev/poll device, and the
+// RT signal interface — with all cost-model charging and statistics handled
+// internally. Server implementations (src/servers) are written purely
+// against this class.
+
+#ifndef SRC_CORE_SYS_H_
+#define SRC_CORE_SYS_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "src/core/devpoll.h"
+#include "src/core/poll_syscall.h"
+#include "src/core/rt_io.h"
+#include "src/kernel/process.h"
+#include "src/kernel/sim_kernel.h"
+#include "src/net/listener.h"
+#include "src/net/net_stack.h"
+#include "src/net/socket.h"
+
+namespace scio {
+
+class Sys {
+ public:
+  Sys(SimKernel* kernel, Process* proc, NetStack* net)
+      : kernel_(kernel), proc_(proc), net_(net), poll_(kernel, proc), rt_(kernel, proc) {}
+
+  SimKernel& kernel() { return *kernel_; }
+  Process& proc() { return *proc_; }
+  NetStack& net() { return *net_; }
+  SimTime now() const { return kernel_->now(); }
+
+  // --- sockets ---------------------------------------------------------------
+  // socket() + bind() + listen(): returns the listening fd, or -1 (EMFILE).
+  int Listen(int backlog = 128);
+
+  // accept(): pops one established connection. Returns the new fd, -1 when
+  // the backlog is empty (EAGAIN), -2 on a bad/closed listener fd (EBADF),
+  // -3 when the fd table is full (EMFILE — the connection is dropped).
+  int Accept(int listener_fd);
+
+  // read(): ReadResult.n == 0 with eof=false means EAGAIN.
+  ReadResult Read(int fd, size_t max_bytes);
+
+  // write(): returns bytes accepted (0 = would block), or -1 on a bad fd.
+  long Write(int fd, Chunk chunk);
+
+  // close(): returns 0 or -1 (EBADF).
+  int Close(int fd);
+
+  // --- classic poll() -----------------------------------------------------------
+  int Poll(std::span<PollFd> fds, int timeout_ms);
+  PollSyscall& poll_syscall() { return poll_; }
+
+  // --- /dev/poll -----------------------------------------------------------------
+  // open("/dev/poll"): returns the device fd, or -1.
+  int OpenDevPoll(DevPollOptions options = DevPollOptions{});
+  long DevPollWrite(int dpfd, std::span<const PollFd> updates);
+  int DevPollAlloc(int dpfd, int nfds);
+  PollFd* DevPollMmap(int dpfd);
+  int DevPollMunmap(int dpfd);
+  int DevPollPoll(int dpfd, DvPoll* args);
+  int DevPollWritePoll(int dpfd, std::span<const PollFd> updates, DvPoll* args);
+  // Direct handle, for tests and introspection.
+  std::shared_ptr<DevPollDevice> devpoll(int dpfd);
+
+  // --- RT signals -----------------------------------------------------------------
+  int ArmAsync(int fd, int signo) { return rt_.ArmAsync(fd, signo); }
+  std::optional<SigInfo> SigWaitInfo(int timeout_ms = -1) { return rt_.SigWaitInfo(timeout_ms); }
+  int SigTimedWait4(std::span<SigInfo> out, int timeout_ms = -1) {
+    return rt_.SigTimedWait4(out, timeout_ms);
+  }
+  size_t FlushRtSignals() { return rt_.FlushRtSignals(); }
+
+  // --- helpers for harnesses --------------------------------------------------------
+  std::shared_ptr<SimListener> listener(int fd);
+  std::shared_ptr<SimSocket> socket(int fd);
+
+ private:
+  SimKernel* kernel_;
+  Process* proc_;
+  NetStack* net_;
+  PollSyscall poll_;
+  RtIo rt_;
+};
+
+}  // namespace scio
+
+#endif  // SRC_CORE_SYS_H_

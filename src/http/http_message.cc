@@ -1,0 +1,26 @@
+#include "src/http/http_message.h"
+
+namespace scio {
+
+std::string BuildHttpRequest(const std::string& path) {
+  return "GET " + path + " HTTP/1.0\r\nHost: bench.citi.umich.edu\r\nUser-Agent: httperf\r\n\r\n";
+}
+
+Chunk BuildHttpOkResponse(size_t body_bytes) {
+  Chunk chunk;
+  chunk.data = "HTTP/1.0 200 OK\r\nServer: thttpd-sim\r\nContent-Type: text/html\r\nContent-Length: " +
+               std::to_string(body_bytes) + "\r\n\r\n";
+  chunk.synthetic = body_bytes;
+  return chunk;
+}
+
+Chunk BuildHttpNotFoundResponse() {
+  Chunk chunk;
+  const std::string body = "<html><body>404 Not Found</body></html>";
+  chunk.data = "HTTP/1.0 404 Not Found\r\nServer: thttpd-sim\r\nContent-Type: text/html\r\n"
+               "Content-Length: " +
+               std::to_string(body.size()) + "\r\n\r\n" + body;
+  return chunk;
+}
+
+}  // namespace scio

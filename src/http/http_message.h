@@ -1,0 +1,29 @@
+// HTTP/1.0 message construction helpers.
+//
+// The benchmark exchanges real request bytes and real response headers, so
+// parsers execute genuine work; response bodies are synthetic byte counts
+// (see Chunk) because their content never matters.
+
+#ifndef SRC_HTTP_HTTP_MESSAGE_H_
+#define SRC_HTTP_HTTP_MESSAGE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/net/socket.h"
+
+namespace scio {
+
+// "GET <path> HTTP/1.0\r\nHost: ...\r\n\r\n"
+std::string BuildHttpRequest(const std::string& path);
+
+// A 200 response carrying `body_bytes` of payload: real header + synthetic
+// body.
+Chunk BuildHttpOkResponse(size_t body_bytes);
+
+// A 404 response (real bytes end to end; bodies are tiny).
+Chunk BuildHttpNotFoundResponse();
+
+}  // namespace scio
+
+#endif  // SRC_HTTP_HTTP_MESSAGE_H_

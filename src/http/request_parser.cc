@@ -1,0 +1,65 @@
+#include "src/http/request_parser.h"
+
+namespace scio {
+
+namespace {
+// Guard against a malicious or broken client streaming unbounded headers.
+constexpr size_t kMaxRequestBytes = 16 * 1024;
+}  // namespace
+
+void RequestParser::Reset() {
+  state_ = State::kIncomplete;
+  buffer_.clear();
+  method_.clear();
+  path_.clear();
+  version_.clear();
+}
+
+RequestParser::State RequestParser::Feed(std::string_view fragment) {
+  if (state_ != State::kIncomplete) {
+    return state_;
+  }
+  buffer_.append(fragment);
+  if (buffer_.size() > kMaxRequestBytes) {
+    state_ = State::kError;
+    return state_;
+  }
+  return Parse();
+}
+
+RequestParser::State RequestParser::Parse() {
+  // A complete HTTP/1.0 GET ends with CRLFCRLF (or, leniently, LFLF).
+  size_t end = buffer_.find("\r\n\r\n");
+  if (end == std::string::npos) {
+    end = buffer_.find("\n\n");
+    if (end == std::string::npos) {
+      return state_;
+    }
+  }
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const size_t line_end = buffer_.find_first_of("\r\n");
+  const std::string_view line(buffer_.data(), line_end);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    state_ = State::kError;
+    return state_;
+  }
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) {
+    state_ = State::kError;
+    return state_;
+  }
+  method_.assign(line.substr(0, sp1));
+  path_.assign(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  version_.assign(line.substr(sp2 + 1));
+  if (method_.empty() || path_.empty() || path_[0] != '/' ||
+      version_.rfind("HTTP/", 0) != 0) {
+    state_ = State::kError;
+    return state_;
+  }
+  state_ = State::kComplete;
+  return state_;
+}
+
+}  // namespace scio

@@ -1,0 +1,50 @@
+// Incremental HTTP/1.0 GET request parser.
+//
+// Connections deliver requests in arbitrary fragments (the inactive-client
+// workload trickles a request one byte at a time, §5), so the parser keeps
+// state across Feed() calls. Only the request line and the end-of-headers
+// blank line matter to a static-content server; header fields are retained
+// unparsed.
+
+#ifndef SRC_HTTP_REQUEST_PARSER_H_
+#define SRC_HTTP_REQUEST_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+namespace scio {
+
+class RequestParser {
+ public:
+  enum class State {
+    kIncomplete,  // need more bytes
+    kComplete,    // full request parsed; method/path/version valid
+    kError,       // malformed request
+  };
+
+  // Consume the next fragment. Returns the resulting state; once kComplete
+  // or kError is reached further Feed() calls are ignored.
+  State Feed(std::string_view fragment);
+
+  State state() const { return state_; }
+  const std::string& method() const { return method_; }
+  const std::string& path() const { return path_; }
+  const std::string& version() const { return version_; }
+  size_t bytes_consumed() const { return buffer_.size(); }
+
+  // Reset for the next request (keep-alive style reuse).
+  void Reset();
+
+ private:
+  State Parse();
+
+  State state_ = State::kIncomplete;
+  std::string buffer_;
+  std::string method_;
+  std::string path_;
+  std::string version_;
+};
+
+}  // namespace scio
+
+#endif  // SRC_HTTP_REQUEST_PARSER_H_

@@ -1,0 +1,74 @@
+#include "src/http/response_reader.h"
+
+#include <cstdlib>
+
+namespace scio {
+
+ResponseReader::State ResponseReader::Feed(std::string_view data, size_t synthetic) {
+  if (state_ == State::kComplete || state_ == State::kError) {
+    return state_;
+  }
+  if (state_ == State::kHeader) {
+    header_.append(data);
+    pending_synthetic_ += synthetic;
+    if (ParseHeader() == State::kHeader) {
+      if (pending_synthetic_ > 0) {
+        // Synthetic bytes can only be body; a header that hasn't terminated
+        // before synthetic data arrives is malformed.
+        state_ = State::kError;
+      }
+      return state_;
+    }
+    if (state_ == State::kError) {
+      return state_;
+    }
+    // Whatever trailed the header (real leftovers were moved to body in
+    // ParseHeader) plus synthetic bytes count toward the body.
+    body_received_ += pending_synthetic_;
+    pending_synthetic_ = 0;
+  } else {
+    body_received_ += data.size() + synthetic;
+  }
+  if (body_received_ >= content_length_) {
+    state_ = State::kComplete;
+  }
+  return state_;
+}
+
+ResponseReader::State ResponseReader::ParseHeader() {
+  const size_t end = header_.find("\r\n\r\n");
+  if (end == std::string::npos) {
+    return state_;
+  }
+  // Status line: HTTP/x.y CODE REASON.
+  if (header_.rfind("HTTP/", 0) != 0) {
+    state_ = State::kError;
+    return state_;
+  }
+  const size_t sp = header_.find(' ');
+  if (sp == std::string::npos) {
+    state_ = State::kError;
+    return state_;
+  }
+  status_code_ = std::atoi(header_.c_str() + sp + 1);
+  if (status_code_ < 100 || status_code_ > 599) {
+    state_ = State::kError;
+    return state_;
+  }
+  const size_t cl = header_.find("Content-Length:");
+  if (cl != std::string::npos && cl < end) {
+    content_length_ = static_cast<size_t>(std::atoll(header_.c_str() + cl + 15));
+  } else {
+    content_length_ = 0;
+  }
+  // Real bytes past the header belong to the body.
+  body_received_ = header_.size() - (end + 4);
+  header_.resize(end + 4);
+  state_ = State::kBody;
+  if (body_received_ >= content_length_) {
+    state_ = State::kComplete;
+  }
+  return state_;
+}
+
+}  // namespace scio

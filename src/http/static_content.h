@@ -1,0 +1,44 @@
+// The static document store served by the benchmark web servers.
+//
+// The paper requests a single 6 KB document ("a typical index.html file from
+// the CITI web site", §5). The store also supports arbitrary additional
+// documents so extended workloads (heavy-tailed size distributions) can be
+// benchmarked.
+
+#ifndef SRC_HTTP_STATIC_CONTENT_H_
+#define SRC_HTTP_STATIC_CONTENT_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace scio {
+
+inline constexpr size_t kDefaultDocumentBytes = 6 * 1024;
+
+class StaticContent {
+ public:
+  // Starts with /index.html at the paper's 6 KB.
+  StaticContent() { documents_["/index.html"] = kDefaultDocumentBytes; }
+
+  void AddDocument(const std::string& path, size_t bytes) { documents_[path] = bytes; }
+
+  // Body size for the path, or nullopt (404).
+  std::optional<size_t> Lookup(const std::string& path) const {
+    auto it = documents_.find(path);
+    if (it == documents_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  size_t document_count() const { return documents_.size(); }
+
+ private:
+  std::unordered_map<std::string, size_t> documents_;
+};
+
+}  // namespace scio
+
+#endif  // SRC_HTTP_STATIC_CONTENT_H_

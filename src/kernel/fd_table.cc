@@ -1,0 +1,54 @@
+#include "src/kernel/fd_table.h"
+
+#include <utility>
+
+namespace scio {
+
+int FdTable::Allocate(std::shared_ptr<File> file) {
+  int fd;
+  if (!free_fds_.empty()) {
+    fd = free_fds_.top();
+    free_fds_.pop();
+  } else {
+    if (static_cast<int>(slots_.size()) >= max_fds_) {
+      return -1;
+    }
+    fd = static_cast<int>(slots_.size());
+    slots_.emplace_back();
+  }
+  file->set_fd_number(fd);
+  slots_[fd] = std::move(file);
+  ++open_count_;
+  return fd;
+}
+
+std::shared_ptr<File> FdTable::Get(int fd) const {
+  if (fd < 0 || fd >= static_cast<int>(slots_.size())) {
+    return nullptr;
+  }
+  return slots_[fd];
+}
+
+int FdTable::Close(int fd) {
+  std::shared_ptr<File> file = Get(fd);
+  if (file == nullptr) {
+    return -1;
+  }
+  slots_[fd] = nullptr;
+  free_fds_.push(fd);
+  --open_count_;
+  file->OnFdClose();
+  return 0;
+}
+
+std::vector<int> FdTable::OpenFds() const {
+  std::vector<int> fds;
+  for (int fd = 0; fd < static_cast<int>(slots_.size()); ++fd) {
+    if (slots_[fd] != nullptr) {
+      fds.push_back(fd);
+    }
+  }
+  return fds;
+}
+
+}  // namespace scio

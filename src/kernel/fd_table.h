@@ -1,0 +1,50 @@
+// Per-process file descriptor table.
+//
+// POSIX semantics that matter for the paper's workloads: descriptors are
+// allocated lowest-free-first, the table has a hard size limit (httperf had to
+// be modified to cope with >1024 descriptors, §5), and a close() drops the
+// table's reference while interest sets may keep the File alive — which is
+// exactly how stale /dev/poll interests and stale RT signals arise.
+
+#ifndef SRC_KERNEL_FD_TABLE_H_
+#define SRC_KERNEL_FD_TABLE_H_
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/kernel/file.h"
+
+namespace scio {
+
+class FdTable {
+ public:
+  explicit FdTable(int max_fds = 8192) : max_fds_(max_fds) {}
+
+  // Install a file under the lowest free descriptor. Returns the fd, or -1
+  // if the table is full (EMFILE).
+  int Allocate(std::shared_ptr<File> file);
+
+  // nullptr if fd is out of range or closed.
+  std::shared_ptr<File> Get(int fd) const;
+
+  // Returns 0, or -1 if fd was not open (EBADF). Runs the file's OnFdClose
+  // hook before releasing the slot.
+  int Close(int fd);
+
+  int max_fds() const { return max_fds_; }
+  size_t open_count() const { return open_count_; }
+
+  // Snapshot of all open descriptors in ascending order.
+  std::vector<int> OpenFds() const;
+
+ private:
+  int max_fds_;
+  size_t open_count_ = 0;
+  std::vector<std::shared_ptr<File>> slots_;
+  std::priority_queue<int, std::vector<int>, std::greater<int>> free_fds_;
+};
+
+}  // namespace scio
+
+#endif  // SRC_KERNEL_FD_TABLE_H_

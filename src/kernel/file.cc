@@ -1,0 +1,39 @@
+#include "src/kernel/file.h"
+
+#include <algorithm>
+
+#include "src/kernel/process.h"
+#include "src/kernel/sim_kernel.h"
+
+namespace scio {
+
+void File::NotifyStatus(PollEvents mask) {
+  // 1. Backmap hints and other listeners run first (driver context).
+  //    Snapshot: a listener callback must not mutate the list re-entrantly,
+  //    but hint marking can wake processes whose reaction could.
+  std::vector<StatusListener*> snapshot = listeners_;
+  for (StatusListener* l : snapshot) {
+    l->OnFileStatus(*this, mask);
+  }
+  // 2. Queue the RT signal, if armed (paper §2: the kernel raises the
+  //    assigned signal whenever a read/write/close operation completes).
+  if (async_owner_ != nullptr && async_signo_ != 0) {
+    kernel_->QueueRtSignal(*async_owner_, SigInfo{async_signo_, fd_number_, mask});
+  }
+  // 3. Wake blocked poll()/DP_POLL/sigwaitinfo sleepers.
+  poll_wait_.WakeAll();
+}
+
+void File::AddStatusListener(StatusListener* listener) { listeners_.push_back(listener); }
+
+void File::RemoveStatusListener(StatusListener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
+}
+
+void File::SetAsyncSignal(Process* owner, int signo) {
+  async_owner_ = owner;
+  async_signo_ = signo;
+}
+
+}  // namespace scio

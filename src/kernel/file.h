@@ -1,0 +1,85 @@
+// File objects: anything a file descriptor can refer to.
+//
+// A File exposes its instantaneous readiness through PollMask() (the "driver
+// poll callback" in the paper's terms — invoking it is charged as an
+// expensive operation), and pushes state-change notifications through
+// NotifyStatus(). Notifications fan out to:
+//   1. registered StatusListeners — /dev/poll backmap links use these to set
+//      hints (paper §3.2);
+//   2. the owner's RT signal queue, if fcntl(F_SETSIG) armed one (paper §2);
+//   3. the file's poll wait queue, waking blocked poll()/DP_POLL sleepers.
+// Hints are set before sleepers wake, so a woken scan always observes them.
+
+#ifndef SRC_KERNEL_FILE_H_
+#define SRC_KERNEL_FILE_H_
+
+#include <vector>
+
+#include "src/kernel/poll_types.h"
+#include "src/kernel/wait_queue.h"
+
+namespace scio {
+
+class File;
+class Process;
+class SimKernel;
+
+class StatusListener {
+ public:
+  virtual ~StatusListener() = default;
+  // `mask` is the subset of poll bits whose state just changed (to active).
+  virtual void OnFileStatus(File& file, PollEvents mask) = 0;
+};
+
+class File {
+ public:
+  explicit File(SimKernel* kernel) : kernel_(kernel) {}
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  virtual ~File() = default;
+
+  // Instantaneous readiness. This is the driver poll callback: callers that
+  // model kernel scans must charge CostModel::*driver_poll* when calling it.
+  virtual PollEvents PollMask() const = 0;
+
+  // Whether this file's driver participates in the /dev/poll hinting scheme
+  // (paper §3.2: only essential drivers are modified; others fall back to
+  // being polled on every scan).
+  virtual bool SupportsPollHints() const { return false; }
+
+  // Invoked when the last fd reference is closed.
+  virtual void OnFdClose() {}
+
+  SimKernel* kernel() const { return kernel_; }
+  WaitQueue& poll_wait() { return poll_wait_; }
+
+  // Fan a state change out to listeners, signal owner, and sleepers.
+  void NotifyStatus(PollEvents mask);
+
+  void AddStatusListener(StatusListener* listener);
+  void RemoveStatusListener(StatusListener* listener);
+  size_t status_listener_count() const { return listeners_.size(); }
+
+  // fcntl(F_SETOWN)/fcntl(F_SETSIG): arm async event signals. signo == 0
+  // disarms. The signal payload carries this file's fd number.
+  void SetAsyncSignal(Process* owner, int signo);
+  Process* async_owner() const { return async_owner_; }
+  int async_signo() const { return async_signo_; }
+
+  // The fd number this file is installed under (for signal payloads and
+  // result reporting). Maintained by FdTable.
+  void set_fd_number(int fd) { fd_number_ = fd; }
+  int fd_number() const { return fd_number_; }
+
+ private:
+  SimKernel* kernel_;
+  WaitQueue poll_wait_;
+  std::vector<StatusListener*> listeners_;
+  Process* async_owner_ = nullptr;
+  int async_signo_ = 0;
+  int fd_number_ = -1;
+};
+
+}  // namespace scio
+
+#endif  // SRC_KERNEL_FILE_H_

@@ -1,0 +1,70 @@
+// Observability counters for the simulated kernel.
+//
+// Every interesting kernel-side operation increments a counter here, which is
+// how benchmarks and the ablation studies attribute costs (driver poll calls
+// avoided by hints, result copies eliminated by the mmap area, signal queue
+// overflows, ...). Plain fields, not a map: counters are on hot paths.
+
+#ifndef SRC_KERNEL_KERNEL_STATS_H_
+#define SRC_KERNEL_KERNEL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scio {
+
+struct KernelStats {
+  // Syscall surface.
+  uint64_t syscalls = 0;
+  uint64_t accepts = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t closes = 0;
+  uint64_t fcntls = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+
+  // Classic poll().
+  uint64_t poll_calls = 0;
+  uint64_t poll_fds_scanned = 0;
+  uint64_t poll_driver_calls = 0;
+  uint64_t poll_waitqueue_adds = 0;
+  uint64_t poll_waitqueue_removes = 0;
+  uint64_t poll_results_copied = 0;
+
+  // /dev/poll.
+  uint64_t devpoll_writes = 0;
+  uint64_t devpoll_interests_written = 0;
+  uint64_t devpoll_polls = 0;
+  uint64_t devpoll_interests_scanned = 0;
+  uint64_t devpoll_driver_calls = 0;
+  uint64_t devpoll_driver_calls_avoided = 0;
+  uint64_t devpoll_hints_set = 0;
+  uint64_t devpoll_cached_ready_rechecks = 0;
+  uint64_t devpoll_results_copied = 0;
+  uint64_t devpoll_results_mapped = 0;
+  uint64_t devpoll_lock_read_acquires = 0;
+  uint64_t devpoll_lock_write_acquires = 0;
+  uint64_t devpoll_table_resizes = 0;
+
+  // RT signals.
+  uint64_t rt_signals_queued = 0;
+  uint64_t rt_signals_dropped = 0;
+  uint64_t rt_queue_overflows = 0;
+  uint64_t rt_signals_delivered = 0;
+  uint64_t sigio_deliveries = 0;
+
+  // Network / interrupts.
+  uint64_t packets_delivered = 0;
+  uint64_t interrupts = 0;
+  uint64_t connections_refused = 0;
+
+  // Export all counters as (name, value) pairs, for table printers.
+  std::vector<std::pair<std::string, uint64_t>> ToRows() const;
+};
+
+}  // namespace scio
+
+#endif  // SRC_KERNEL_KERNEL_STATS_H_

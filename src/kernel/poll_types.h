@@ -1,0 +1,48 @@
+// Poll event bits and the pollfd structure, mirroring the paper's Figure 1.
+//
+// We define our own constants rather than including <poll.h>: the simulated
+// kernel must not depend on host headers, and /dev/poll needs the extra
+// POLLREMOVE flag that stock Linux lacked.
+
+#ifndef SRC_KERNEL_POLL_TYPES_H_
+#define SRC_KERNEL_POLL_TYPES_H_
+
+#include <cstdint>
+
+namespace scio {
+
+using PollEvents = uint16_t;
+
+inline constexpr PollEvents kPollIn = 0x0001;
+inline constexpr PollEvents kPollPri = 0x0002;
+inline constexpr PollEvents kPollOut = 0x0004;
+inline constexpr PollEvents kPollErr = 0x0008;   // always reported, never requested
+inline constexpr PollEvents kPollHup = 0x0010;   // always reported, never requested
+inline constexpr PollEvents kPollNval = 0x0020;  // invalid fd in request
+// /dev/poll extension (paper §3.1): writing an interest with POLLREMOVE set
+// deletes that fd from the interest set.
+inline constexpr PollEvents kPollRemove = 0x1000;
+
+// Bits a file cannot suppress: error/hangup/invalid are always delivered.
+inline constexpr PollEvents kPollAlwaysReported = kPollErr | kPollHup | kPollNval;
+
+// Figure 1: standard pollfd struct.
+struct PollFd {
+  int fd = -1;
+  PollEvents events = 0;
+  PollEvents revents = 0;
+};
+
+// Figure 3: dvpoll struct, the DP_POLL ioctl argument. A null dp_fds directs
+// results into the mmap'ed result area (paper §3.3).
+struct DvPoll {
+  PollFd* dp_fds = nullptr;
+  int dp_nfds = 0;
+  // Timeout in milliseconds; negative means wait forever, zero means
+  // non-blocking, matching poll(2) semantics.
+  int dp_timeout = 0;
+};
+
+}  // namespace scio
+
+#endif  // SRC_KERNEL_POLL_TYPES_H_

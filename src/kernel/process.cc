@@ -1,0 +1,57 @@
+#include "src/kernel/process.h"
+
+namespace scio {
+
+bool Process::QueueSignal(const SigInfo& si) {
+  if (rt_queue_len_ >= rt_queue_max_) {
+    RaiseSigIo();
+    return false;
+  }
+  rt_queues_[si.signo].push_back(si);
+  ++rt_queue_len_;
+  if (rt_queue_len_ > rt_queue_peak_) {
+    rt_queue_peak_ = rt_queue_len_;
+  }
+  Wake();
+  return true;
+}
+
+std::optional<SigInfo> Process::DequeueSignal() {
+  if (sigio_pending_) {
+    sigio_pending_ = false;
+    return SigInfo{kSigIo, -1, 0};
+  }
+  for (auto& [signo, queue] : rt_queues_) {
+    if (!queue.empty()) {
+      SigInfo si = queue.front();
+      queue.pop_front();
+      --rt_queue_len_;
+      return si;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<SigInfo> Process::PeekSignal() const {
+  if (sigio_pending_) {
+    return SigInfo{kSigIo, -1, 0};
+  }
+  for (const auto& [signo, queue] : rt_queues_) {
+    if (!queue.empty()) {
+      return queue.front();
+    }
+  }
+  return std::nullopt;
+}
+
+size_t Process::FlushRtSignals() {
+  // SIG_DFL discards pending instances of the reset signals, including a
+  // pending SIGIO — recovery code that flushed must rescan with poll().
+  const size_t n = rt_queue_len_;
+  rt_queues_.clear();
+  rt_queue_len_ = 0;
+  sigio_pending_ = false;
+  return n;
+}
+
+}  // namespace scio

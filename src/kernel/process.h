@@ -1,0 +1,106 @@
+// Process context: descriptor table, wake flag, and the POSIX RT signal queue.
+//
+// RT signal semantics follow the paper (§2, §6):
+//  - signals carry a payload (simplified siginfo, Figure 2): si_fd and si_band;
+//  - the queue has a maximum length (1024 by default); when it overflows the
+//    kernel raises SIGIO instead of queueing, and the application must recover
+//    with poll();
+//  - pending signals dequeue lowest-signal-number first, FIFO within a number
+//    ("activity on lower-numbered connections can cause longer delays for
+//    activity reports on higher-numbered connections");
+//  - events queued before a close stay queued, so applications can receive
+//    signals for descriptors they have already closed (stale events).
+
+#ifndef SRC_KERNEL_PROCESS_H_
+#define SRC_KERNEL_PROCESS_H_
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/kernel/fd_table.h"
+#include "src/kernel/poll_types.h"
+
+namespace scio {
+
+// Classic SIGIO: numerically below the RT range, so it is always delivered
+// ahead of any queued RT signal.
+inline constexpr int kSigIo = 29;
+// First POSIX real-time signal number on Linux.
+inline constexpr int kSigRtMin = 32;
+// glibc's LinuxThreads claimed signal 32 for itself; the paper (§6) notes the
+// resulting conflict for applications that assign signal 32 to an fd.
+inline constexpr int kSigPthreadRestart = 32;
+
+// Simplified siginfo (paper Figure 2): the signal number plus the _sigpoll
+// payload. fd/band mirror pollfd's fd/revents.
+struct SigInfo {
+  int signo = 0;
+  int fd = -1;
+  PollEvents band = 0;
+
+  bool operator==(const SigInfo&) const = default;
+};
+
+inline constexpr size_t kDefaultRtQueueMax = 1024;
+
+class Process {
+ public:
+  explicit Process(std::string name, int max_fds = 8192) : name_(std::move(name)), fds_(max_fds) {}
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  const std::string& name() const { return name_; }
+  FdTable& fds() { return fds_; }
+  const FdTable& fds() const { return fds_; }
+
+  // -- scheduling ------------------------------------------------------------
+  void Wake() { woken_ = true; }
+  bool woken() const { return woken_; }
+  void ClearWake() { woken_ = false; }
+
+  // -- RT signal queue ---------------------------------------------------------
+  // Returns false when the queue is full: the signal is dropped and SIGIO is
+  // raised instead (non-queued, level-style pending flag).
+  bool QueueSignal(const SigInfo& si);
+
+  // Next pending signal, lowest signal number first (SIGIO beats RT signals).
+  // Does not block; blocking lives in the syscall layer.
+  std::optional<SigInfo> DequeueSignal();
+
+  // Non-destructive variant of DequeueSignal's selection rule.
+  std::optional<SigInfo> PeekSignal() const;
+
+  bool HasPendingSignals() const { return sigio_pending_ || rt_queue_len_ > 0; }
+  size_t rt_queue_length() const { return rt_queue_len_; }
+  size_t rt_queue_peak() const { return rt_queue_peak_; }
+  size_t rt_queue_max() const { return rt_queue_max_; }
+  void set_rt_queue_max(size_t m) { rt_queue_max_ = m; }
+  bool sigio_pending() const { return sigio_pending_; }
+  void RaiseSigIo() {
+    sigio_pending_ = true;
+    Wake();
+  }
+
+  // Overflow recovery step one (paper §2): the application flushes pending
+  // RT signals by resetting their handler to SIG_DFL. Returns how many
+  // signals were discarded.
+  size_t FlushRtSignals();
+
+ private:
+  std::string name_;
+  FdTable fds_;
+  bool woken_ = false;
+
+  std::map<int, std::deque<SigInfo>> rt_queues_;  // keyed by signo, ascending
+  size_t rt_queue_len_ = 0;
+  size_t rt_queue_peak_ = 0;
+  size_t rt_queue_max_ = kDefaultRtQueueMax;
+  bool sigio_pending_ = false;
+};
+
+}  // namespace scio
+
+#endif  // SRC_KERNEL_PROCESS_H_

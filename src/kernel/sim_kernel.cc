@@ -1,0 +1,41 @@
+#include "src/kernel/sim_kernel.h"
+
+namespace scio {
+
+Process& SimKernel::CreateProcess(std::string name, int max_fds) {
+  processes_.push_back(std::make_unique<Process>(std::move(name), max_fds));
+  return *processes_.back();
+}
+
+void SimKernel::Charge(SimDuration d) {
+  SimDuration total = Scaled(d) + interrupt_debt_;
+  interrupt_debt_ = 0;
+  if (total <= 0) {
+    return;
+  }
+  busy_time_ += total;
+  sim_->AdvanceTo(sim_->now() + total);
+}
+
+bool SimKernel::BlockProcess(Process& proc, SimTime deadline) {
+  const bool woken =
+      sim_->StepUntil([this, &proc] { return proc.woken() || stopped_; }, deadline) &&
+      proc.woken();
+  proc.ClearWake();
+  // Interrupt work performed while we were idle was absorbed by idle CPU; it
+  // must not be billed to the next busy period.
+  interrupt_debt_ = 0;
+  return woken;
+}
+
+void SimKernel::QueueRtSignal(Process& proc, const SigInfo& si) {
+  ChargeDebt(cost_.rt_signal_enqueue);
+  if (proc.QueueSignal(si)) {
+    ++stats_.rt_signals_queued;
+  } else {
+    ++stats_.rt_signals_dropped;
+    ++stats_.rt_queue_overflows;
+  }
+}
+
+}  // namespace scio

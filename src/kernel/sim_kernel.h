@@ -1,0 +1,91 @@
+// SimKernel: the simulated machine.
+//
+// Binds the discrete-event simulator to a cost model and process contexts.
+// Two time-accounting primitives drive everything:
+//
+//   Charge(ns)   — the running process consumes virtual CPU. The clock moves
+//                  forward and any network/client events that fall inside the
+//                  busy window execute first, so packets keep arriving while
+//                  the server computes. Pending interrupt debt is folded in.
+//
+//   ChargeDebt() — interrupt-context work (packet processing, RT signal
+//                  enqueueing, hint marking). It cannot advance the clock
+//                  from inside an event callback, so it accrues as debt that
+//                  the next Charge() pays. While the server is blocked, debt
+//                  is absorbed by idle time instead (see BlockProcess).
+//
+// BlockProcess() implements blocking syscalls: it runs simulation events
+// until the process is woken (by a wait-queue wakeup or a signal) or a
+// deadline passes.
+
+#ifndef SRC_KERNEL_SIM_KERNEL_H_
+#define SRC_KERNEL_SIM_KERNEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/cost_model.h"
+#include "src/kernel/kernel_stats.h"
+#include "src/kernel/process.h"
+#include "src/sim/simulator.h"
+
+namespace scio {
+
+class SimKernel {
+ public:
+  explicit SimKernel(Simulator* sim, CostModel cost = CostModel{})
+      : sim_(sim), cost_(cost) {}
+  SimKernel(const SimKernel&) = delete;
+  SimKernel& operator=(const SimKernel&) = delete;
+
+  Simulator& sim() { return *sim_; }
+  SimTime now() const { return sim_->now(); }
+  CostModel& cost() { return cost_; }
+  const CostModel& cost() const { return cost_; }
+  KernelStats& stats() { return stats_; }
+
+  Process& CreateProcess(std::string name, int max_fds = 8192);
+
+  // Scale a raw cost-model duration by cpu_scale.
+  SimDuration Scaled(SimDuration d) const {
+    return static_cast<SimDuration>(static_cast<double>(d) * cost_.cpu_scale);
+  }
+
+  // Consume virtual CPU in process context (see file comment).
+  void Charge(SimDuration d);
+
+  // Record interrupt-context work to be paid by the next Charge().
+  void ChargeDebt(SimDuration d) { interrupt_debt_ += Scaled(d); }
+
+  // Block `proc` until Wake() or `deadline`. Returns true if woken, false on
+  // timeout or simulation stop. The process's wake flag is cleared on return.
+  bool BlockProcess(Process& proc, SimTime deadline);
+
+  // Queue an RT signal on `proc`, charging interrupt-side costs and updating
+  // overflow statistics.
+  void QueueRtSignal(Process& proc, const SigInfo& si);
+
+  // Ask server loops to wind down; blocking syscalls return early.
+  void RequestStop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  SimDuration pending_interrupt_debt() const { return interrupt_debt_; }
+
+  // Total virtual CPU consumed via Charge() — busy_time()/now() is the
+  // server CPU utilization.
+  SimDuration busy_time() const { return busy_time_; }
+
+ private:
+  Simulator* sim_;
+  CostModel cost_;
+  KernelStats stats_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  SimDuration interrupt_debt_ = 0;
+  SimDuration busy_time_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace scio
+
+#endif  // SRC_KERNEL_SIM_KERNEL_H_

@@ -1,0 +1,45 @@
+#include "src/kernel/wait_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scio {
+
+Waiter::~Waiter() {
+  if (queue_ != nullptr) {
+    queue_->Remove(this);
+  }
+}
+
+WaitQueue::~WaitQueue() {
+  // Orphan any still-registered waiters so their destructors don't touch us.
+  for (Waiter* w : waiters_) {
+    w->queue_ = nullptr;
+  }
+}
+
+void WaitQueue::Add(Waiter* w) {
+  assert(w->queue_ == nullptr && "waiter already registered");
+  w->queue_ = this;
+  waiters_.push_back(w);
+}
+
+void WaitQueue::Remove(Waiter* w) {
+  if (w->queue_ != this) {
+    return;
+  }
+  w->queue_ = nullptr;
+  waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), w), waiters_.end());
+}
+
+void WaitQueue::WakeAll() {
+  // Copy: a wake callback may (indirectly) destroy a waiter.
+  std::vector<Waiter*> snapshot = waiters_;
+  for (Waiter* w : snapshot) {
+    if (w->queue_ == this) {
+      w->on_wake_();
+    }
+  }
+}
+
+}  // namespace scio

@@ -1,0 +1,54 @@
+// Wait queues: how sleeping processes learn that a file changed state.
+//
+// This mirrors the Linux wait_queue mechanism the paper discusses in §6:
+// a blocking poll() adds one waiter per polled file, and every addition and
+// removal has a cost (Brown postulated this churn is where RT signals gain
+// their advantage; ABL-6 measures it). Waiters are intrusive and must outlive
+// their registration; Remove() is idempotent.
+
+#ifndef SRC_KERNEL_WAIT_QUEUE_H_
+#define SRC_KERNEL_WAIT_QUEUE_H_
+
+#include <functional>
+#include <vector>
+
+namespace scio {
+
+class WaitQueue;
+
+class Waiter {
+ public:
+  explicit Waiter(std::function<void()> on_wake) : on_wake_(std::move(on_wake)) {}
+  Waiter(const Waiter&) = delete;
+  Waiter& operator=(const Waiter&) = delete;
+  ~Waiter();
+
+ private:
+  friend class WaitQueue;
+  std::function<void()> on_wake_;
+  WaitQueue* queue_ = nullptr;  // non-null while registered
+};
+
+class WaitQueue {
+ public:
+  WaitQueue() = default;
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+  ~WaitQueue();
+
+  void Add(Waiter* w);
+  void Remove(Waiter* w);
+
+  // Invoke every registered waiter's callback. Callbacks must not add or
+  // remove waiters on this queue re-entrantly (ours only set wake flags).
+  void WakeAll();
+
+  size_t size() const { return waiters_.size(); }
+
+ private:
+  std::vector<Waiter*> waiters_;
+};
+
+}  // namespace scio
+
+#endif  // SRC_KERNEL_WAIT_QUEUE_H_

@@ -1,0 +1,82 @@
+#include "src/load/active_client.h"
+
+#include <utility>
+
+#include "src/http/http_message.h"
+
+namespace scio {
+
+ActiveClient::ActiveClient(NetStack* net, std::shared_ptr<SimListener> listener,
+                           std::string path, SimDuration timeout, ConnRecord* record)
+    : net_(net),
+      listener_(std::move(listener)),
+      request_(BuildHttpRequest(path)),
+      timeout_(timeout),
+      record_(record) {}
+
+ActiveClient::~ActiveClient() { timeout_timer_.Cancel(); }
+
+void ActiveClient::Start() {
+  record_->start = net_->kernel()->now();
+  socket_ = net_->Connect(listener_);
+  if (socket_ == nullptr) {
+    Finish(ConnOutcome::kNoPorts);
+    return;
+  }
+  socket_->on_connected = [this] { OnConnected(); };
+  socket_->on_refused = [this] { Finish(ConnOutcome::kRefused); };
+  socket_->on_data = [this](size_t) { OnData(); };
+  socket_->on_eof = [this] { OnEof(); };
+  timeout_timer_ = net_->kernel()->sim().ScheduleAfter(timeout_, [this] {
+    if (!done_) {
+      Finish(ConnOutcome::kTimeout);
+    }
+  });
+}
+
+void ActiveClient::OnConnected() {
+  if (done_) {
+    return;
+  }
+  socket_->Write(Chunk{request_, 0});
+}
+
+void ActiveClient::OnData() {
+  if (done_) {
+    return;
+  }
+  const ReadResult r = socket_->Read(SIZE_MAX);
+  const ResponseReader::State state = reader_.Feed(r.data, r.n - r.data.size());
+  if (state == ResponseReader::State::kComplete) {
+    Finish(reader_.status_code() == 200 ? ConnOutcome::kOk : ConnOutcome::kBadReply);
+  } else if (state == ResponseReader::State::kError) {
+    Finish(ConnOutcome::kBadReply);
+  }
+}
+
+void ActiveClient::OnEof() {
+  if (done_) {
+    return;
+  }
+  // FIN with the response incomplete: the server (or its queue) dropped us.
+  Finish(ConnOutcome::kReset);
+}
+
+void ActiveClient::Finish(ConnOutcome outcome) {
+  if (done_) {
+    return;
+  }
+  done_ = true;
+  timeout_timer_.Cancel();
+  record_->outcome = outcome;
+  record_->end = net_->kernel()->now();
+  if (socket_ != nullptr) {
+    socket_->on_connected = nullptr;
+    socket_->on_refused = nullptr;
+    socket_->on_data = nullptr;
+    socket_->on_eof = nullptr;
+    socket_->Close();
+  }
+}
+
+}  // namespace scio

@@ -1,0 +1,54 @@
+// One httperf connection: connect, send GET, await the full response.
+//
+// Entirely event-driven on the simulated client host (whose CPU is free —
+// the paper's 4-way Xeon client is never the bottleneck). The outcome lands
+// in the ConnRecord owned by the generator.
+
+#ifndef SRC_LOAD_ACTIVE_CLIENT_H_
+#define SRC_LOAD_ACTIVE_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/http/response_reader.h"
+#include "src/load/workload.h"
+#include "src/net/listener.h"
+#include "src/net/net_stack.h"
+#include "src/net/socket.h"
+
+namespace scio {
+
+class ActiveClient {
+ public:
+  ActiveClient(NetStack* net, std::shared_ptr<SimListener> listener, std::string path,
+               SimDuration timeout, ConnRecord* record);
+  ActiveClient(const ActiveClient&) = delete;
+  ActiveClient& operator=(const ActiveClient&) = delete;
+  ~ActiveClient();
+
+  // Initiate the connection; fills the record immediately on kNoPorts.
+  void Start();
+
+  bool done() const { return done_; }
+
+ private:
+  void Finish(ConnOutcome outcome);
+  void OnConnected();
+  void OnData();
+  void OnEof();
+
+  NetStack* net_;
+  std::shared_ptr<SimListener> listener_;
+  std::string request_;
+  SimDuration timeout_;
+  ConnRecord* record_;
+
+  std::shared_ptr<SimSocket> socket_;
+  ResponseReader reader_;
+  EventHandle timeout_timer_;
+  bool done_ = false;
+};
+
+}  // namespace scio
+
+#endif  // SRC_LOAD_ACTIVE_CLIENT_H_

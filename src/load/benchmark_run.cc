@@ -1,0 +1,139 @@
+#include "src/load/benchmark_run.h"
+
+#include <memory>
+
+#include "src/load/httperf.h"
+#include "src/load/inactive_pool.h"
+#include "src/metrics/percentile.h"
+#include "src/metrics/rate_series.h"
+
+namespace scio {
+
+std::string ServerKindName(ServerKind kind) {
+  switch (kind) {
+    case ServerKind::kThttpdPoll:
+      return "thttpd-poll";
+    case ServerKind::kThttpdDevPoll:
+      return "thttpd-devpoll";
+    case ServerKind::kPhhttpd:
+      return "phhttpd";
+    case ServerKind::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config) {
+  Simulator sim;
+  SimKernel kernel(&sim, config.cost);
+  NetStack net(&kernel, config.net);
+  Process& proc = kernel.CreateProcess("server");
+  proc.set_rt_queue_max(config.rt_queue_max);
+  Sys sys(&kernel, &proc, &net);
+  StaticContent content;
+  content.AddDocument("/index.html", config.document_bytes);
+
+  std::unique_ptr<HttpServerBase> server;
+  switch (config.server) {
+    case ServerKind::kThttpdPoll:
+      server = std::make_unique<ThttpdPoll>(&sys, &content, config.server_config,
+                                            config.poll_options);
+      server->Setup();
+      break;
+    case ServerKind::kThttpdDevPoll: {
+      auto s = std::make_unique<ThttpdDevPoll>(&sys, &content, config.server_config,
+                                               config.devpoll_config);
+      s->Setup();
+      s->SetupDevPoll();
+      server = std::move(s);
+      break;
+    }
+    case ServerKind::kPhhttpd: {
+      auto s = std::make_unique<Phhttpd>(&sys, &content, config.server_config,
+                                         config.phhttpd_config);
+      s->Setup();
+      s->SetupSignals();
+      server = std::move(s);
+      break;
+    }
+    case ServerKind::kHybrid: {
+      auto s = std::make_unique<HybridServer>(&sys, &content, config.server_config,
+                                              config.devpoll_config, config.hybrid_config);
+      s->Setup();
+      s->SetupDevPoll();
+      s->SetupHybrid();
+      server = std::move(s);
+      break;
+    }
+  }
+
+  auto listener = sys.listener(server->listener_fd());
+  InactivePool pool(&net, listener, config.inactive);
+  HttperfGenerator generator(&net, listener, config.active);
+
+  pool.Start();
+  generator.Start(config.warmup);
+  const SimTime until = config.warmup + config.active.duration + config.drain;
+  server->Run(until);
+  pool.Shutdown();
+  kernel.RequestStop();
+
+  // --- reduction ---------------------------------------------------------------
+  BenchmarkResult result;
+  result.target_rate = config.active.request_rate;
+  result.inactive = config.inactive.connections;
+
+  RateSeries replies(config.sample_width, config.active.duration + config.drain);
+  PercentileTracker conn_times;
+  for (const ConnRecord& record : generator.records()) {
+    ++result.attempts;
+    switch (record.outcome) {
+      case ConnOutcome::kOk:
+        ++result.successes;
+        replies.Add(record.end - config.warmup);
+        conn_times.Add(ToMillis(record.ConnTime()));
+        break;
+      case ConnOutcome::kPending:
+        ++result.pending;
+        break;
+      default:
+        ++result.errors;
+        break;
+    }
+  }
+  // Only samples inside the generation window count (the drain tail would
+  // drag the average down even for a perfect server).
+  RateSeries window(config.sample_width, config.active.duration);
+  for (const ConnRecord& record : generator.records()) {
+    if (record.outcome == ConnOutcome::kOk) {
+      window.Add(record.end - config.warmup);
+    }
+  }
+  const StreamingStats rate_stats = window.Summary();
+  result.reply_avg = rate_stats.mean();
+  result.reply_min = rate_stats.min();
+  result.reply_max = rate_stats.max();
+  result.reply_stddev = rate_stats.stddev();
+  const uint64_t resolved = result.successes + result.errors;
+  result.error_pct =
+      resolved == 0 ? 0.0
+                    : 100.0 * static_cast<double>(result.errors) / static_cast<double>(resolved);
+  result.median_conn_ms = conn_times.Median();
+  result.p90_conn_ms = conn_times.Percentile(90.0);
+
+  result.kernel_stats = kernel.stats();
+  result.server_stats = server->stats();
+  result.cpu_utilization =
+      kernel.now() == 0 ? 0.0
+                        : static_cast<double>(kernel.busy_time()) / static_cast<double>(kernel.now());
+  result.rt_queue_peak = proc.rt_queue_peak();
+  result.inactive_reconnects = pool.reconnects();
+  result.trickle_bytes = pool.trickle_bytes_sent();
+  if (auto* ph = dynamic_cast<Phhttpd*>(server.get())) {
+    result.phhttpd_fell_back_to_poll = ph->in_poll_fallback();
+  }
+  result.hybrid_mode_switches = result.server_stats.mode_switches;
+  return result;
+}
+
+}  // namespace scio

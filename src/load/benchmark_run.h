@@ -1,0 +1,94 @@
+// BenchmarkRun: one point on a paper figure.
+//
+// Assembles the whole testbed — simulator, kernel, network, server process,
+// inactive pool, httperf generator — runs it, and reduces the records to the
+// quantities the paper plots: average/min/max/stddev reply rate over
+// periodic samples (FIGS 4-9, 11-13), error percentage (FIG 10), and median
+// connection time (FIG 14).
+
+#ifndef SRC_LOAD_BENCHMARK_RUN_H_
+#define SRC_LOAD_BENCHMARK_RUN_H_
+
+#include <string>
+
+#include "src/kernel/cost_model.h"
+#include "src/kernel/kernel_stats.h"
+#include "src/load/workload.h"
+#include "src/net/net_stack.h"
+#include "src/servers/hybrid_server.h"
+#include "src/servers/phhttpd.h"
+#include "src/servers/thttpd_devpoll.h"
+#include "src/servers/thttpd_poll.h"
+
+namespace scio {
+
+enum class ServerKind {
+  kThttpdPoll,
+  kThttpdDevPoll,
+  kPhhttpd,
+  kHybrid,
+};
+
+std::string ServerKindName(ServerKind kind);
+
+struct BenchmarkRunConfig {
+  ServerKind server = ServerKind::kThttpdPoll;
+  ActiveWorkload active;
+  InactiveWorkload inactive;
+
+  // Size of the served document. The paper uses a 6 KB index.html (§5);
+  // larger documents keep sockets active longer and exercise partial writes.
+  size_t document_bytes = 6 * 1024;
+
+  SimDuration warmup = Seconds(2);   // inactive pool established, server settled
+  SimDuration drain = Seconds(4);    // let in-flight connections resolve
+  SimDuration sample_width = Seconds(1);  // reply-rate sample buckets
+
+  CostModel cost;
+  NetConfig net;
+  ServerConfig server_config;
+  ThttpdDevPollConfig devpoll_config;
+  PollSyscallOptions poll_options;
+  PhhttpdConfig phhttpd_config;
+  HybridServerConfig hybrid_config;
+  size_t rt_queue_max = kDefaultRtQueueMax;
+};
+
+struct BenchmarkResult {
+  // Offered load.
+  double target_rate = 0;
+  int inactive = 0;
+
+  // Reply-rate reduction (FIGS 4-9, 11-13).
+  double reply_avg = 0;
+  double reply_min = 0;
+  double reply_max = 0;
+  double reply_stddev = 0;
+
+  // Error accounting (FIG 10).
+  uint64_t attempts = 0;
+  uint64_t successes = 0;
+  uint64_t errors = 0;
+  uint64_t pending = 0;
+  double error_pct = 0;
+
+  // Latency (FIG 14), milliseconds.
+  double median_conn_ms = 0;
+  double p90_conn_ms = 0;
+
+  // Observability.
+  KernelStats kernel_stats;
+  ServerStats server_stats;
+  uint64_t inactive_reconnects = 0;
+  uint64_t trickle_bytes = 0;
+  bool phhttpd_fell_back_to_poll = false;
+  uint64_t hybrid_mode_switches = 0;
+  double cpu_utilization = 0;
+  size_t rt_queue_peak = 0;
+};
+
+BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config);
+
+}  // namespace scio
+
+#endif  // SRC_LOAD_BENCHMARK_RUN_H_

@@ -1,0 +1,53 @@
+#include "src/load/httperf.h"
+
+#include <cmath>
+
+namespace scio {
+
+HttperfGenerator::HttperfGenerator(NetStack* net, std::shared_ptr<SimListener> listener,
+                                   ActiveWorkload workload)
+    : net_(net),
+      listener_(std::move(listener)),
+      workload_(workload),
+      rng_(workload.seed) {}
+
+void HttperfGenerator::Start(SimTime start_at) {
+  const double gap_ns = 1e9 / workload_.request_rate;
+
+  // Generate arrival offsets covering the whole window, so the offered rate
+  // holds over every sample bucket regardless of the arrival process.
+  std::vector<double> offsets;
+  if (workload_.poisson_arrivals) {
+    double clock = rng_.Exponential(gap_ns);
+    while (clock < static_cast<double>(workload_.duration)) {
+      offsets.push_back(clock);
+      clock += rng_.Exponential(gap_ns);
+    }
+  } else {
+    const auto total =
+        static_cast<size_t>(workload_.request_rate * ToSeconds(workload_.duration));
+    for (size_t i = 0; i < total; ++i) {
+      const double jitter =
+          workload_.arrival_jitter == 0.0
+              ? 0.0
+              : rng_.UniformReal(-workload_.arrival_jitter, workload_.arrival_jitter) * gap_ns;
+      const double at = gap_ns * static_cast<double>(i) + jitter;
+      offsets.push_back(at < 0 ? 0 : at);
+    }
+  }
+
+  clients_.reserve(offsets.size());
+  for (double offset : offsets) {
+    records_.emplace_back();
+    ConnRecord* record = &records_.back();
+    net_->kernel()->sim().ScheduleAt(start_at + static_cast<SimTime>(offset),
+                                     [this, record] {
+                                       clients_.push_back(std::make_unique<ActiveClient>(
+                                           net_, listener_, workload_.path,
+                                           workload_.client_timeout, record));
+                                       clients_.back()->Start();
+                                     });
+  }
+}
+
+}  // namespace scio

@@ -1,0 +1,114 @@
+#include "src/load/inactive_pool.h"
+
+namespace scio {
+
+InactivePool::InactivePool(NetStack* net, std::shared_ptr<SimListener> listener,
+                           InactiveWorkload workload)
+    : net_(net), listener_(std::move(listener)), workload_(workload), rng_(workload.seed) {
+  eternal_request_ = "GET /index.html HTTP/1.0\r\nX-Slow-Client-Padding: ";
+  members_.resize(static_cast<size_t>(workload_.connections));
+}
+
+InactivePool::~InactivePool() { Shutdown(); }
+
+void InactivePool::Start() {
+  for (size_t i = 0; i < members_.size(); ++i) {
+    // Stagger initial connects across ~1s so setup doesn't arrive as one
+    // giant burst (the paper establishes its inactive load before measuring).
+    const SimDuration delay = Nanos(rng_.UniformInt(0, Seconds(1)));
+    members_[i].reconnect_timer =
+        net_->kernel()->sim().ScheduleAfter(delay, [this, i] { ConnectMember(i); });
+  }
+}
+
+void InactivePool::Shutdown() {
+  shutdown_ = true;
+  for (Member& member : members_) {
+    member.trickle_timer.Cancel();
+    member.reconnect_timer.Cancel();
+    if (member.socket != nullptr) {
+      member.socket->on_connected = nullptr;
+      member.socket->on_refused = nullptr;
+      member.socket->on_eof = nullptr;
+      member.socket->Close();
+      member.socket = nullptr;
+    }
+  }
+}
+
+int InactivePool::connected_now() const {
+  int n = 0;
+  for (const Member& member : members_) {
+    if (member.socket != nullptr &&
+        member.socket->state() == SimSocket::State::kEstablished) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void InactivePool::ConnectMember(size_t idx) {
+  if (shutdown_) {
+    return;
+  }
+  Member& member = members_[idx];
+  member.next_byte = 0;
+  member.socket = net_->Connect(listener_);
+  if (member.socket == nullptr) {
+    ScheduleReconnect(idx);  // out of ports; try again later
+    return;
+  }
+  member.socket->on_connected = [this, idx] {
+    if (!shutdown_ && workload_.trickle_interval > 0) {
+      ScheduleTrickle(idx);
+    }
+  };
+  member.socket->on_refused = [this, idx] { ScheduleReconnect(idx); };
+  member.socket->on_eof = [this, idx] {
+    // Server timed us out or dropped us: reopen (§5).
+    Member& m = members_[idx];
+    m.trickle_timer.Cancel();
+    if (m.socket != nullptr) {
+      m.socket->Close();
+      m.socket = nullptr;
+    }
+    ScheduleReconnect(idx);
+  };
+}
+
+void InactivePool::ScheduleReconnect(size_t idx) {
+  if (shutdown_) {
+    return;
+  }
+  ++reconnects_;
+  members_[idx].reconnect_timer = net_->kernel()->sim().ScheduleAfter(
+      workload_.reconnect_delay, [this, idx] { ConnectMember(idx); });
+}
+
+void InactivePool::ScheduleTrickle(size_t idx) {
+  // Jitter the interval +/-25% so the trickle stream isn't a phase-locked comb.
+  const auto base = static_cast<double>(workload_.trickle_interval);
+  const auto interval = static_cast<SimDuration>(base * rng_.UniformReal(0.75, 1.25));
+  members_[idx].trickle_timer =
+      net_->kernel()->sim().ScheduleAfter(interval, [this, idx] { SendTrickleByte(idx); });
+}
+
+void InactivePool::SendTrickleByte(size_t idx) {
+  if (shutdown_) {
+    return;
+  }
+  Member& member = members_[idx];
+  if (member.socket == nullptr ||
+      member.socket->state() != SimSocket::State::kEstablished) {
+    return;
+  }
+  const char byte = member.next_byte < eternal_request_.size()
+                        ? eternal_request_[member.next_byte]
+                        : 'a';  // pad the header field forever
+  ++member.next_byte;
+  member.socket->Write(Chunk{std::string(1, byte), 0});
+  ++trickle_bytes_;
+  ScheduleTrickle(idx);
+}
+
+}  // namespace scio

@@ -1,0 +1,66 @@
+// Workload definitions and per-connection outcome records.
+//
+// The paper's load (§5) has two components:
+//  - an httperf-style open-loop stream of real requests at a target rate;
+//  - a constant population of "inactive" high-latency connections that never
+//    complete a request, and reopen if the server drops them.
+
+#ifndef SRC_LOAD_WORKLOAD_H_
+#define SRC_LOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace scio {
+
+struct ActiveWorkload {
+  double request_rate = 500.0;           // connections (= requests) per second
+  SimDuration duration = Seconds(10);    // generation window
+  std::string path = "/index.html";
+  SimDuration client_timeout = Millis(500);  // httperf --timeout equivalent
+  // Poisson arrivals model the bursty, unpredictable load the paper says
+  // high-latency Internet clients induce (§5); false = evenly spaced with
+  // +/- arrival_jitter, like an unmodified httperf.
+  bool poisson_arrivals = true;
+  double arrival_jitter = 0.1;           // +/- fraction of the inter-arrival gap
+  uint64_t seed = 1;
+};
+
+struct InactiveWorkload {
+  int connections = 0;
+  // A high-latency client dribbles its request; each trickle byte arrives at
+  // this interval and keeps the connection alive (and the server busy).
+  // Zero disables trickling (connections are then closed by the server's
+  // idle timeout and reopened by the client, as the paper describes).
+  SimDuration trickle_interval = Millis(400);
+  SimDuration reconnect_delay = Millis(100);
+  uint64_t seed = 2;
+};
+
+enum class ConnOutcome {
+  kPending,   // still in flight when the run ended
+  kOk,        // full response received
+  kTimeout,   // client gave up waiting
+  kRefused,   // connection refused (backlog overflow)
+  kReset,     // connection closed before the response completed
+  kBadReply,  // malformed or non-200 response
+  kNoPorts,   // client out of ephemeral ports
+};
+
+struct ConnRecord {
+  SimTime start = 0;
+  SimTime end = 0;
+  ConnOutcome outcome = ConnOutcome::kPending;
+
+  // Connection time (connect -> full response), the FIG 14 metric.
+  SimDuration ConnTime() const { return end - start; }
+  bool IsError() const {
+    return outcome != ConnOutcome::kOk && outcome != ConnOutcome::kPending;
+  }
+};
+
+}  // namespace scio
+
+#endif  // SRC_LOAD_WORKLOAD_H_

@@ -1,0 +1,33 @@
+#include "src/metrics/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scio {
+
+void PercentileTracker::EnsureSorted() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double PercentileTracker::Percentile(double p) {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  EnsureSorted();
+  if (p <= 0.0) {
+    return samples_.front();
+  }
+  if (p >= 100.0) {
+    return samples_.back();
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+}  // namespace scio

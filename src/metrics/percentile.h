@@ -1,0 +1,38 @@
+// Exact percentile computation over a retained sample set.
+//
+// Benchmark runs record every response time (tens of thousands of samples),
+// so exact order statistics are affordable; FIG 14 needs the median.
+
+#ifndef SRC_METRICS_PERCENTILE_H_
+#define SRC_METRICS_PERCENTILE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace scio {
+
+class PercentileTracker {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  // p in [0, 100]; linear interpolation between closest ranks. Returns 0
+  // when empty.
+  double Percentile(double p);
+
+  double Median() { return Percentile(50.0); }
+
+ private:
+  void EnsureSorted();
+
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+}  // namespace scio
+
+#endif  // SRC_METRICS_PERCENTILE_H_

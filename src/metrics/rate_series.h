@@ -1,0 +1,73 @@
+// Reply-rate time series: events bucketed by wall-clock interval.
+//
+// httperf samples reply rates periodically and reports their average,
+// standard deviation, minimum and maximum — which is exactly what the
+// paper's FIGS 4-9 and 11-13 plot (min hitting zero is how the paper shows
+// connection starvation). RateSeries reproduces that reduction.
+
+#ifndef SRC_METRICS_RATE_SERIES_H_
+#define SRC_METRICS_RATE_SERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/metrics/stats.h"
+#include "src/sim/time.h"
+
+namespace scio {
+
+class RateSeries {
+ public:
+  // Events within [0, window) are counted in window/bucket_width buckets.
+  RateSeries(SimDuration bucket_width, SimDuration window)
+      : bucket_width_(bucket_width),
+        buckets_(static_cast<size_t>(window / bucket_width), 0) {}
+
+  // Record one event at time t; events outside the window are ignored.
+  void Add(SimTime t) {
+    if (t < 0) {
+      return;
+    }
+    const auto idx = static_cast<size_t>(t / bucket_width_);
+    if (idx < buckets_.size()) {
+      ++buckets_[idx];
+    }
+  }
+
+  // Per-bucket rates in events/second.
+  std::vector<double> Rates() const {
+    std::vector<double> rates;
+    rates.reserve(buckets_.size());
+    const double seconds = ToSeconds(bucket_width_);
+    for (uint64_t count : buckets_) {
+      rates.push_back(static_cast<double>(count) / seconds);
+    }
+    return rates;
+  }
+
+  // Summary over the per-bucket rates (the httperf-style reduction).
+  StreamingStats Summary() const {
+    StreamingStats stats;
+    for (double rate : Rates()) {
+      stats.Add(rate);
+    }
+    return stats;
+  }
+
+  size_t bucket_count() const { return buckets_.size(); }
+  uint64_t total() const {
+    uint64_t sum = 0;
+    for (uint64_t count : buckets_) {
+      sum += count;
+    }
+    return sum;
+  }
+
+ private:
+  SimDuration bucket_width_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace scio
+
+#endif  // SRC_METRICS_RATE_SERIES_H_

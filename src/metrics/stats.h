@@ -1,0 +1,46 @@
+// Streaming summary statistics (Welford's online algorithm).
+
+#ifndef SRC_METRICS_STATS_H_
+#define SRC_METRICS_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace scio {
+
+class StreamingStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) {
+      min_ = x;
+    }
+    if (x > max_) {
+      max_ = x;
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  // Population variance; 0 for fewer than two samples.
+  double variance() const { return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_); }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace scio
+
+#endif  // SRC_METRICS_STATS_H_

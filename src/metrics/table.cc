@@ -1,0 +1,76 @@
+#include "src/metrics/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace scio {
+
+void Table::AddRow(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    cells.push_back(os.str());
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void Table::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      out << std::setw(static_cast<int>(widths[std::min(i, widths.size() - 1)]) + 2)
+          << cells[i];
+    }
+    out << "\n";
+  };
+  print_row(headers_);
+  std::string rule;
+  for (size_t w : widths) {
+    rule += std::string(w + 2, '-');
+  }
+  out << rule << "\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void Table::WriteCsv(std::ostream& out) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) {
+        out << ",";
+      }
+      out << cells[i];
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+bool Table::WriteCsvFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  WriteCsv(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace scio

@@ -1,0 +1,14 @@
+#include "src/net/link.h"
+
+namespace scio {
+
+void Link::Transmit(size_t bytes, std::function<void()> deliver) {
+  const SimTime start = busy_until_ > sim_->now() ? busy_until_ : sim_->now();
+  const auto tx_time =
+      static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 * 1e9 / bandwidth_bps_);
+  busy_until_ = start + tx_time;
+  bytes_carried_ += bytes;
+  sim_->ScheduleAt(busy_until_ + latency_, std::move(deliver));
+}
+
+}  // namespace scio

@@ -1,0 +1,44 @@
+// A unidirectional network link with finite bandwidth and fixed latency.
+//
+// The paper's testbed is two hosts on a 100 Mbit/s Ethernet switch; each
+// direction is modelled as one Link. Transmissions serialize FIFO: a frame
+// starts when the link finishes the previous one, takes bytes*8/bandwidth to
+// clock out, and arrives one propagation latency later. At the paper's peak
+// (~1000 replies/s of 6 KB documents ≈ 48 Mbit/s) the link runs near half
+// utilization, so queueing here is a minor but real effect.
+
+#ifndef SRC_NET_LINK_H_
+#define SRC_NET_LINK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/simulator.h"
+
+namespace scio {
+
+class Link {
+ public:
+  Link(Simulator* sim, double bandwidth_bps, SimDuration latency)
+      : sim_(sim), bandwidth_bps_(bandwidth_bps), latency_(latency) {}
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  // Queue `bytes` for transmission; `deliver` runs at the arrival time.
+  void Transmit(size_t bytes, std::function<void()> deliver);
+
+  SimTime busy_until() const { return busy_until_; }
+  uint64_t bytes_carried() const { return bytes_carried_; }
+  SimDuration latency() const { return latency_; }
+
+ private:
+  Simulator* sim_;
+  double bandwidth_bps_;
+  SimDuration latency_;
+  SimTime busy_until_ = 0;
+  uint64_t bytes_carried_ = 0;
+};
+
+}  // namespace scio
+
+#endif  // SRC_NET_LINK_H_

@@ -1,0 +1,45 @@
+#include "src/net/listener.h"
+
+#include "src/kernel/sim_kernel.h"
+#include "src/net/net_stack.h"
+
+namespace scio {
+
+void SimListener::OnFdClose() {
+  closed_ = true;
+  backlog_.clear();  // pending clients will time out, as on a real host
+}
+
+void SimListener::HandleSyn(const std::shared_ptr<SimSocket>& client) {
+  // SYN processing happens in interrupt context on the server.
+  ++kernel()->stats().packets_delivered;
+  ++kernel()->stats().interrupts;
+  kernel()->ChargeDebt(kernel()->cost().interrupt_per_packet);
+
+  if (closed_ || backlog_.size() >= static_cast<size_t>(backlog_max_)) {
+    ++kernel()->stats().connections_refused;
+    net_->LinkFor(/*toward_server=*/false)
+        .Transmit(net_->config().control_packet_bytes, [client] { client->HandleRefused(); });
+    return;
+  }
+
+  auto server = std::make_shared<SimSocket>(kernel(), net_, /*server_side=*/true);
+  server->WirePeer(client);
+  client->WirePeer(server);
+  backlog_.push_back(server);
+  NotifyStatus(kPollIn);
+
+  net_->LinkFor(/*toward_server=*/false)
+      .Transmit(net_->config().control_packet_bytes, [client] { client->HandleConnected(); });
+}
+
+std::shared_ptr<SimSocket> SimListener::Accept() {
+  if (backlog_.empty()) {
+    return nullptr;
+  }
+  std::shared_ptr<SimSocket> conn = backlog_.front();
+  backlog_.pop_front();
+  return conn;
+}
+
+}  // namespace scio

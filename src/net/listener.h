@@ -1,0 +1,48 @@
+// SimListener: a listening TCP socket with a bounded accept backlog.
+//
+// A SYN that finds the backlog full is refused — one of the error sources the
+// paper's httperf reports ("the server refuses connections for some reason",
+// §5.1). Each queued-but-unaccepted connection is already established from
+// the client's point of view, so clients may start sending before accept().
+
+#ifndef SRC_NET_LISTENER_H_
+#define SRC_NET_LISTENER_H_
+
+#include <deque>
+#include <memory>
+
+#include "src/kernel/file.h"
+#include "src/net/socket.h"
+
+namespace scio {
+
+class SimListener : public File {
+ public:
+  SimListener(SimKernel* kernel, NetStack* net, int backlog_max = 128)
+      : File(kernel), net_(net), backlog_max_(backlog_max) {}
+
+  // --- File interface --------------------------------------------------------
+  PollEvents PollMask() const override { return backlog_.empty() ? 0 : kPollIn; }
+  bool SupportsPollHints() const override { return true; }
+  void OnFdClose() override;
+
+  // SYN arrival (scheduled by NetStack::Connect through the link).
+  void HandleSyn(const std::shared_ptr<SimSocket>& client);
+
+  // Pop the next established connection; nullptr when the backlog is empty.
+  std::shared_ptr<SimSocket> Accept();
+
+  size_t backlog_depth() const { return backlog_.size(); }
+  int backlog_max() const { return backlog_max_; }
+  bool closed() const { return closed_; }
+
+ private:
+  NetStack* net_;
+  int backlog_max_;
+  bool closed_ = false;
+  std::deque<std::shared_ptr<SimSocket>> backlog_;
+};
+
+}  // namespace scio
+
+#endif  // SRC_NET_LISTENER_H_

@@ -1,0 +1,20 @@
+#include "src/net/net_stack.h"
+
+#include "src/net/listener.h"
+#include "src/net/socket.h"
+
+namespace scio {
+
+std::shared_ptr<SimSocket> NetStack::Connect(const std::shared_ptr<SimListener>& listener) {
+  const int port = ports_.Acquire(kernel_->now());
+  if (port < 0) {
+    return nullptr;
+  }
+  auto client = std::make_shared<SimSocket>(kernel_, this, /*server_side=*/false);
+  client->set_port(port);
+  to_server_.Transmit(config_.control_packet_bytes,
+                      [listener, client] { listener->HandleSyn(client); });
+  return client;
+}
+
+}  // namespace scio

@@ -1,0 +1,66 @@
+// NetStack: the simulated network between the client machine and the server.
+//
+// Mirrors the paper's testbed (§5): one client host and one server host on a
+// 100 Mbit/s switch. Owns the two link directions, the client's ephemeral
+// port space, and connection establishment.
+
+#ifndef SRC_NET_NET_STACK_H_
+#define SRC_NET_NET_STACK_H_
+
+#include <memory>
+
+#include "src/kernel/sim_kernel.h"
+#include "src/net/link.h"
+#include "src/net/port_allocator.h"
+
+namespace scio {
+
+class SimListener;
+class SimSocket;
+
+struct NetConfig {
+  double bandwidth_bps = 100e6;          // 100 Mbit/s Ethernet
+  SimDuration latency = Micros(150);     // one-way propagation + switch
+  size_t sndbuf = 64 * 1024;             // per-socket send buffer
+  size_t control_packet_bytes = 40;      // SYN / SYN-ACK / FIN on the wire
+  SimDuration time_wait = kDefaultTimeWait;
+  int first_client_port = 1024;
+  int client_port_count = 59000;         // ~60000 sockets at once (§5)
+};
+
+class NetStack {
+ public:
+  explicit NetStack(SimKernel* kernel, NetConfig config = NetConfig{})
+      : kernel_(kernel),
+        config_(config),
+        to_server_(&kernel->sim(), config.bandwidth_bps, config.latency),
+        to_client_(&kernel->sim(), config.bandwidth_bps, config.latency),
+        ports_(config.first_client_port, config.client_port_count, config.time_wait) {}
+  NetStack(const NetStack&) = delete;
+  NetStack& operator=(const NetStack&) = delete;
+
+  SimKernel* kernel() { return kernel_; }
+  const NetConfig& config() const { return config_; }
+  PortAllocator& ports() { return ports_; }
+
+  // Direction selector: traffic *from* the client flows toward the server.
+  Link& LinkFor(bool toward_server) { return toward_server ? to_server_ : to_client_; }
+  Link& to_server() { return to_server_; }
+  Link& to_client() { return to_client_; }
+
+  // Client-side connect: allocates an ephemeral port and launches the SYN.
+  // Returns the (client-side) socket, or nullptr when the port space is
+  // exhausted — the client-resource error the paper works around in §5.
+  std::shared_ptr<SimSocket> Connect(const std::shared_ptr<SimListener>& listener);
+
+ private:
+  SimKernel* kernel_;
+  NetConfig config_;
+  Link to_server_;
+  Link to_client_;
+  PortAllocator ports_;
+};
+
+}  // namespace scio
+
+#endif  // SRC_NET_NET_STACK_H_

@@ -1,0 +1,192 @@
+#include "src/net/socket.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/kernel/sim_kernel.h"
+#include "src/net/net_stack.h"
+
+namespace scio {
+
+SimSocket::SimSocket(SimKernel* kernel, NetStack* net, bool server_side)
+    : File(kernel),
+      net_(net),
+      server_side_(server_side),
+      state_(server_side ? State::kEstablished : State::kConnecting),
+      sndbuf_(net->config().sndbuf) {}
+
+SimSocket::~SimSocket() {
+  if (!server_side_ && port_ >= 0 && !port_released_) {
+    net_->ports().ReleaseImmediate(port_);
+  }
+}
+
+PollEvents SimSocket::PollMask() const {
+  PollEvents mask = 0;
+  if (recv_available_ > 0 || eof_received_) {
+    mask |= kPollIn;
+  }
+  if (state_ == State::kEstablished && in_flight_ < sndbuf_) {
+    mask |= kPollOut;
+  }
+  if (state_ == State::kPeerClosed) {
+    mask |= kPollHup;
+  }
+  if (state_ == State::kRefused) {
+    mask |= kPollErr;
+  }
+  return mask;
+}
+
+size_t SimSocket::Write(Chunk chunk) {
+  if (state_ != State::kEstablished && state_ != State::kPeerClosed) {
+    return 0;
+  }
+  const size_t budget = sndbuf_ > in_flight_ ? sndbuf_ - in_flight_ : 0;
+  const size_t accepted = std::min(budget, chunk.size());
+  if (accepted == 0) {
+    return 0;
+  }
+  Chunk out;
+  const size_t from_data = std::min(accepted, chunk.data.size());
+  out.data = chunk.data.substr(0, from_data);
+  out.synthetic = accepted - from_data;
+  in_flight_ += accepted;
+
+  std::weak_ptr<SimSocket> self = weak_from_this();
+  std::weak_ptr<SimSocket> peer = peer_;
+  net_->LinkFor(/*toward_server=*/!server_side_)
+      .Transmit(accepted, [self, peer, out = std::move(out), accepted]() mutable {
+        if (auto s = self.lock()) {
+          s->OnBytesAcked(accepted);
+        }
+        if (auto p = peer.lock()) {
+          p->DeliverChunk(std::move(out));
+        }
+      });
+  return accepted;
+}
+
+void SimSocket::OnBytesAcked(size_t n) {
+  const bool was_blocked = in_flight_ >= sndbuf_;
+  in_flight_ -= std::min(in_flight_, n);
+  if (was_blocked && state_ == State::kEstablished && in_flight_ < sndbuf_) {
+    NotifyStatus(kPollOut);
+  }
+}
+
+void SimSocket::DeliverChunk(Chunk chunk) {
+  if (state_ == State::kClosed || state_ == State::kRefused) {
+    return;  // arrived after close; the real stack would RST
+  }
+  const size_t n = chunk.size();
+  recv_available_ += n;
+  recv_queue_.push_back(std::move(chunk));
+  if (server_side_) {
+    ++kernel()->stats().packets_delivered;
+    ++kernel()->stats().interrupts;
+    kernel()->ChargeDebt(kernel()->cost().interrupt_per_packet);
+  }
+  NotifyStatus(kPollIn);
+  if (on_data) {
+    on_data(n);
+  }
+}
+
+void SimSocket::DeliverEof() {
+  if (state_ == State::kClosed || state_ == State::kRefused) {
+    return;
+  }
+  eof_received_ = true;
+  if (state_ == State::kEstablished || state_ == State::kConnecting) {
+    state_ = State::kPeerClosed;
+  }
+  if (server_side_) {
+    ++kernel()->stats().packets_delivered;
+    ++kernel()->stats().interrupts;
+    kernel()->ChargeDebt(kernel()->cost().interrupt_per_packet);
+  }
+  NotifyStatus(kPollIn | kPollHup);
+  if (on_eof) {
+    on_eof();
+  }
+}
+
+ReadResult SimSocket::Read(size_t max_bytes) {
+  ReadResult result;
+  while (result.n < max_bytes && !recv_queue_.empty()) {
+    Chunk& front = recv_queue_.front();
+    size_t want = max_bytes - result.n;
+    // Real bytes first, then synthetic padding.
+    const size_t from_data = std::min(want, front.data.size());
+    result.data.append(front.data, 0, from_data);
+    front.data.erase(0, from_data);
+    want -= from_data;
+    const size_t from_synth = std::min(want, front.synthetic);
+    front.synthetic -= from_synth;
+    result.n += from_data + from_synth;
+    if (front.size() == 0) {
+      recv_queue_.pop_front();
+    }
+  }
+  recv_available_ -= result.n;
+  if (result.n == 0 && eof_received_) {
+    result.eof = true;
+  }
+  return result;
+}
+
+void SimSocket::HandleConnected() {
+  if (state_ == State::kConnecting) {
+    state_ = State::kEstablished;
+    if (on_connected) {
+      on_connected();
+    }
+  }
+}
+
+void SimSocket::HandleRefused() {
+  if (state_ != State::kConnecting) {
+    return;
+  }
+  state_ = State::kRefused;
+  if (!server_side_ && port_ >= 0 && !port_released_) {
+    // No TCB was established: the port is immediately reusable.
+    net_->ports().ReleaseImmediate(port_);
+    port_released_ = true;
+  }
+  if (on_refused) {
+    on_refused();
+  }
+}
+
+void SimSocket::CloseInternal() {
+  if (state_ == State::kClosed || state_ == State::kRefused) {
+    return;
+  }
+  const State prev = state_;
+  state_ = State::kClosed;
+  recv_queue_.clear();
+  recv_available_ = 0;
+
+  if (prev == State::kEstablished || prev == State::kPeerClosed) {
+    // Send our FIN.
+    std::weak_ptr<SimSocket> peer = peer_;
+    net_->LinkFor(/*toward_server=*/!server_side_)
+        .Transmit(net_->config().control_packet_bytes, [peer] {
+          if (auto p = peer.lock()) {
+            p->DeliverEof();
+          }
+        });
+  }
+  if (!server_side_ && port_ >= 0 && !port_released_) {
+    if (prev == State::kEstablished || prev == State::kPeerClosed) {
+      net_->ports().ReleaseTimeWait(port_, kernel()->now());
+    } else {
+      net_->ports().ReleaseImmediate(port_);
+    }
+    port_released_ = true;
+  }
+}
+
+}  // namespace scio

@@ -1,0 +1,89 @@
+#include "src/posix/epoll_backend.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <array>
+
+namespace scio {
+
+namespace {
+uint32_t ToEpoll(uint32_t interest, bool edge) {
+  uint32_t events = 0;
+  if ((interest & kEvReadable) != 0) {
+    events |= EPOLLIN;
+  }
+  if ((interest & kEvWritable) != 0) {
+    events |= EPOLLOUT;
+  }
+  if (edge) {
+    events |= EPOLLET;
+  }
+  return events;
+}
+
+uint32_t FromEpoll(uint32_t events) {
+  uint32_t out = 0;
+  if ((events & (EPOLLIN | EPOLLPRI)) != 0) {
+    out |= kEvReadable;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    out |= kEvWritable;
+  }
+  if ((events & EPOLLERR) != 0) {
+    out |= kEvError;
+  }
+  if ((events & EPOLLHUP) != 0) {
+    out |= kEvHangup;
+  }
+  return out;
+}
+}  // namespace
+
+EpollBackend::EpollBackend(bool edge_triggered)
+    : epfd_(::epoll_create1(0)), edge_(edge_triggered) {}
+
+EpollBackend::~EpollBackend() {
+  if (epfd_ >= 0) {
+    ::close(epfd_);
+  }
+}
+
+int EpollBackend::Add(int fd, uint32_t interest) {
+  epoll_event ev{};
+  ev.events = ToEpoll(interest, edge_);
+  ev.data.fd = fd;
+  const int rc = ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev);
+  if (rc == 0) {
+    ++watched_;
+  }
+  return rc;
+}
+
+int EpollBackend::Modify(int fd, uint32_t interest) {
+  epoll_event ev{};
+  ev.events = ToEpoll(interest, edge_);
+  ev.data.fd = fd;
+  return ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+int EpollBackend::Remove(int fd) {
+  const int rc = ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  if (rc == 0) {
+    --watched_;
+  }
+  return rc;
+}
+
+int EpollBackend::Wait(std::vector<PosixEvent>& out, int timeout_ms) {
+  std::array<epoll_event, 256> events;
+  const int rc = ::epoll_wait(epfd_, events.data(), static_cast<int>(events.size()),
+                              timeout_ms);
+  for (int i = 0; i < rc; ++i) {
+    out.push_back(PosixEvent{events[static_cast<size_t>(i)].data.fd,
+                             FromEpoll(events[static_cast<size_t>(i)].events)});
+  }
+  return rc;
+}
+
+}  // namespace scio

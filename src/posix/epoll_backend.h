@@ -1,0 +1,36 @@
+// epoll(7) backend: the mechanism the paper's /dev/poll work evolved into —
+// kernel-state interest sets plus a ready list (the hinted-first scan of our
+// ABL-6) made first-class. Supports level- and edge-triggered modes.
+
+#ifndef SRC_POSIX_EPOLL_BACKEND_H_
+#define SRC_POSIX_EPOLL_BACKEND_H_
+
+#include <cstddef>
+
+#include "src/posix/event_backend.h"
+
+namespace scio {
+
+class EpollBackend : public EventBackend {
+ public:
+  explicit EpollBackend(bool edge_triggered);
+  ~EpollBackend() override;
+  EpollBackend(const EpollBackend&) = delete;
+  EpollBackend& operator=(const EpollBackend&) = delete;
+
+  std::string name() const override { return edge_ ? "epoll-et" : "epoll"; }
+  int Add(int fd, uint32_t interest) override;
+  int Modify(int fd, uint32_t interest) override;
+  int Remove(int fd) override;
+  int Wait(std::vector<PosixEvent>& out, int timeout_ms) override;
+  size_t watched_count() const override { return watched_; }
+
+ private:
+  int epfd_;
+  bool edge_;
+  size_t watched_ = 0;
+};
+
+}  // namespace scio
+
+#endif  // SRC_POSIX_EPOLL_BACKEND_H_

@@ -1,0 +1,42 @@
+#include "src/posix/event_backend.h"
+
+#include "src/posix/epoll_backend.h"
+#include "src/posix/poll_backend.h"
+#include "src/posix/rtsig_backend.h"
+#include "src/posix/select_backend.h"
+
+namespace scio {
+
+std::unique_ptr<EventBackend> EventBackend::Create(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kPoll:
+      return std::make_unique<PollBackend>();
+    case BackendKind::kSelect:
+      return std::make_unique<SelectBackend>();
+    case BackendKind::kEpoll:
+      return std::make_unique<EpollBackend>(/*edge_triggered=*/false);
+    case BackendKind::kEpollEdge:
+      return std::make_unique<EpollBackend>(/*edge_triggered=*/true);
+    case BackendKind::kRtSig:
+      return std::make_unique<RtSigBackend>();
+  }
+  return nullptr;
+}
+
+const char* EventBackend::KindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kPoll:
+      return "poll";
+    case BackendKind::kSelect:
+      return "select";
+    case BackendKind::kEpoll:
+      return "epoll";
+    case BackendKind::kEpollEdge:
+      return "epoll-et";
+    case BackendKind::kRtSig:
+      return "rtsig";
+  }
+  return "unknown";
+}
+
+}  // namespace scio

@@ -1,0 +1,66 @@
+// Real-OS event-notification backends behind one interface.
+//
+// The simulation reproduces the paper's *numbers*; this module keeps one
+// foot in reality: the same API shapes (interest registration + wait) over
+// the live kernel's poll(2), select(2), epoll(7), and the POSIX RT signal
+// mechanism the paper studies (fcntl F_SETSIG + sigtimedwait). MICRO-1
+// benchmarks their dispatch cost against watched-set size — the modern
+// descendant of the paper's core measurement.
+
+#ifndef SRC_POSIX_EVENT_BACKEND_H_
+#define SRC_POSIX_EVENT_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace scio {
+
+// Interest / readiness bits (backend-neutral).
+inline constexpr uint32_t kEvReadable = 0x1;
+inline constexpr uint32_t kEvWritable = 0x2;
+inline constexpr uint32_t kEvError = 0x4;
+inline constexpr uint32_t kEvHangup = 0x8;
+
+struct PosixEvent {
+  int fd = -1;
+  uint32_t events = 0;
+};
+
+enum class BackendKind {
+  kPoll,
+  kSelect,
+  kEpoll,
+  kEpollEdge,
+  kRtSig,
+};
+
+class EventBackend {
+ public:
+  virtual ~EventBackend() = default;
+
+  virtual std::string name() const = 0;
+
+  // Register interest in fd. Returns 0, or -1 with errno set.
+  virtual int Add(int fd, uint32_t interest) = 0;
+
+  // Replace the interest set for an already-registered fd.
+  virtual int Modify(int fd, uint32_t interest) = 0;
+
+  // Deregister. Safe to call for unknown fds (returns -1).
+  virtual int Remove(int fd) = 0;
+
+  // Wait up to timeout_ms (0 = non-blocking, <0 = forever) and append ready
+  // events. Returns the number of events, 0 on timeout, -1 on error.
+  virtual int Wait(std::vector<PosixEvent>& out, int timeout_ms) = 0;
+
+  virtual size_t watched_count() const = 0;
+
+  static std::unique_ptr<EventBackend> Create(BackendKind kind);
+  static const char* KindName(BackendKind kind);
+};
+
+}  // namespace scio
+
+#endif  // SRC_POSIX_EVENT_BACKEND_H_

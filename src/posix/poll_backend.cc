@@ -1,0 +1,88 @@
+#include "src/posix/poll_backend.h"
+
+#include <cerrno>
+
+namespace scio {
+
+namespace {
+short ToPollEvents(uint32_t interest) {
+  short events = 0;
+  if ((interest & kEvReadable) != 0) {
+    events |= POLLIN;
+  }
+  if ((interest & kEvWritable) != 0) {
+    events |= POLLOUT;
+  }
+  return events;
+}
+
+uint32_t FromPollEvents(short revents) {
+  uint32_t events = 0;
+  if ((revents & (POLLIN | POLLPRI)) != 0) {
+    events |= kEvReadable;
+  }
+  if ((revents & POLLOUT) != 0) {
+    events |= kEvWritable;
+  }
+  if ((revents & (POLLERR | POLLNVAL)) != 0) {
+    events |= kEvError;
+  }
+  if ((revents & POLLHUP) != 0) {
+    events |= kEvHangup;
+  }
+  return events;
+}
+}  // namespace
+
+int PollBackend::Add(int fd, uint32_t interest) {
+  if (index_.count(fd) != 0) {
+    errno = EEXIST;
+    return -1;
+  }
+  index_[fd] = fds_.size();
+  fds_.push_back(pollfd{fd, ToPollEvents(interest), 0});
+  return 0;
+}
+
+int PollBackend::Modify(int fd, uint32_t interest) {
+  auto it = index_.find(fd);
+  if (it == index_.end()) {
+    errno = ENOENT;
+    return -1;
+  }
+  fds_[it->second].events = ToPollEvents(interest);
+  return 0;
+}
+
+int PollBackend::Remove(int fd) {
+  auto it = index_.find(fd);
+  if (it == index_.end()) {
+    errno = ENOENT;
+    return -1;
+  }
+  const size_t slot = it->second;
+  index_.erase(it);
+  if (slot != fds_.size() - 1) {
+    fds_[slot] = fds_.back();
+    index_[fds_[slot].fd] = slot;
+  }
+  fds_.pop_back();
+  return 0;
+}
+
+int PollBackend::Wait(std::vector<PosixEvent>& out, int timeout_ms) {
+  const int rc = ::poll(fds_.data(), fds_.size(), timeout_ms);
+  if (rc <= 0) {
+    return rc;
+  }
+  int produced = 0;
+  for (const pollfd& pfd : fds_) {
+    if (pfd.revents != 0) {
+      out.push_back(PosixEvent{pfd.fd, FromPollEvents(pfd.revents)});
+      ++produced;
+    }
+  }
+  return produced;
+}
+
+}  // namespace scio

@@ -1,0 +1,33 @@
+// poll(2) backend: the stock interface the paper starts from. The pollfd
+// array is maintained incrementally (not rebuilt per call), so Wait() cost
+// is pure kernel-side scan — the quantity the paper attacks.
+
+#ifndef SRC_POSIX_POLL_BACKEND_H_
+#define SRC_POSIX_POLL_BACKEND_H_
+
+#include <poll.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/posix/event_backend.h"
+
+namespace scio {
+
+class PollBackend : public EventBackend {
+ public:
+  std::string name() const override { return "poll"; }
+  int Add(int fd, uint32_t interest) override;
+  int Modify(int fd, uint32_t interest) override;
+  int Remove(int fd) override;
+  int Wait(std::vector<PosixEvent>& out, int timeout_ms) override;
+  size_t watched_count() const override { return fds_.size(); }
+
+ private:
+  std::vector<pollfd> fds_;
+  std::unordered_map<int, size_t> index_;  // fd -> slot in fds_
+};
+
+}  // namespace scio
+
+#endif  // SRC_POSIX_POLL_BACKEND_H_

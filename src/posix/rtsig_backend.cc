@@ -1,0 +1,149 @@
+#include "src/posix/rtsig_backend.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <ctime>
+#include <vector>
+
+namespace scio {
+
+namespace {
+uint32_t FromBand(long band) {
+  uint32_t events = 0;
+  if ((band & (POLLIN | POLLPRI)) != 0) {
+    events |= kEvReadable;
+  }
+  if ((band & POLLOUT) != 0) {
+    events |= kEvWritable;
+  }
+  if ((band & POLLERR) != 0) {
+    events |= kEvError;
+  }
+  if ((band & POLLHUP) != 0) {
+    events |= kEvHangup;
+  }
+  return events;
+}
+}  // namespace
+
+RtSigBackend::RtSigBackend() : signo_(SIGRTMIN + 1) {
+  sigemptyset(&waitset_);
+  sigaddset(&waitset_, signo_);
+  sigaddset(&waitset_, SIGIO);
+  // Keep the signals blocked: we collect them synchronously (paper §2).
+  pthread_sigmask(SIG_BLOCK, &waitset_, &oldmask_);
+}
+
+RtSigBackend::~RtSigBackend() { pthread_sigmask(SIG_SETMASK, &oldmask_, nullptr); }
+
+int RtSigBackend::Add(int fd, uint32_t interest) {
+  if (interests_.count(fd) != 0) {
+    errno = EEXIST;
+    return -1;
+  }
+  if (::fcntl(fd, F_SETOWN, getpid()) < 0) {
+    return -1;
+  }
+  if (::fcntl(fd, F_SETSIG, signo_) < 0) {
+    return -1;
+  }
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_ASYNC | O_NONBLOCK) < 0) {
+    return -1;
+  }
+  interests_[fd] = interest;
+  return 0;
+}
+
+int RtSigBackend::Modify(int fd, uint32_t interest) {
+  auto it = interests_.find(fd);
+  if (it == interests_.end()) {
+    errno = ENOENT;
+    return -1;
+  }
+  it->second = interest;  // filtering happens at delivery time
+  return 0;
+}
+
+int RtSigBackend::Remove(int fd) {
+  auto it = interests_.find(fd);
+  if (it == interests_.end()) {
+    errno = ENOENT;
+    return -1;
+  }
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags & ~O_ASYNC);
+  }
+  interests_.erase(it);
+  return 0;
+}
+
+int RtSigBackend::RecoverWithPoll(std::vector<PosixEvent>& out) {
+  ++overflow_recoveries_;
+  // Flush whatever is still queued; poll() below supersedes it.
+  timespec zero{};
+  siginfo_t si;
+  while (sigtimedwait(&waitset_, &si, &zero) > 0) {
+  }
+  std::vector<pollfd> fds;
+  fds.reserve(interests_.size());
+  for (const auto& [fd, interest] : interests_) {
+    short events = 0;
+    if ((interest & kEvReadable) != 0) {
+      events |= POLLIN;
+    }
+    if ((interest & kEvWritable) != 0) {
+      events |= POLLOUT;
+    }
+    fds.push_back(pollfd{fd, events, 0});
+  }
+  const int rc = ::poll(fds.data(), fds.size(), 0);
+  if (rc <= 0) {
+    return rc;
+  }
+  int produced = 0;
+  for (const pollfd& pfd : fds) {
+    if (pfd.revents != 0) {
+      out.push_back(PosixEvent{pfd.fd, FromBand(pfd.revents)});
+      ++produced;
+    }
+  }
+  return produced;
+}
+
+int RtSigBackend::Wait(std::vector<PosixEvent>& out, int timeout_ms) {
+  timespec ts;
+  timespec* tsp = nullptr;
+  if (timeout_ms >= 0) {
+    ts.tv_sec = timeout_ms / 1000;
+    ts.tv_nsec = static_cast<long>(timeout_ms % 1000) * 1000000;
+    tsp = &ts;
+  }
+  siginfo_t si;
+  const int sig = tsp != nullptr ? sigtimedwait(&waitset_, &si, tsp)
+                                 : sigwaitinfo(&waitset_, &si);
+  if (sig < 0) {
+    return errno == EAGAIN ? 0 : -1;
+  }
+  if (sig == SIGIO) {
+    // RT queue overflow (§2): flush and fall back to poll().
+    return RecoverWithPoll(out);
+  }
+  auto it = interests_.find(si.si_fd);
+  if (it == interests_.end()) {
+    return 0;  // stale event for a closed/removed descriptor (§2)
+  }
+  const uint32_t events = FromBand(si.si_band);
+  const uint32_t wanted = it->second | kEvError | kEvHangup;
+  if ((events & wanted) == 0) {
+    return 0;
+  }
+  out.push_back(PosixEvent{si.si_fd, events & wanted});
+  return 1;
+}
+
+}  // namespace scio

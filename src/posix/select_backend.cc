@@ -1,0 +1,88 @@
+#include "src/posix/select_backend.h"
+
+#include <cerrno>
+
+namespace scio {
+
+int SelectBackend::Add(int fd, uint32_t interest) {
+  if (fd < 0 || fd >= FD_SETSIZE) {
+    errno = EINVAL;
+    return -1;
+  }
+  if (interests_.count(fd) != 0) {
+    errno = EEXIST;
+    return -1;
+  }
+  interests_[fd] = interest;
+  return 0;
+}
+
+int SelectBackend::Modify(int fd, uint32_t interest) {
+  auto it = interests_.find(fd);
+  if (it == interests_.end()) {
+    errno = ENOENT;
+    return -1;
+  }
+  it->second = interest;
+  return 0;
+}
+
+int SelectBackend::Remove(int fd) {
+  if (interests_.erase(fd) == 0) {
+    errno = ENOENT;
+    return -1;
+  }
+  return 0;
+}
+
+int SelectBackend::Wait(std::vector<PosixEvent>& out, int timeout_ms) {
+  fd_set readset;
+  fd_set writeset;
+  fd_set errset;
+  FD_ZERO(&readset);
+  FD_ZERO(&writeset);
+  FD_ZERO(&errset);
+  int maxfd = -1;
+  for (const auto& [fd, interest] : interests_) {
+    if ((interest & kEvReadable) != 0) {
+      FD_SET(fd, &readset);
+    }
+    if ((interest & kEvWritable) != 0) {
+      FD_SET(fd, &writeset);
+    }
+    FD_SET(fd, &errset);
+    maxfd = fd;
+  }
+  timeval tv;
+  timeval* tvp = nullptr;
+  if (timeout_ms >= 0) {
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    tvp = &tv;
+  }
+  const int rc = ::select(maxfd + 1, &readset, &writeset, &errset, tvp);
+  if (rc <= 0) {
+    return rc;
+  }
+  int produced = 0;
+  for (const auto& [fd, interest] : interests_) {
+    (void)interest;
+    uint32_t events = 0;
+    if (FD_ISSET(fd, &readset)) {
+      events |= kEvReadable;
+    }
+    if (FD_ISSET(fd, &writeset)) {
+      events |= kEvWritable;
+    }
+    if (FD_ISSET(fd, &errset)) {
+      events |= kEvError;
+    }
+    if (events != 0) {
+      out.push_back(PosixEvent{fd, events});
+      ++produced;
+    }
+  }
+  return produced;
+}
+
+}  // namespace scio

@@ -1,0 +1,30 @@
+// select(2) backend: the even older interface, for completeness of the
+// MICRO-1 scaling comparison. Limited to FD_SETSIZE descriptors.
+
+#ifndef SRC_POSIX_SELECT_BACKEND_H_
+#define SRC_POSIX_SELECT_BACKEND_H_
+
+#include <sys/select.h>
+
+#include <map>
+
+#include "src/posix/event_backend.h"
+
+namespace scio {
+
+class SelectBackend : public EventBackend {
+ public:
+  std::string name() const override { return "select"; }
+  int Add(int fd, uint32_t interest) override;
+  int Modify(int fd, uint32_t interest) override;
+  int Remove(int fd) override;
+  int Wait(std::vector<PosixEvent>& out, int timeout_ms) override;
+  size_t watched_count() const override { return interests_.size(); }
+
+ private:
+  std::map<int, uint32_t> interests_;  // ordered: max fd is rbegin()
+};
+
+}  // namespace scio
+
+#endif  // SRC_POSIX_SELECT_BACKEND_H_

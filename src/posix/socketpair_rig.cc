@@ -1,0 +1,54 @@
+#include "src/posix/socketpair_rig.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace scio {
+
+SocketpairRig::SocketpairRig(size_t count) {
+  watch_fds_.reserve(count);
+  poke_fds_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      ok_ = false;
+      break;
+    }
+    const int flags = ::fcntl(sv[0], F_GETFL);
+    ::fcntl(sv[0], F_SETFL, flags | O_NONBLOCK);
+    watch_fds_.push_back(sv[0]);
+    poke_fds_.push_back(sv[1]);
+  }
+}
+
+SocketpairRig::~SocketpairRig() {
+  for (int fd : watch_fds_) {
+    ::close(fd);
+  }
+  for (int fd : poke_fds_) {
+    ::close(fd);
+  }
+}
+
+void SocketpairRig::Poke(size_t i) {
+  const char byte = 'x';
+  [[maybe_unused]] ssize_t n = ::write(poke_fds_[i], &byte, 1);
+}
+
+void SocketpairRig::Drain(size_t i) {
+  char buf[256];
+  while (::read(watch_fds_[i], buf, sizeof buf) > 0) {
+  }
+}
+
+int SocketpairRig::RegisterAll(EventBackend& backend) const {
+  for (int fd : watch_fds_) {
+    if (backend.Add(fd, kEvReadable) != 0) {
+      return -1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace scio

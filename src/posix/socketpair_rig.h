@@ -1,0 +1,44 @@
+// A rig of UNIX socketpairs for exercising the real-OS backends: N watched
+// read ends, with writers we control — the loopback stand-in for the
+// paper's "many inactive connections, few active" workload.
+
+#ifndef SRC_POSIX_SOCKETPAIR_RIG_H_
+#define SRC_POSIX_SOCKETPAIR_RIG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/posix/event_backend.h"
+
+namespace scio {
+
+class SocketpairRig {
+ public:
+  // Creates `count` socketpairs; watch_end fds are non-blocking.
+  explicit SocketpairRig(size_t count);
+  ~SocketpairRig();
+  SocketpairRig(const SocketpairRig&) = delete;
+  SocketpairRig& operator=(const SocketpairRig&) = delete;
+
+  bool ok() const { return ok_; }
+  size_t size() const { return watch_fds_.size(); }
+  int watch_fd(size_t i) const { return watch_fds_[i]; }
+
+  // Make pair i readable by writing one byte into its far end.
+  void Poke(size_t i);
+
+  // Drain pair i's read end.
+  void Drain(size_t i);
+
+  // Register every watch fd with the backend (readable interest).
+  int RegisterAll(EventBackend& backend) const;
+
+ private:
+  bool ok_ = true;
+  std::vector<int> watch_fds_;
+  std::vector<int> poke_fds_;
+};
+
+}  // namespace scio
+
+#endif  // SRC_POSIX_SOCKETPAIR_RIG_H_

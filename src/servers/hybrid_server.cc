@@ -1,0 +1,88 @@
+#include "src/servers/hybrid_server.h"
+
+#include <algorithm>
+
+namespace scio {
+
+HybridServer::HybridServer(Sys* sys, const StaticContent* content, ServerConfig config,
+                           ThttpdDevPollConfig dp_config, HybridServerConfig hybrid_config)
+    : ThttpdDevPoll(sys, content, config, dp_config), hybrid_config_(hybrid_config) {
+  name_ = "hybrid";
+  signal_batch_.resize(static_cast<size_t>(hybrid_config_.signal_batch));
+}
+
+void HybridServer::SetupHybrid() {
+  policy_.emplace(hybrid_config_.policy, sys().proc().rt_queue_max());
+  sys().ArmAsync(listener_fd_, hybrid_config_.rt_signo);
+}
+
+void HybridServer::OnConnOpened(int fd) {
+  ThttpdDevPoll::OnConnOpened(fd);  // maintain the interest set concurrently
+  sys().ArmAsync(fd, hybrid_config_.rt_signo);
+  // Same post-arm probe as phhttpd: data that raced ahead of the fcntl()
+  // raised no signal (in polling mode the level-triggered scan would catch
+  // it, but signal mode would starve the connection).
+  HandleReadable(fd);
+}
+
+void HybridServer::UpdatePolicy(bool overflowed) {
+  const EventMode before = policy_->mode();
+  policy_->Update(sys().proc().rt_queue_length(), overflowed, kernel().now());
+  if (policy_->mode() != before) {
+    ++stats_.mode_switches;
+  }
+}
+
+void HybridServer::RunSignalIteration(SimTime until) {
+  const SimTime wake_at = std::min(until, next_sweep_);
+  const auto timeout_ms =
+      static_cast<int>((wake_at - kernel().now() + Millis(1) - 1) / Millis(1));
+  const int n = sys().SigTimedWait4(signal_batch_, timeout_ms < 0 ? 0 : timeout_ms);
+  bool overflowed = false;
+  for (int i = 0; i < n; ++i) {
+    const SigInfo& si = signal_batch_[static_cast<size_t>(i)];
+    if (si.signo == kSigIo) {
+      // Overflow: events were lost. The interest set is already in the
+      // kernel, so recovery is just "let DP_POLL tell us the truth".
+      ++stats_.overflow_recoveries;
+      overflowed = true;
+      continue;
+    }
+    if (si.fd == listener_fd_) {
+      DrainAccepts();
+      continue;
+    }
+    DispatchEvent(si.fd, si.band == 0 ? kPollIn : si.band);
+  }
+  if (overflowed) {
+    sys().FlushRtSignals();
+    UpdatePolicy(/*overflowed=*/true);
+    PollAndDispatch(until);  // pick up everything the flush discarded
+    return;
+  }
+  UpdatePolicy(/*overflowed=*/false);
+}
+
+void HybridServer::Run(SimTime until) {
+  while (kernel().now() < until && !kernel().stopped()) {
+    ++stats_.loop_iterations;
+    MaybeSweep();
+    FlushUpdates();  // interest set stays current in both modes
+
+    if (policy_->mode() == EventMode::kSignals) {
+      RunSignalIteration(until);
+      continue;
+    }
+    // Polling mode: signals still accrue (connections stay armed) — discard
+    // them cheaply and let the level-triggered scan find the work. Their
+    // queue length still drives the switch-back decision.
+    kernel().Charge(kernel().cost().server_loop_overhead);
+    UpdatePolicy(/*overflowed=*/sys().proc().sigio_pending());
+    if (sys().proc().rt_queue_length() > 0 || sys().proc().sigio_pending()) {
+      sys().FlushRtSignals();
+    }
+    PollAndDispatch(until);
+  }
+}
+
+}  // namespace scio

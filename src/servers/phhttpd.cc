@@ -1,0 +1,131 @@
+#include "src/servers/phhttpd.h"
+
+#include <algorithm>
+
+namespace scio {
+
+Phhttpd::Phhttpd(Sys* sys, const StaticContent* content, ServerConfig config,
+                 PhhttpdConfig ph_config)
+    : HttpServerBase(sys, content, config), ph_config_(ph_config) {
+  name_ = "phhttpd";
+}
+
+void Phhttpd::SetupSignals() { sys().ArmAsync(listener_fd_, ph_config_.rt_signo); }
+
+void Phhttpd::OnConnOpened(int fd) {
+  // fcntl(F_SETFL, O_NONBLOCK) — charged as one extra fcntl — plus
+  // F_SETOWN/F_SETSIG inside ArmAsync.
+  ++kernel().stats().syscalls;
+  ++kernel().stats().fcntls;
+  kernel().Charge(kernel().cost().syscall_entry + kernel().cost().fcntl_extra);
+  sys().ArmAsync(fd, ph_config_.rt_signo);
+  // Classic edge-notification race: bytes that arrived between the SYN and
+  // the fcntl() raised no signal (nothing was armed yet), so a signal-driven
+  // server must probe the socket once right after arming or those
+  // connections starve.
+  HandleReadable(fd);
+}
+
+bool Phhttpd::HandleSignal(const SigInfo& si) {
+  if (si.signo == kSigIo) {
+    return true;  // queue overflow; Run() drives the recovery
+  }
+  if (si.fd == listener_fd_) {
+    DrainAccepts();
+    return false;
+  }
+  // The siginfo carries the same information as a pollfd (band == revents),
+  // but it is only a hint about a past state (§6) — the connection may have
+  // moved on or closed. DispatchEvent tolerates both.
+  DispatchEvent(si.fd, si.band == 0 ? kPollIn : si.band);
+  return false;
+}
+
+void Phhttpd::EnterPollFallback() {
+  poll_fallback_ = true;
+  ++stats_.mode_switches;
+  // Flush pending RT signals by resetting handlers to SIG_DFL (§2); a full
+  // poll() pass afterwards discovers any activity the flush discarded.
+  sys().FlushRtSignals();
+  // §6: "the thread managing the RT signal queue passes all of its current
+  // connections, including its listener socket, to its poll sibling, via a
+  // special UNIX domain socket ... one at a time."
+  kernel().Charge(kernel().cost().rt_overflow_handoff_per_conn *
+                  static_cast<SimDuration>(conns_.size() + 1));
+  // phhttpd's recovery "completely rebuilds its poll interest set ...
+  // negating any benefit of maintaining interest set state" (§6); from here
+  // on every loop iteration pays the rebuild. The sockets stay armed for RT
+  // signals (nothing disarms them), so the queue keeps refilling and must be
+  // re-flushed every iteration — see Run().
+}
+
+void Phhttpd::RunPollIteration(SimTime until, int timeout_override_ms) {
+  pollfds_.clear();
+  pollfds_.push_back(PollFd{listener_fd_, kPollIn, 0});
+  for (const auto& [fd, conn] : conns_) {
+    pollfds_.push_back(PollFd{fd, conn.phase == Phase::kWriting ? kPollOut : kPollIn, 0});
+  }
+  kernel().Charge(kernel().cost().poll_userspace_rebuild_per_fd *
+                  static_cast<SimDuration>(pollfds_.size()));
+  int timeout_ms = timeout_override_ms;
+  if (timeout_ms < 0) {
+    const SimTime wake_at = std::min(until, next_sweep_);
+    timeout_ms = static_cast<int>((wake_at - kernel().now() + Millis(1) - 1) / Millis(1));
+    if (timeout_ms < 0) {
+      timeout_ms = 0;
+    }
+  }
+  const int ready = sys().Poll(pollfds_, timeout_ms);
+  if (ready <= 0) {
+    return;
+  }
+  for (const PollFd& pfd : pollfds_) {
+    if (pfd.revents != 0) {
+      DispatchEvent(pfd.fd, pfd.revents);
+    }
+  }
+}
+
+void Phhttpd::Run(SimTime until) {
+  while (kernel().now() < until && !kernel().stopped()) {
+    ++stats_.loop_iterations;
+    MaybeSweep();
+
+    if (poll_fallback_) {
+      kernel().Charge(kernel().cost().server_loop_overhead);
+      // Every socket is still armed, so queued (and overflowing) signals
+      // keep accumulating; drain them or SIGIO fires forever.
+      if (sys().proc().HasPendingSignals()) {
+        sys().FlushRtSignals();
+      }
+      RunPollIteration(until);
+      continue;
+    }
+
+    const SimTime wake_at = std::min(until, next_sweep_);
+    const auto timeout_ms =
+        static_cast<int>((wake_at - kernel().now() + Millis(1) - 1) / Millis(1));
+    std::optional<SigInfo> si = sys().SigWaitInfo(timeout_ms < 0 ? 0 : timeout_ms);
+    if (!si.has_value()) {
+      continue;
+    }
+    if (!HandleSignal(*si)) {
+      continue;
+    }
+
+    // SIGIO: the RT queue overflowed and events were lost (§2).
+    ++stats_.overflow_recoveries;
+    if (ph_config_.recovery == OverflowRecovery::kHandoffToPollSibling) {
+      EnterPollFallback();
+      continue;
+    }
+    // Single-threaded recovery: reset handlers to SIG_DFL (flushing the
+    // queue), then one full poll() pass to discover everything the flush
+    // discarded, then back to sigwaitinfo(). Under sustained overload this
+    // whole cycle repeats.
+    sys().FlushRtSignals();
+    RunPollIteration(until, /*timeout_override_ms=*/0);
+  }
+}
+
+}  // namespace scio

@@ -1,0 +1,74 @@
+// phhttpd: Zach Brown's experimental RT-signal web server (paper §2, §5.2).
+//
+// Single-threaded configuration, as benchmarked in the paper:
+//  - every socket is armed with fcntl(F_SETOWN) + fcntl(F_SETSIG) (plus an
+//    O_NONBLOCK fcntl), all signals masked;
+//  - the core loop collects one siginfo per sigwaitinfo() call and reacts to
+//    it — the per-event syscall overhead the paper blames for FIG 11;
+//  - stale signals for closed descriptors are tolerated (§2: "a server
+//    application may receive and try to process previously queued read or
+//    write events before it picks up the close event");
+//  - on SIGIO (RT queue overflow) it flushes the queue and falls back to
+//    poll(), rebuilding its pollfd array from scratch (§6) — and, like the
+//    real phhttpd, *never switches back* to signal mode ("Brown never
+//    implemented this logic").
+
+#ifndef SRC_SERVERS_PHHTTPD_H_
+#define SRC_SERVERS_PHHTTPD_H_
+
+#include <vector>
+
+#include "src/servers/server_base.h"
+
+namespace scio {
+
+// How the server recovers from an RT signal queue overflow (SIGIO).
+enum class OverflowRecovery {
+  // Single-threaded configuration: flush the queue, run one poll() pass over
+  // everything to find the events the flush discarded, resume signal mode.
+  // Under sustained overload this cycles: the queue refills, overflows
+  // again, and every cycle pays a full flush + from-scratch poll — the
+  // behaviour behind FIG 14's latency jump.
+  kFlushPollResume,
+  // Threaded phhttpd (§6): hand every connection one at a time to the poll
+  // sibling and stay in polling mode forever ("Brown never implemented" the
+  // switch back).
+  kHandoffToPollSibling,
+};
+
+struct PhhttpdConfig {
+  int rt_signo = kSigRtMin + 1;  // avoid signal 32, which LinuxThreads owns (§6)
+  OverflowRecovery recovery = OverflowRecovery::kFlushPollResume;
+};
+
+class Phhttpd : public HttpServerBase {
+ public:
+  Phhttpd(Sys* sys, const StaticContent* content, ServerConfig config = ServerConfig{},
+          PhhttpdConfig ph_config = PhhttpdConfig{});
+
+  // Arms the listener for RT-signal delivery.
+  void SetupSignals();
+
+  void Run(SimTime until) override;
+
+  bool in_poll_fallback() const { return poll_fallback_; }
+
+ protected:
+  void OnConnOpened(int fd) override;
+
+ private:
+  // Returns true if the signal was SIGIO (queue overflow).
+  bool HandleSignal(const SigInfo& si);
+  void EnterPollFallback();
+  // One rebuild + poll() + dispatch pass. timeout_override_ms >= 0 forces a
+  // non-blocking/short poll (recovery pass); -1 sleeps until work or sweep.
+  void RunPollIteration(SimTime until, int timeout_override_ms = -1);
+
+  PhhttpdConfig ph_config_;
+  bool poll_fallback_ = false;
+  std::vector<PollFd> pollfds_;
+};
+
+}  // namespace scio
+
+#endif  // SRC_SERVERS_PHHTTPD_H_

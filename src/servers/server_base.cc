@@ -1,0 +1,198 @@
+#include "src/servers/server_base.h"
+
+#include <cassert>
+#include <vector>
+
+#include "src/http/http_message.h"
+
+namespace scio {
+
+HttpServerBase::HttpServerBase(Sys* sys, const StaticContent* content, ServerConfig config)
+    : sys_(sys), content_(content), config_(config) {}
+
+int HttpServerBase::Setup() {
+  listener_fd_ = sys_->Listen(config_.listen_backlog);
+  assert(listener_fd_ >= 0);
+  next_sweep_ = kernel().now() + config_.timer_sweep_interval;
+  return listener_fd_;
+}
+
+int HttpServerBase::DrainAccepts() {
+  int accepted = 0;
+  while (true) {
+    const int fd = sys_->Accept(listener_fd_);
+    if (fd == -1) {
+      break;  // backlog empty
+    }
+    if (fd < 0) {
+      if (fd == -3) {
+        ++stats_.accept_emfile;
+      }
+      break;
+    }
+    kernel().Charge(kernel().cost().server_conn_setup);
+    Conn& conn = conns_[fd];
+    conn.last_activity = kernel().now();
+    ++stats_.connections_accepted;
+    ++accepted;
+    OnConnOpened(fd);
+  }
+  return accepted;
+}
+
+void HttpServerBase::StartResponse(int fd, Conn& conn) {
+  kernel().Charge(kernel().cost().http_build_response);
+  std::optional<size_t> size = content_->Lookup(conn.parser.path());
+  if (size.has_value()) {
+    conn.pending_write = BuildHttpOkResponse(*size);
+    ++stats_.responses_sent;
+  } else {
+    conn.pending_write = BuildHttpNotFoundResponse();
+    ++stats_.not_found_sent;
+  }
+  conn.phase = Phase::kWriting;
+  // Attempt the write immediately; fall back to POLLOUT if it is short.
+  HandleWritable(fd);
+}
+
+bool HttpServerBase::HandleReadable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) {
+    ++stats_.stale_events;
+    return false;
+  }
+  Conn& conn = it->second;
+  conn.last_activity = kernel().now();
+
+  const ReadResult r = sys_->Read(fd, config_.read_chunk);
+  if (r.eof) {
+    ++stats_.peer_closes;
+    CloseConn(fd);
+    return false;
+  }
+  if (r.n == 0) {
+    return true;  // spurious wakeup / EAGAIN
+  }
+  if (conn.phase != Phase::kReading) {
+    return true;  // pipelined bytes after the request; ignore
+  }
+  kernel().Charge(kernel().cost().http_parse_base +
+                  kernel().cost().http_parse_per_byte * static_cast<SimDuration>(r.n));
+  const RequestParser::State state = conn.parser.Feed(r.data);
+  switch (state) {
+    case RequestParser::State::kIncomplete:
+      return true;
+    case RequestParser::State::kError:
+      ++stats_.bad_requests;
+      CloseConn(fd);
+      return false;
+    case RequestParser::State::kComplete:
+      StartResponse(fd, conn);
+      return HasConn(fd);
+  }
+  return true;
+}
+
+bool HttpServerBase::HandleWritable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) {
+    ++stats_.stale_events;
+    return false;
+  }
+  Conn& conn = it->second;
+  if (conn.phase != Phase::kWriting) {
+    return true;
+  }
+  conn.last_activity = kernel().now();
+
+  const long sent = sys_->Write(fd, conn.pending_write);
+  if (sent < 0) {
+    CloseConn(fd);
+    return false;
+  }
+  // Trim what was accepted: real bytes first, then synthetic.
+  size_t n = static_cast<size_t>(sent);
+  const size_t from_data = n < conn.pending_write.data.size() ? n : conn.pending_write.data.size();
+  conn.pending_write.data.erase(0, from_data);
+  conn.pending_write.synthetic -= n - from_data;
+
+  if (conn.pending_write.size() == 0) {
+    // HTTP/1.0: response done, server closes.
+    CloseConn(fd);
+    return false;
+  }
+  OnConnPhaseChanged(fd, Phase::kWriting);
+  return true;
+}
+
+void HttpServerBase::DispatchEvent(int fd, PollEvents revents) {
+  if (fd == listener_fd_) {
+    if ((revents & kPollIn) != 0) {
+      DrainAccepts();
+    }
+    return;
+  }
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) {
+    ++stats_.stale_events;
+    return;
+  }
+  if ((revents & (kPollErr | kPollNval)) != 0) {
+    CloseConn(fd);
+    return;
+  }
+  if ((revents & (kPollIn | kPollHup)) != 0) {
+    if (it->second.phase == Phase::kWriting) {
+      // Data or FIN while we are writing: drain reads first (could be the
+      // peer aborting), then continue the write.
+      if (!HandleReadable(fd)) {
+        return;
+      }
+      HandleWritable(fd);
+      return;
+    }
+    HandleReadable(fd);
+    return;
+  }
+  if ((revents & kPollOut) != 0) {
+    HandleWritable(fd);
+  }
+}
+
+void HttpServerBase::CloseConn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) {
+    return;
+  }
+  OnConnClosing(fd);
+  kernel().Charge(kernel().cost().server_conn_teardown);
+  conns_.erase(it);
+  sys_->Close(fd);
+}
+
+int HttpServerBase::SweepTimeouts() {
+  const SimTime now = kernel().now();
+  kernel().Charge(kernel().cost().server_timer_sweep_per_conn *
+                  static_cast<SimDuration>(conns_.size()));
+  std::vector<int> expired;
+  for (const auto& [fd, conn] : conns_) {
+    if (now - conn.last_activity > config_.idle_timeout) {
+      expired.push_back(fd);
+    }
+  }
+  for (int fd : expired) {
+    ++stats_.idle_timeouts;
+    CloseConn(fd);
+  }
+  return static_cast<int>(expired.size());
+}
+
+void HttpServerBase::MaybeSweep() {
+  if (kernel().now() < next_sweep_) {
+    return;
+  }
+  SweepTimeouts();
+  next_sweep_ = kernel().now() + config_.timer_sweep_interval;
+}
+
+}  // namespace scio

@@ -1,0 +1,120 @@
+// Shared machinery for the simulated web servers.
+//
+// All three of the paper's servers (§5) serve static content over HTTP/1.0
+// with the same per-connection state machine — accept, read+parse request,
+// write response, close — and a periodic idle-connection timeout sweep. They
+// differ only in how they learn about events, which each subclass provides.
+
+#ifndef SRC_SERVERS_SERVER_BASE_H_
+#define SRC_SERVERS_SERVER_BASE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/core/sys.h"
+#include "src/http/request_parser.h"
+#include "src/http/static_content.h"
+
+namespace scio {
+
+struct ServerConfig {
+  int listen_backlog = 128;
+  size_t read_chunk = 4096;
+  // thttpd's default idle timeouts are in the minutes; inactive connections
+  // are expected to survive (their clients trickle bytes to stay alive).
+  SimDuration idle_timeout = Seconds(60);
+  SimDuration timer_sweep_interval = Seconds(1);
+};
+
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t responses_sent = 0;
+  uint64_t not_found_sent = 0;
+  uint64_t bad_requests = 0;
+  uint64_t idle_timeouts = 0;
+  uint64_t peer_closes = 0;
+  uint64_t accept_emfile = 0;
+  uint64_t stale_events = 0;     // events for already-closed connections
+  uint64_t loop_iterations = 0;
+  uint64_t overflow_recoveries = 0;  // RT signal queue overflows handled
+  uint64_t mode_switches = 0;        // hybrid server transitions
+};
+
+class HttpServerBase {
+ public:
+  HttpServerBase(Sys* sys, const StaticContent* content, ServerConfig config);
+  virtual ~HttpServerBase() = default;
+
+  // Create the listening socket. Must be called once before Run().
+  // Returns the listener fd (asserts on failure).
+  int Setup();
+
+  // Run the event loop until simulated time `until` (or kernel stop).
+  virtual void Run(SimTime until) = 0;
+
+  int listener_fd() const { return listener_fd_; }
+  const ServerStats& stats() const { return stats_; }
+  size_t open_connections() const { return conns_.size(); }
+  const std::string& name() const { return name_; }
+
+ protected:
+  enum class Phase {
+    kReading,  // waiting for / parsing the request
+    kWriting,  // response partially written, want POLLOUT
+  };
+
+  struct Conn {
+    Phase phase = Phase::kReading;
+    RequestParser parser;
+    Chunk pending_write;
+    SimTime last_activity = 0;
+  };
+
+  // --- hooks for the event-acquisition subclasses -----------------------------
+  virtual void OnConnOpened(int fd) { (void)fd; }
+  virtual void OnConnPhaseChanged(int fd, Phase phase) {
+    (void)fd;
+    (void)phase;
+  }
+  virtual void OnConnClosing(int fd) { (void)fd; }
+
+  // --- shared connection handling -----------------------------------------------
+  // Accept every queued connection. Returns number accepted.
+  int DrainAccepts();
+  // Handle readability on a connection; returns false if the conn was closed.
+  bool HandleReadable(int fd);
+  // Continue a partial response write; returns false if the conn was closed.
+  bool HandleWritable(int fd);
+  // Dispatch one readiness report.
+  void DispatchEvent(int fd, PollEvents revents);
+  // Close and forget a connection.
+  void CloseConn(int fd);
+  // Close connections idle longer than the timeout. Charges per-connection
+  // sweep costs. Returns number closed.
+  int SweepTimeouts();
+  // Run the sweep if the interval has elapsed.
+  void MaybeSweep();
+
+  bool HasConn(int fd) const { return conns_.find(fd) != conns_.end(); }
+
+  Sys& sys() { return *sys_; }
+  SimKernel& kernel() { return sys_->kernel(); }
+
+  std::string name_ = "http-server";
+  Sys* sys_;
+  const StaticContent* content_;
+  ServerConfig config_;
+  int listener_fd_ = -1;
+  std::unordered_map<int, Conn> conns_;
+  ServerStats stats_;
+  SimTime next_sweep_ = 0;
+
+ private:
+  // Build and start sending the response for a completed request.
+  void StartResponse(int fd, Conn& conn);
+};
+
+}  // namespace scio
+
+#endif  // SRC_SERVERS_SERVER_BASE_H_

@@ -1,0 +1,112 @@
+#include "src/servers/thttpd_devpoll.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scio {
+
+ThttpdDevPoll::ThttpdDevPoll(Sys* sys, const StaticContent* content, ServerConfig config,
+                             ThttpdDevPollConfig dp_config)
+    : HttpServerBase(sys, content, config), dp_config_(dp_config) {
+  name_ = "thttpd-devpoll";
+}
+
+int ThttpdDevPoll::SetupDevPoll() {
+  dpfd_ = sys().OpenDevPoll(dp_config_.devpoll);
+  assert(dpfd_ >= 0);
+  if (dp_config_.use_mmap_results) {
+    int rc = sys().DevPollAlloc(dpfd_, dp_config_.result_slots);
+    assert(rc == 0);
+    (void)rc;
+    result_area_ = sys().DevPollMmap(dpfd_);
+    assert(result_area_ != nullptr);
+  } else {
+    result_buffer_.resize(static_cast<size_t>(dp_config_.result_slots));
+  }
+  QueueUpdate(listener_fd_, kPollIn);
+  return dpfd_;
+}
+
+void ThttpdDevPoll::QueueUpdate(int fd, PollEvents events) {
+  pending_updates_.push_back(PollFd{fd, events, 0});
+}
+
+void ThttpdDevPoll::FlushUpdates() {
+  if (pending_updates_.empty()) {
+    return;
+  }
+  const long rc = sys().DevPollWrite(dpfd_, pending_updates_);
+  assert(rc >= 0);
+  (void)rc;
+  pending_updates_.clear();
+}
+
+void ThttpdDevPoll::OnConnOpened(int fd) { QueueUpdate(fd, kPollIn); }
+
+void ThttpdDevPoll::OnConnPhaseChanged(int fd, Phase phase) {
+  QueueUpdate(fd, phase == Phase::kWriting ? kPollOut : kPollIn);
+}
+
+void ThttpdDevPoll::OnConnClosing(int fd) {
+  // Remove the interest *before* close so no stale interest lingers (proper
+  // /dev/poll usage; the stale path is exercised by tests instead).
+  QueueUpdate(fd, kPollRemove);
+  // The fd is about to be closed; purge any queued update for it first so a
+  // later flush cannot resurrect an interest for a reused fd number.
+  std::vector<PollFd> keep;
+  keep.reserve(pending_updates_.size());
+  PollFd removal{};
+  bool have_removal = false;
+  for (const PollFd& update : pending_updates_) {
+    if (update.fd != fd) {
+      keep.push_back(update);
+    } else if ((update.events & kPollRemove) != 0) {
+      removal = update;
+      have_removal = true;
+    }
+  }
+  if (have_removal) {
+    keep.push_back(removal);
+  }
+  pending_updates_ = std::move(keep);
+  // Flush immediately: after return the fd number may be reused by accept().
+  FlushUpdates();
+}
+
+int ThttpdDevPoll::PollAndDispatch(SimTime until) {
+  const SimTime wake_at = std::min(until, next_sweep_);
+  const auto timeout_ms =
+      static_cast<int>((wake_at - kernel().now() + Millis(1) - 1) / Millis(1));
+  DvPoll args;
+  args.dp_fds = dp_config_.use_mmap_results ? nullptr : result_buffer_.data();
+  args.dp_nfds = dp_config_.result_slots;
+  args.dp_timeout = timeout_ms < 0 ? 0 : timeout_ms;
+
+  int ready;
+  if (dp_config_.use_fused_ioctl && !pending_updates_.empty()) {
+    ready = sys().DevPollWritePoll(dpfd_, pending_updates_, &args);
+    pending_updates_.clear();
+  } else {
+    FlushUpdates();
+    ready = sys().DevPollPoll(dpfd_, &args);
+  }
+  if (ready <= 0) {
+    return 0;
+  }
+  const PollFd* results = dp_config_.use_mmap_results ? result_area_ : result_buffer_.data();
+  for (int i = 0; i < ready; ++i) {
+    DispatchEvent(results[i].fd, results[i].revents);
+  }
+  return ready;
+}
+
+void ThttpdDevPoll::Run(SimTime until) {
+  while (kernel().now() < until && !kernel().stopped()) {
+    ++stats_.loop_iterations;
+    kernel().Charge(kernel().cost().server_loop_overhead);
+    MaybeSweep();
+    PollAndDispatch(until);
+  }
+}
+
+}  // namespace scio

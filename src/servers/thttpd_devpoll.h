@@ -1,0 +1,57 @@
+// thttpd modified to use /dev/poll (paper §5.1).
+//
+// The interest set lives in the kernel and is maintained *incrementally*:
+// connection open/close/phase changes append pollfd updates that are flushed
+// with a single write() before each DP_POLL (the re-architecture the paper
+// says legacy servers need, §6). Results arrive through the mmap'ed result
+// area by default; both the mmap area and the fused write+poll ioctl can be
+// toggled for the ablation benches.
+
+#ifndef SRC_SERVERS_THTTPD_DEVPOLL_H_
+#define SRC_SERVERS_THTTPD_DEVPOLL_H_
+
+#include <vector>
+
+#include "src/servers/server_base.h"
+
+namespace scio {
+
+struct ThttpdDevPollConfig {
+  DevPollOptions devpoll;
+  bool use_mmap_results = true;   // ABL-2 off: DP_POLL copies results out
+  bool use_fused_ioctl = false;   // ABL-5 on: single write+poll syscall
+  int result_slots = 4096;        // DP_ALLOC size
+};
+
+class ThttpdDevPoll : public HttpServerBase {
+ public:
+  ThttpdDevPoll(Sys* sys, const StaticContent* content, ServerConfig config = ServerConfig{},
+                ThttpdDevPollConfig dp_config = ThttpdDevPollConfig{});
+
+  // Opens /dev/poll, sets up the result mapping, registers the listener.
+  int SetupDevPoll();
+
+  void Run(SimTime until) override;
+
+  int devpoll_fd() const { return dpfd_; }
+
+ protected:
+  void OnConnOpened(int fd) override;
+  void OnConnPhaseChanged(int fd, Phase phase) override;
+  void OnConnClosing(int fd) override;
+
+  void QueueUpdate(int fd, PollEvents events);
+  void FlushUpdates();
+  // One DP_POLL + dispatch pass; returns number of events handled.
+  int PollAndDispatch(SimTime until);
+
+  ThttpdDevPollConfig dp_config_;
+  int dpfd_ = -1;
+  PollFd* result_area_ = nullptr;
+  std::vector<PollFd> result_buffer_;   // used when mmap is disabled
+  std::vector<PollFd> pending_updates_;
+};
+
+}  // namespace scio
+
+#endif  // SRC_SERVERS_THTTPD_DEVPOLL_H_

@@ -1,0 +1,49 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+namespace scio {
+
+void EventHandle::Cancel() {
+  if (state_ && !state_->fired) {
+    state_->cancelled = true;
+  }
+}
+
+bool EventHandle::pending() const { return state_ && !state_->fired && !state_->cancelled; }
+
+EventHandle EventQueue::Schedule(SimTime when, Callback cb) {
+  auto state = std::make_shared<EventHandle::State>();
+  heap_.push(Entry{when, next_seq_++, std::move(cb), state});
+  ++live_count_;
+  return EventHandle(std::move(state));
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty() && heap_.top().state->cancelled) {
+    heap_.pop();
+    --live_count_;
+  }
+}
+
+SimTime EventQueue::NextTime() {
+  SkipCancelled();
+  return heap_.empty() ? kSimTimeNever : heap_.top().when;
+}
+
+bool EventQueue::RunNext() {
+  SkipCancelled();
+  if (heap_.empty()) {
+    return false;
+  }
+  // Move the entry out before running: the callback may schedule new events.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  --live_count_;
+  entry.state->fired = true;
+  ++executed_count_;
+  entry.cb();
+  return true;
+}
+
+}  // namespace scio

@@ -1,0 +1,91 @@
+// Pending-event priority queue for the discrete-event simulator.
+//
+// Events are (time, sequence, callback) triples ordered by time, with the
+// insertion sequence number breaking ties so that same-time events run in
+// schedule order — a requirement for deterministic replays.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace scio {
+
+// Handle to a scheduled event; allows cancellation. Copyable and cheap.
+// A default-constructed handle refers to nothing and Cancel() is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Prevent the event from firing. Safe to call multiple times, after the
+  // event has fired, or on an empty handle.
+  void Cancel();
+
+  // True if the event is still scheduled (not fired, not cancelled).
+  bool pending() const;
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedule `cb` at absolute time `when`. Returns a cancellation handle.
+  EventHandle Schedule(SimTime when, Callback cb);
+
+  bool empty() const { return live_count_ == 0; }
+
+  // Number of scheduled (non-cancelled, non-fired) events.
+  size_t size() const { return live_count_; }
+
+  // Time of the earliest live event; kSimTimeNever when empty.
+  SimTime NextTime();
+
+  // Pop and run the earliest live event. Returns false if the queue is empty.
+  bool RunNext();
+
+  // Total events ever executed; useful for progress accounting in tests.
+  uint64_t executed_count() const { return executed_count_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    Callback cb;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drop cancelled entries from the front of the heap.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  uint64_t next_seq_ = 0;
+  size_t live_count_ = 0;
+  uint64_t executed_count_ = 0;
+};
+
+}  // namespace scio
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

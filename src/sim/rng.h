@@ -1,0 +1,53 @@
+// Deterministic random number generation for simulations.
+//
+// Benchmarks must be exactly reproducible from a seed, so we carry our own
+// generator (xoshiro256**) instead of relying on std:: distributions, whose
+// output is implementation-defined.
+
+#ifndef SRC_SIM_RNG_H_
+#define SRC_SIM_RNG_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace scio {
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm),
+// seeded through SplitMix64 so that any 64-bit seed yields a good state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Uniform bits.
+  uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  // Exponential with the given mean (> 0). Used for Poisson arrival gaps.
+  double Exponential(double mean);
+
+  // Bounded Pareto on [lo, hi] with shape alpha; used for heavy-tailed
+  // document-size workloads (an extension beyond the paper's fixed 6 KB).
+  double BoundedPareto(double alpha, double lo, double hi);
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Derive an independent stream (for per-component generators).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace scio
+
+#endif  // SRC_SIM_RNG_H_

@@ -1,0 +1,55 @@
+#include "src/sim/simulator.h"
+
+namespace scio {
+
+bool Simulator::StepUntil(const std::function<bool()>& stop, SimTime deadline) {
+  while (true) {
+    if (stop()) {
+      return true;
+    }
+    const SimTime next = queue_.NextTime();
+    if (next > deadline) {
+      if (deadline != kSimTimeNever && deadline > now_) {
+        now_ = deadline;
+      }
+      return stop();
+    }
+    if (next > now_) {
+      now_ = next;
+    }
+    queue_.RunNext();
+  }
+}
+
+void Simulator::AdvanceTo(SimTime target) {
+  while (queue_.NextTime() <= target) {
+    const SimTime next = queue_.NextTime();
+    if (next > now_) {
+      now_ = next;
+    }
+    queue_.RunNext();
+  }
+  if (target > now_) {
+    now_ = target;
+  }
+}
+
+uint64_t Simulator::RunAll(uint64_t limit) {
+  uint64_t n = 0;
+  while (n < limit && !queue_.empty()) {
+    const SimTime next = queue_.NextTime();
+    if (next == kSimTimeNever) {
+      break;
+    }
+    if (next > now_) {
+      now_ = next;
+    }
+    if (!queue_.RunNext()) {
+      break;
+    }
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace scio

@@ -1,0 +1,128 @@
+// Tests for the in-kernel interest-set hash table (§3.1), including the
+// paper's exact growth rule as a property across insertion patterns.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/interest_table.h"
+#include "src/sim/rng.h"
+
+namespace scio {
+namespace {
+
+TEST(InterestTableTest, InsertFindErase) {
+  InterestHashTable table;
+  bool inserted = false;
+  Interest& a = table.FindOrInsert(5, &inserted);
+  EXPECT_TRUE(inserted);
+  a.events = kPollIn;
+  EXPECT_EQ(table.size(), 1u);
+
+  Interest* found = table.Find(5);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->events, kPollIn);
+
+  table.FindOrInsert(5, &inserted);
+  EXPECT_FALSE(inserted) << "same fd resolves to the existing interest";
+  EXPECT_EQ(table.size(), 1u);
+
+  EXPECT_TRUE(table.Erase(5));
+  EXPECT_FALSE(table.Erase(5));
+  EXPECT_EQ(table.Find(5), nullptr);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(InterestTableTest, FindMissingReturnsNull) {
+  InterestHashTable table;
+  EXPECT_EQ(table.Find(42), nullptr);
+}
+
+TEST(InterestTableTest, GrowthRuleDoublesAtAverageChainOfTwo) {
+  InterestHashTable table(8);
+  // Paper: "when the average bucket size is two, the number of buckets in
+  // the hash table is doubled."
+  bool inserted;
+  for (int fd = 0; fd < 15; ++fd) {
+    table.FindOrInsert(fd, &inserted);
+  }
+  EXPECT_EQ(table.bucket_count(), 8u) << "15 entries in 8 buckets: average < 2";
+  table.FindOrInsert(15, &inserted);
+  EXPECT_EQ(table.bucket_count(), 16u) << "16th entry trips the doubling rule";
+  EXPECT_EQ(table.resize_count(), 1u);
+}
+
+TEST(InterestTableTest, NeverShrinks) {
+  InterestHashTable table(8);
+  bool inserted;
+  for (int fd = 0; fd < 100; ++fd) {
+    table.FindOrInsert(fd, &inserted);
+  }
+  const size_t grown = table.bucket_count();
+  for (int fd = 0; fd < 100; ++fd) {
+    table.Erase(fd);
+  }
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.bucket_count(), grown) << "the table is never shrunk";
+}
+
+TEST(InterestTableTest, ForEachVisitsEveryEntryOnce) {
+  InterestHashTable table;
+  bool inserted;
+  for (int fd = 0; fd < 37; ++fd) {
+    table.FindOrInsert(fd, &inserted);
+  }
+  std::set<int> seen;
+  table.ForEach([&](Interest& interest) { seen.insert(interest.fd); });
+  EXPECT_EQ(seen.size(), 37u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 36);
+}
+
+TEST(InterestTableTest, SurvivesRehashWithState) {
+  InterestHashTable table(2);
+  bool inserted;
+  for (int fd = 0; fd < 64; ++fd) {
+    Interest& interest = table.FindOrInsert(fd, &inserted);
+    interest.events = static_cast<PollEvents>(fd + 1);
+    interest.hint = (fd % 2) == 0;
+  }
+  for (int fd = 0; fd < 64; ++fd) {
+    Interest* interest = table.Find(fd);
+    ASSERT_NE(interest, nullptr) << "fd " << fd << " lost in rehash";
+    EXPECT_EQ(interest->events, static_cast<PollEvents>(fd + 1));
+    EXPECT_EQ(interest->hint, (fd % 2) == 0);
+  }
+}
+
+// Property sweep: for any insertion pattern, the invariant
+// size <= 2 * bucket_count holds and no entry is ever lost.
+class InterestTableProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InterestTableProperty, InvariantUnderRandomChurn) {
+  Rng rng(GetParam());
+  InterestHashTable table;
+  std::set<int> model;
+  for (int step = 0; step < 5000; ++step) {
+    const int fd = static_cast<int>(rng.UniformInt(0, 700));
+    if (rng.Bernoulli(0.6)) {
+      bool inserted;
+      table.FindOrInsert(fd, &inserted);
+      EXPECT_EQ(inserted, model.insert(fd).second);
+    } else {
+      EXPECT_EQ(table.Erase(fd), model.erase(fd) == 1);
+    }
+    ASSERT_EQ(table.size(), model.size());
+    ASSERT_LE(table.size(), table.bucket_count() * 2) << "growth rule violated";
+  }
+  // Exhaustive final cross-check.
+  for (int fd = 0; fd <= 700; ++fd) {
+    EXPECT_EQ(table.Find(fd) != nullptr, model.count(fd) == 1) << "fd " << fd;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Churn, InterestTableProperty,
+                         ::testing::Values(1ull, 2ull, 3ull, 99ull, 123456ull));
+
+}  // namespace
+}  // namespace scio

@@ -1,0 +1,180 @@
+// Tests for the load generators and the end-to-end benchmark harness,
+// including exact determinism of full runs.
+
+#include <gtest/gtest.h>
+
+#include "src/load/benchmark_run.h"
+#include "src/load/httperf.h"
+#include "src/load/inactive_pool.h"
+#include "tests/sim_world.h"
+
+namespace scio {
+namespace {
+
+class LoadTest : public SimWorldTest {};
+
+TEST_F(LoadTest, GeneratorHitsTargetCountDeterministic) {
+  ActiveWorkload workload;
+  workload.request_rate = 1000;
+  workload.duration = Seconds(2);
+  workload.poisson_arrivals = false;
+  HttperfGenerator generator(&net_, listener_, workload);
+  generator.Start(0);
+  EXPECT_EQ(generator.attempts(), 2000u);
+}
+
+TEST_F(LoadTest, PoissonArrivalCountConcentratesAroundTarget) {
+  ActiveWorkload workload;
+  workload.request_rate = 1000;
+  workload.duration = Seconds(4);
+  workload.poisson_arrivals = true;
+  workload.seed = 5;
+  HttperfGenerator generator(&net_, listener_, workload);
+  generator.Start(0);
+  EXPECT_NEAR(static_cast<double>(generator.attempts()), 4000.0, 4 * 63.0)
+      << "within ~4 sigma of rate*duration";
+}
+
+TEST_F(LoadTest, RefusedConnectionsRecorded) {
+  sys_.Close(listen_fd_);  // every SYN refused
+  ActiveWorkload workload;
+  workload.request_rate = 100;
+  workload.duration = Millis(100);
+  workload.poisson_arrivals = false;
+  HttperfGenerator generator(&net_, listener_, workload);
+  generator.Start(0);
+  sim_.AdvanceTo(Seconds(2));
+  for (const ConnRecord& record : generator.records()) {
+    EXPECT_EQ(record.outcome, ConnOutcome::kRefused);
+    EXPECT_TRUE(record.IsError());
+  }
+}
+
+TEST_F(LoadTest, UnservedClientsTimeOut) {
+  // Nobody accepts: connections establish (backlog) but never get replies.
+  ActiveWorkload workload;
+  workload.request_rate = 50;
+  workload.duration = Millis(100);
+  workload.client_timeout = Millis(200);
+  workload.poisson_arrivals = false;
+  HttperfGenerator generator(&net_, listener_, workload);
+  generator.Start(0);
+  sim_.AdvanceTo(Seconds(2));
+  int timeouts = 0;
+  for (const ConnRecord& record : generator.records()) {
+    timeouts += record.outcome == ConnOutcome::kTimeout ? 1 : 0;
+  }
+  EXPECT_EQ(timeouts, static_cast<int>(generator.attempts()));
+}
+
+TEST_F(LoadTest, PortExhaustionRecordedAsNoPorts) {
+  NetConfig tight;
+  tight.client_port_count = 5;
+  NetStack small_net(&kernel_, tight);
+  auto listener = std::make_shared<SimListener>(&kernel_, &small_net, 128);
+  ActiveWorkload workload;
+  workload.request_rate = 100;
+  workload.duration = Millis(200);
+  workload.client_timeout = Seconds(30);  // ports stay held
+  workload.poisson_arrivals = false;
+  HttperfGenerator generator(&small_net, listener, workload);
+  generator.Start(0);
+  sim_.AdvanceTo(Seconds(1));
+  int no_ports = 0;
+  for (const ConnRecord& record : generator.records()) {
+    no_ports += record.outcome == ConnOutcome::kNoPorts ? 1 : 0;
+  }
+  EXPECT_EQ(no_ports, static_cast<int>(generator.attempts()) - 5)
+      << "only port_count connections can be in flight";
+}
+
+TEST_F(LoadTest, InactivePoolReachesTargetPopulation) {
+  InactiveWorkload inactive;
+  inactive.connections = 10;
+  InactivePool pool(&net_, listener_, inactive);
+  pool.Start();
+  sim_.AdvanceTo(Seconds(2));
+  // Accept everything so the pool members establish fully.
+  while (sys_.Accept(listen_fd_) >= 0) {
+  }
+  sim_.AdvanceTo(Seconds(3));
+  EXPECT_EQ(pool.connected_now(), 10);
+  pool.Shutdown();
+  EXPECT_EQ(pool.connected_now(), 0);
+}
+
+// --- full harness ------------------------------------------------------------------
+
+TEST(BenchmarkRunTest, SmallRunProducesSaneNumbers) {
+  BenchmarkRunConfig config;
+  config.server = ServerKind::kThttpdDevPoll;
+  config.active.request_rate = 300;
+  config.active.duration = Seconds(2);
+  config.inactive.connections = 10;
+  config.warmup = Millis(500);
+  config.drain = Seconds(1);
+  const BenchmarkResult result = RunBenchmark(config);
+  EXPECT_GT(result.attempts, 500u);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_NEAR(result.reply_avg, 300.0, 60.0);
+  EXPECT_GT(result.median_conn_ms, 0.0);
+  EXPECT_LT(result.median_conn_ms, 50.0);
+  EXPECT_GT(result.cpu_utilization, 0.0);
+  EXPECT_LT(result.cpu_utilization, 1.0);
+}
+
+class DeterminismTest : public ::testing::TestWithParam<ServerKind> {};
+
+TEST_P(DeterminismTest, IdenticalSeedsIdenticalResults) {
+  BenchmarkRunConfig config;
+  config.server = GetParam();
+  config.active.request_rate = 400;
+  config.active.duration = Seconds(1);
+  config.inactive.connections = 20;
+  config.warmup = Millis(500);
+  config.drain = Millis(500);
+  const BenchmarkResult a = RunBenchmark(config);
+  const BenchmarkResult b = RunBenchmark(config);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.errors, b.errors);
+  EXPECT_EQ(a.kernel_stats.syscalls, b.kernel_stats.syscalls);
+  EXPECT_EQ(a.kernel_stats.poll_driver_calls, b.kernel_stats.poll_driver_calls);
+  EXPECT_EQ(a.kernel_stats.devpoll_driver_calls, b.kernel_stats.devpoll_driver_calls);
+  EXPECT_DOUBLE_EQ(a.median_conn_ms, b.median_conn_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllServers, DeterminismTest,
+                         ::testing::Values(ServerKind::kThttpdPoll,
+                                           ServerKind::kThttpdDevPoll,
+                                           ServerKind::kPhhttpd, ServerKind::kHybrid));
+
+TEST(BenchmarkRunTest, DevPollBeatsStockPollUnderInactiveLoad) {
+  // The paper's headline claim, as an executable assertion: with hundreds of
+  // inactive connections, /dev/poll spends far less kernel effort than
+  // stock poll() and serves with lower latency.
+  BenchmarkRunConfig config;
+  config.active.request_rate = 600;
+  config.active.duration = Seconds(3);
+  config.inactive.connections = 251;
+
+  config.server = ServerKind::kThttpdPoll;
+  const BenchmarkResult poll_result = RunBenchmark(config);
+  config.server = ServerKind::kThttpdDevPoll;
+  const BenchmarkResult devpoll_result = RunBenchmark(config);
+
+  EXPECT_LT(devpoll_result.median_conn_ms, poll_result.median_conn_ms / 3.0);
+  EXPECT_LT(devpoll_result.kernel_stats.devpoll_driver_calls,
+            poll_result.kernel_stats.poll_driver_calls / 10);
+  EXPECT_GE(devpoll_result.reply_avg, poll_result.reply_avg * 0.98);
+  EXPECT_LE(devpoll_result.error_pct, poll_result.error_pct);
+}
+
+TEST(BenchmarkRunTest, ServerKindNamesAreStable) {
+  EXPECT_EQ(ServerKindName(ServerKind::kThttpdPoll), "thttpd-poll");
+  EXPECT_EQ(ServerKindName(ServerKind::kThttpdDevPoll), "thttpd-devpoll");
+  EXPECT_EQ(ServerKindName(ServerKind::kPhhttpd), "phhttpd");
+  EXPECT_EQ(ServerKindName(ServerKind::kHybrid), "hybrid");
+}
+
+}  // namespace
+}  // namespace scio

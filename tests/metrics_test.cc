@@ -1,0 +1,155 @@
+// Tests for the metrics module: streaming stats, exact percentiles, the
+// httperf-style rate-series reduction, and table/CSV output.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/metrics/percentile.h"
+#include "src/metrics/rate_series.h"
+#include "src/metrics/stats.h"
+#include "src/metrics/table.h"
+#include "src/sim/rng.h"
+
+namespace scio {
+namespace {
+
+TEST(StreamingStatsTest, EmptyIsZero) {
+  StreamingStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+  EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(StreamingStatsTest, KnownValues) {
+  StreamingStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);  // classic textbook example
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(StreamingStatsTest, SingleSampleHasZeroVariance) {
+  StreamingStats stats;
+  stats.Add(42.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 42.0);
+  EXPECT_EQ(stats.max(), 42.0);
+}
+
+class StatsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StatsPropertyTest, MatchesNaiveComputation) {
+  Rng rng(GetParam());
+  StreamingStats stats;
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.UniformReal(-1000, 1000);
+    samples.push_back(v);
+    stats.Add(v);
+  }
+  double sum = 0;
+  for (double v : samples) {
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(samples.size());
+  double sq = 0;
+  for (double v : samples) {
+    sq += (v - mean) * (v - mean);
+  }
+  EXPECT_NEAR(stats.mean(), mean, 1e-9);
+  EXPECT_NEAR(stats.variance(), sq / static_cast<double>(samples.size()), 1e-6);
+  EXPECT_EQ(stats.min(), *std::min_element(samples.begin(), samples.end()));
+  EXPECT_EQ(stats.max(), *std::max_element(samples.begin(), samples.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsPropertyTest, ::testing::Values(1ull, 7ull, 99ull));
+
+TEST(PercentileTest, EmptyIsZero) {
+  PercentileTracker tracker;
+  EXPECT_EQ(tracker.Median(), 0.0);
+}
+
+TEST(PercentileTest, ExactOrderStatistics) {
+  PercentileTracker tracker;
+  for (int i = 100; i >= 1; --i) {
+    tracker.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(tracker.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.Percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(tracker.Median(), 50.5);
+  EXPECT_NEAR(tracker.Percentile(90), 90.1, 1e-9);
+}
+
+TEST(PercentileTest, InterleavedAddAndQuery) {
+  PercentileTracker tracker;
+  tracker.Add(10);
+  tracker.Add(20);
+  EXPECT_DOUBLE_EQ(tracker.Median(), 15.0);
+  tracker.Add(30);  // re-sorts lazily
+  EXPECT_DOUBLE_EQ(tracker.Median(), 20.0);
+}
+
+TEST(RateSeriesTest, BucketsAndSummary) {
+  RateSeries series(Seconds(1), Seconds(4));
+  // 3 events in second 0, 1 in second 2.
+  series.Add(Millis(100));
+  series.Add(Millis(200));
+  series.Add(Millis(900));
+  series.Add(Millis(2500));
+  const StreamingStats summary = series.Summary();
+  EXPECT_EQ(series.total(), 4u);
+  EXPECT_EQ(series.bucket_count(), 4u);
+  EXPECT_DOUBLE_EQ(summary.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(summary.max(), 3.0);
+  EXPECT_DOUBLE_EQ(summary.min(), 0.0) << "starved buckets show up as min=0 (FIG 6)";
+}
+
+TEST(RateSeriesTest, IgnoresOutOfWindowEvents) {
+  RateSeries series(Seconds(1), Seconds(2));
+  series.Add(-Millis(5));
+  series.Add(Seconds(5));
+  EXPECT_EQ(series.total(), 0u);
+}
+
+TEST(RateSeriesTest, SubSecondBucketsScaleToPerSecondRates) {
+  RateSeries series(Millis(500), Seconds(1));
+  series.Add(Millis(100));
+  series.Add(Millis(200));
+  EXPECT_DOUBLE_EQ(series.Rates()[0], 4.0) << "2 events in 0.5s = 4/s";
+}
+
+TEST(TableTest, PrintAligns) {
+  Table table({"a", "longer"});
+  table.AddRow({1.0, 2.5});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_NE(text.find("2.5"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table table({"x", "y"});
+  table.AddRow({1.25, 3.5}, 2);
+  table.AddRow(std::vector<std::string>{"foo", "bar"});
+  std::ostringstream out;
+  table.WriteCsv(out);
+  EXPECT_EQ(out.str(), "x,y\n1.25,3.50\nfoo,bar\n");
+}
+
+TEST(TableTest, CsvFileFailureReported) {
+  Table table({"x"});
+  EXPECT_FALSE(table.WriteCsvFile("/nonexistent-dir/file.csv"));
+}
+
+}  // namespace
+}  // namespace scio

@@ -1,0 +1,183 @@
+// Tests for the POSIX RT signal I/O interface (§2): F_SETSIG arming, signal
+// payloads, queue overflow + SIGIO + recovery, stale events after close, and
+// the sigtimedwait4 batch extension (§6).
+
+#include <gtest/gtest.h>
+
+#include "src/core/hybrid_policy.h"
+#include "tests/sim_world.h"
+
+namespace scio {
+namespace {
+
+constexpr int kSig = kSigRtMin + 1;
+
+class RtIoTest : public SimWorldTest {};
+
+TEST_F(RtIoTest, ArmOnBadFdFails) { EXPECT_EQ(sys_.ArmAsync(99, kSig), -1); }
+
+TEST_F(RtIoTest, SignalCarriesFdAndBand) {
+  sys_.ArmAsync(listen_fd_, kSig);
+  ClientConnect();
+  auto si = sys_.SigWaitInfo(0);
+  ASSERT_TRUE(si.has_value());
+  EXPECT_EQ(si->signo, kSig);
+  EXPECT_EQ(si->fd, listen_fd_);
+  EXPECT_EQ(si->band & kPollIn, kPollIn)
+      << "the siginfo carries the same information as a pollfd (§2)";
+}
+
+TEST_F(RtIoTest, SigWaitBlocksUntilSignal) {
+  sys_.ArmAsync(listen_fd_, kSig);
+  sim_.ScheduleAt(Millis(25), [&] { net_.Connect(listener_); });
+  auto si = sys_.SigWaitInfo(1000);
+  ASSERT_TRUE(si.has_value());
+  EXPECT_GE(kernel_.now(), Millis(25));
+  EXPECT_LT(kernel_.now(), Millis(200));
+}
+
+TEST_F(RtIoTest, SigWaitTimesOut) {
+  EXPECT_FALSE(sys_.SigWaitInfo(30).has_value());
+  EXPECT_GE(kernel_.now(), Millis(30));
+}
+
+TEST_F(RtIoTest, EveryChunkQueuesASignal) {
+  auto [client, fd] = EstablishedPair();
+  sys_.ArmAsync(fd, kSig);
+  client->Write(Chunk{"a", 0});
+  client->Write(Chunk{"b", 0});
+  RunFor(Millis(10));
+  EXPECT_EQ(proc_.rt_queue_length(), 2u)
+      << "RT signals do not coalesce: one per completion event";
+}
+
+TEST_F(RtIoTest, DisarmStopsSignals) {
+  auto [client, fd] = EstablishedPair();
+  sys_.ArmAsync(fd, kSig);
+  sys_.ArmAsync(fd, 0);  // disarm
+  client->Write(Chunk{"a", 0});
+  RunFor(Millis(10));
+  EXPECT_FALSE(proc_.HasPendingSignals());
+}
+
+TEST_F(RtIoTest, StaleSignalSurvivesClose) {
+  auto [client, fd] = EstablishedPair();
+  sys_.ArmAsync(fd, kSig);
+  client->Write(Chunk{"a", 0});
+  RunFor(Millis(10));
+  sys_.Close(fd);
+  auto si = sys_.SigWaitInfo(0);
+  ASSERT_TRUE(si.has_value());
+  EXPECT_EQ(si->fd, fd) << "events queued before close remain on the queue (§2)";
+  // The application must cope: the fd is gone.
+  EXPECT_EQ(sys_.Read(si->fd, 100).n, 0u);
+}
+
+TEST_F(RtIoTest, OverflowDeliversSigIoFirstAndPollRecovers) {
+  proc_.set_rt_queue_max(4);
+  auto [client, fd] = EstablishedPair();
+  sys_.ArmAsync(fd, kSig);
+  for (int i = 0; i < 6; ++i) {
+    client->Write(Chunk{"x", 0});
+  }
+  RunFor(Millis(10));
+  EXPECT_TRUE(proc_.sigio_pending());
+  auto si = sys_.SigWaitInfo(0);
+  ASSERT_TRUE(si.has_value());
+  EXPECT_EQ(si->signo, kSigIo) << "SIGIO outranks queued RT signals";
+  // Recovery per §2: flush, then poll() to find remaining activity.
+  sys_.FlushRtSignals();
+  EXPECT_FALSE(proc_.HasPendingSignals());
+  PollFd pfd{fd, kPollIn, 0};
+  EXPECT_EQ(sys_.Poll({&pfd, 1}, 0), 1);
+  EXPECT_EQ(pfd.revents & kPollIn, kPollIn) << "no request is lost";
+}
+
+TEST_F(RtIoTest, SigTimedWait4DequeuesBatch) {
+  auto [client, fd] = EstablishedPair();
+  sys_.ArmAsync(fd, kSig);
+  for (int i = 0; i < 5; ++i) {
+    client->Write(Chunk{"x", 0});
+  }
+  RunFor(Millis(10));
+  SigInfo batch[3];
+  EXPECT_EQ(sys_.SigTimedWait4(batch, 0), 3) << "caps at the buffer size";
+  EXPECT_EQ(proc_.rt_queue_length(), 2u);
+  SigInfo rest[8];
+  EXPECT_EQ(sys_.SigTimedWait4(rest, 0), 2);
+}
+
+TEST_F(RtIoTest, SigTimedWait4BatchCostsLessThanSingles) {
+  auto [client, fd] = EstablishedPair();
+  sys_.ArmAsync(fd, kSig);
+  for (int i = 0; i < 16; ++i) {
+    client->Write(Chunk{"x", 0});
+  }
+  RunFor(Millis(20));
+  kernel_.Charge(Nanos(1));  // flush accumulated interrupt debt
+  const SimDuration busy0 = kernel_.busy_time();
+  SigInfo batch[8];
+  sys_.SigTimedWait4(batch, 0);
+  const SimDuration batched = kernel_.busy_time() - busy0;
+  const SimDuration busy1 = kernel_.busy_time();
+  for (int i = 0; i < 8; ++i) {
+    sys_.SigWaitInfo(0);
+  }
+  const SimDuration singles = kernel_.busy_time() - busy1;
+  EXPECT_LT(batched, singles / 2)
+      << "§6: returning several siginfo per invocation amortizes the trap";
+}
+
+TEST_F(RtIoTest, SigTimedWait4EmptyBufferReturnsZero) {
+  EXPECT_EQ(sys_.SigTimedWait4({static_cast<SigInfo*>(nullptr), 0}, 0), 0);
+}
+
+TEST_F(RtIoTest, LowerSignalNumbersDequeueFirst) {
+  auto [c1, fd1] = EstablishedPair();
+  auto [c2, fd2] = EstablishedPair();
+  sys_.ArmAsync(fd1, kSigRtMin + 5);
+  sys_.ArmAsync(fd2, kSigRtMin + 2);
+  c1->Write(Chunk{"a", 0});
+  RunFor(Millis(5));
+  c2->Write(Chunk{"b", 0});
+  RunFor(Millis(5));
+  auto first = sys_.SigWaitInfo(0);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->fd, fd2) << "lower-numbered signal wins despite arriving later";
+}
+
+// --- HybridPolicy -----------------------------------------------------------------
+
+TEST(HybridPolicyTest, SwitchesOnHighWatermark) {
+  HybridPolicy policy(HybridPolicyConfig{0.5, 0.05, Millis(100)}, 100);
+  EXPECT_EQ(policy.mode(), EventMode::kSignals);
+  EXPECT_EQ(policy.Update(49, false, 0), EventMode::kSignals);
+  EXPECT_EQ(policy.Update(50, false, 0), EventMode::kPolling);
+  EXPECT_EQ(policy.switches_to_polling(), 1u);
+}
+
+TEST(HybridPolicyTest, SwitchesOnOverflowRegardlessOfLength) {
+  HybridPolicy policy(HybridPolicyConfig{0.5, 0.05, Millis(100)}, 100);
+  EXPECT_EQ(policy.Update(3, true, 0), EventMode::kPolling);
+}
+
+TEST(HybridPolicyTest, SwitchBackRequiresSustainedCalm) {
+  HybridPolicy policy(HybridPolicyConfig{0.5, 0.05, Millis(100)}, 100);
+  policy.Update(60, false, 0);  // -> polling
+  EXPECT_EQ(policy.Update(2, false, Millis(10)), EventMode::kPolling) << "dwell starts";
+  EXPECT_EQ(policy.Update(2, false, Millis(50)), EventMode::kPolling) << "still dwelling";
+  EXPECT_EQ(policy.Update(8, false, Millis(80)), EventMode::kPolling) << "calm broken";
+  EXPECT_EQ(policy.Update(2, false, Millis(100)), EventMode::kPolling) << "dwell restarts";
+  EXPECT_EQ(policy.Update(2, false, Millis(210)), EventMode::kSignals)
+      << "calm sustained for the dwell period";
+  EXPECT_EQ(policy.switches_to_signals(), 1u);
+}
+
+TEST(HybridPolicyTest, WatermarksScaleWithQueueMax) {
+  HybridPolicy policy(HybridPolicyConfig{0.25, 0.1, Millis(1)}, 1024);
+  EXPECT_EQ(policy.high_watermark(), 256u);
+  EXPECT_EQ(policy.low_watermark(), 102u);
+}
+
+}  // namespace
+}  // namespace scio

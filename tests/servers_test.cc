@@ -1,0 +1,272 @@
+// Integration tests: each web server serving real (simulated) traffic
+// end-to-end, cross-server invariants, overflow recovery, and hybrid mode
+// switching.
+
+#include <gtest/gtest.h>
+
+#include "src/http/http_message.h"
+#include "src/http/static_content.h"
+#include "src/load/httperf.h"
+#include "src/load/inactive_pool.h"
+#include "src/servers/hybrid_server.h"
+#include "src/servers/phhttpd.h"
+#include "src/servers/thttpd_devpoll.h"
+#include "src/servers/thttpd_poll.h"
+#include "tests/sim_world.h"
+
+namespace scio {
+namespace {
+
+// Serve `n` clients through `server`, return how many got complete 200s.
+// `rate` controls burstiness: n clients arrive over n/rate seconds.
+template <typename Server>
+int ServeClients(SimWorldTest& world, Server& server, int n,
+                 const std::string& path = "/index.html", double rate = 200) {
+  ActiveWorkload workload;
+  workload.request_rate = rate;
+  workload.duration = SecondsF(n / rate);
+  workload.path = path;
+  workload.poisson_arrivals = false;
+  HttperfGenerator generator(&world.net_, world.listener_, workload);
+  generator.Start(world.sim_.now());
+  server.Run(world.sim_.now() + Seconds(3));
+  int ok = 0;
+  for (const ConnRecord& record : generator.records()) {
+    ok += record.outcome == ConnOutcome::kOk ? 1 : 0;
+  }
+  return ok;
+}
+
+class ServersTest : public SimWorldTest {
+ protected:
+  StaticContent content_;
+};
+
+TEST_F(ServersTest, ThttpdPollServesRequests) {
+  ThttpdPoll server(&sys_, &content_, ServerConfig{});
+  // Reuse the fixture's listener by constructing our own server listener.
+  server.Setup();
+  listener_ = sys_.listener(server.listener_fd());
+  const int ok = ServeClients(*this, server, 40);
+  EXPECT_EQ(ok, 40);
+  EXPECT_EQ(server.stats().responses_sent, 40u);
+  EXPECT_EQ(server.stats().bad_requests, 0u);
+}
+
+TEST_F(ServersTest, ThttpdDevPollServesRequests) {
+  ThttpdDevPoll server(&sys_, &content_, ServerConfig{});
+  server.Setup();
+  server.SetupDevPoll();
+  listener_ = sys_.listener(server.listener_fd());
+  const int ok = ServeClients(*this, server, 40);
+  EXPECT_EQ(ok, 40);
+  EXPECT_GT(kernel_.stats().devpoll_polls, 0u);
+  EXPECT_GT(kernel_.stats().devpoll_results_mapped, 0u) << "uses the mmap area";
+}
+
+TEST_F(ServersTest, ThttpdDevPollWithoutMmapServes) {
+  ThttpdDevPollConfig dp_config;
+  dp_config.use_mmap_results = false;
+  ThttpdDevPoll server(&sys_, &content_, ServerConfig{}, dp_config);
+  server.Setup();
+  server.SetupDevPoll();
+  listener_ = sys_.listener(server.listener_fd());
+  EXPECT_EQ(ServeClients(*this, server, 20), 20);
+  EXPECT_GT(kernel_.stats().devpoll_results_copied, 0u);
+  EXPECT_EQ(kernel_.stats().devpoll_results_mapped, 0u);
+}
+
+TEST_F(ServersTest, ThttpdDevPollFusedIoctlServes) {
+  ThttpdDevPollConfig dp_config;
+  dp_config.use_fused_ioctl = true;
+  ThttpdDevPoll server(&sys_, &content_, ServerConfig{}, dp_config);
+  server.Setup();
+  server.SetupDevPoll();
+  listener_ = sys_.listener(server.listener_fd());
+  EXPECT_EQ(ServeClients(*this, server, 20), 20);
+}
+
+TEST_F(ServersTest, PhhttpdServesRequests) {
+  Phhttpd server(&sys_, &content_, ServerConfig{});
+  server.Setup();
+  server.SetupSignals();
+  listener_ = sys_.listener(server.listener_fd());
+  const int ok = ServeClients(*this, server, 40);
+  EXPECT_EQ(ok, 40);
+  EXPECT_GT(kernel_.stats().rt_signals_delivered, 0u);
+  EXPECT_FALSE(server.in_poll_fallback());
+}
+
+TEST_F(ServersTest, HybridServesRequestsInSignalMode) {
+  HybridServer server(&sys_, &content_, ServerConfig{});
+  server.Setup();
+  server.SetupDevPoll();
+  server.SetupHybrid();
+  listener_ = sys_.listener(server.listener_fd());
+  EXPECT_EQ(ServeClients(*this, server, 40), 40);
+  EXPECT_EQ(server.mode(), EventMode::kSignals) << "light load: stays in signal mode";
+}
+
+TEST_F(ServersTest, MissingDocumentGets404) {
+  ThttpdDevPoll server(&sys_, &content_, ServerConfig{});
+  server.Setup();
+  server.SetupDevPoll();
+  listener_ = sys_.listener(server.listener_fd());
+  ActiveWorkload workload;
+  workload.request_rate = 100;
+  workload.duration = Millis(50);
+  workload.path = "/no-such-file";
+  workload.poisson_arrivals = false;
+  HttperfGenerator generator(&net_, listener_, workload);
+  generator.Start(sim_.now());
+  server.Run(sim_.now() + Seconds(2));
+  int bad_reply = 0;
+  for (const ConnRecord& record : generator.records()) {
+    bad_reply += record.outcome == ConnOutcome::kBadReply ? 1 : 0;
+  }
+  EXPECT_EQ(bad_reply, static_cast<int>(generator.attempts()));
+  EXPECT_EQ(server.stats().not_found_sent, generator.attempts());
+}
+
+TEST_F(ServersTest, MalformedRequestClosedAsBadRequest) {
+  ThttpdPoll server(&sys_, &content_, ServerConfig{});
+  server.Setup();
+  listener_ = sys_.listener(server.listener_fd());
+  auto client = net_.Connect(listener_);
+  client->on_connected = [&] { client->Write(Chunk{"NONSENSE\r\n\r\n", 0}); };
+  server.Run(sim_.now() + Millis(200));
+  EXPECT_EQ(server.stats().bad_requests, 1u);
+  EXPECT_EQ(server.open_connections(), 0u);
+}
+
+TEST_F(ServersTest, IdleTimeoutClosesSilentConnections) {
+  ServerConfig config;
+  config.idle_timeout = Millis(300);
+  ThttpdDevPoll server(&sys_, &content_, config);
+  server.Setup();
+  server.SetupDevPoll();
+  listener_ = sys_.listener(server.listener_fd());
+  auto client = net_.Connect(listener_);  // never sends anything
+  bool client_saw_eof = false;
+  client->on_eof = [&] { client_saw_eof = true; };
+  server.Run(sim_.now() + Seconds(2));
+  EXPECT_GE(server.stats().idle_timeouts, 1u);
+  EXPECT_TRUE(client_saw_eof);
+  EXPECT_EQ(server.open_connections(), 0u);
+}
+
+TEST_F(ServersTest, TricklingInactiveConnectionSurvivesTimeouts) {
+  ServerConfig config;
+  config.idle_timeout = Millis(800);
+  ThttpdDevPoll server(&sys_, &content_, config);
+  server.Setup();
+  server.SetupDevPoll();
+  listener_ = sys_.listener(server.listener_fd());
+  InactiveWorkload inactive;
+  inactive.connections = 3;
+  inactive.trickle_interval = Millis(200);
+  InactivePool pool(&net_, listener_, inactive);
+  pool.Start();
+  server.Run(sim_.now() + Seconds(3));
+  EXPECT_EQ(server.stats().idle_timeouts, 0u) << "trickle bytes reset the idle clock";
+  EXPECT_EQ(pool.connected_now(), 3);
+  EXPECT_GT(pool.trickle_bytes_sent(), 20u);
+  pool.Shutdown();
+}
+
+TEST_F(ServersTest, SilentInactivePoolReconnectsAfterServerTimeout) {
+  ServerConfig config;
+  config.idle_timeout = Millis(300);
+  ThttpdDevPoll server(&sys_, &content_, config);
+  server.Setup();
+  server.SetupDevPoll();
+  listener_ = sys_.listener(server.listener_fd());
+  InactiveWorkload inactive;
+  inactive.connections = 2;
+  inactive.trickle_interval = 0;  // fully silent: server times them out (§5)
+  InactivePool pool(&net_, listener_, inactive);
+  pool.Start();
+  server.Run(sim_.now() + Seconds(3));
+  EXPECT_GT(server.stats().idle_timeouts, 2u);
+  EXPECT_GT(pool.reconnects(), 1u) << "clients reopen when the server drops them";
+  pool.Shutdown();
+}
+
+TEST_F(ServersTest, PhhttpdRecoversFromQueueOverflow) {
+  proc_.set_rt_queue_max(8);  // tiny queue: the burst below must overflow it
+  Phhttpd server(&sys_, &content_, ServerConfig{});
+  server.Setup();
+  server.SetupSignals();
+  listener_ = sys_.listener(server.listener_fd());
+  const int ok = ServeClients(*this, server, 60, "/index.html", /*rate=*/5000);
+  EXPECT_GT(server.stats().overflow_recoveries, 0u);
+  EXPECT_EQ(ok, 60) << "the flush+poll recovery drops no requests (§2)";
+}
+
+TEST_F(ServersTest, PhhttpdSiblingHandoffStaysInPollMode) {
+  proc_.set_rt_queue_max(8);
+  PhhttpdConfig ph_config;
+  ph_config.recovery = OverflowRecovery::kHandoffToPollSibling;
+  Phhttpd server(&sys_, &content_, ServerConfig{}, ph_config);
+  server.Setup();
+  server.SetupSignals();
+  listener_ = sys_.listener(server.listener_fd());
+  const int ok = ServeClients(*this, server, 60, "/index.html", /*rate=*/5000);
+  EXPECT_EQ(ok, 60);
+  EXPECT_TRUE(server.in_poll_fallback())
+      << "Brown never implemented the switch back (§6)";
+  EXPECT_GT(kernel_.stats().poll_calls, 0u);
+}
+
+TEST_F(ServersTest, HybridSwitchesToPollingOnPressureAndBack) {
+  proc_.set_rt_queue_max(32);
+  HybridServerConfig hybrid_config;
+  hybrid_config.policy.high_watermark = 0.5;
+  hybrid_config.policy.low_watermark = 0.1;
+  hybrid_config.policy.switch_back_dwell = Millis(100);
+  HybridServer server(&sys_, &content_, ServerConfig{}, ThttpdDevPollConfig{},
+                      hybrid_config);
+  server.Setup();
+  server.SetupDevPoll();
+  server.SetupHybrid();
+  listener_ = sys_.listener(server.listener_fd());
+
+  // Burst far beyond the tiny queue, then quiet.
+  ActiveWorkload burst;
+  burst.request_rate = 2500;
+  burst.duration = Millis(400);
+  burst.poisson_arrivals = false;
+  HttperfGenerator generator(&net_, listener_, burst);
+  generator.Start(sim_.now());
+  server.Run(sim_.now() + Seconds(3));
+
+  EXPECT_GT(server.stats().mode_switches, 1u) << "switched out and back";
+  EXPECT_EQ(server.mode(), EventMode::kSignals) << "returned to signals when calm";
+  int ok = 0;
+  for (const ConnRecord& record : generator.records()) {
+    ok += record.outcome == ConnOutcome::kOk ? 1 : 0;
+  }
+  EXPECT_GT(ok, 0);
+}
+
+TEST_F(ServersTest, StaleEventsCountedNotFatal) {
+  proc_.set_rt_queue_max(1024);
+  Phhttpd server(&sys_, &content_, ServerConfig{});
+  server.Setup();
+  server.SetupSignals();
+  listener_ = sys_.listener(server.listener_fd());
+  // A client that sends a request and immediately closes: by the time the
+  // server picks up the data signal, more signals for the same fd are queued
+  // behind the close.
+  auto client = net_.Connect(listener_);
+  client->on_connected = [&] {
+    client->Write(Chunk{BuildHttpRequest("/index.html"), 0});
+    client->Close();
+  };
+  server.Run(sim_.now() + Millis(300));
+  // No crash, and the server processed everything it could.
+  EXPECT_GE(server.stats().connections_accepted, 1u);
+}
+
+}  // namespace
+}  // namespace scio

@@ -1,0 +1,219 @@
+// Tests for the discrete-event simulation engine.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+
+namespace scio {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(30, [&] { order.push_back(3); });
+  queue.Schedule(10, [&] { order.push_back(1); });
+  queue.Schedule(20, [&] { order.push_back(2); });
+  while (queue.RunNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeRunsInScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (queue.RunNext()) {
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue queue;
+  bool ran = false;
+  EventHandle handle = queue.Schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.Cancel();
+  EXPECT_FALSE(handle.pending());
+  while (queue.RunNext()) {
+  }
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoop) {
+  EventQueue queue;
+  int runs = 0;
+  EventHandle handle = queue.Schedule(10, [&] { ++runs; });
+  queue.RunNext();
+  EXPECT_FALSE(handle.pending());
+  handle.Cancel();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(EventQueueTest, EmptyHandleCancelIsSafe) {
+  EventHandle handle;
+  EXPECT_FALSE(handle.pending());
+  handle.Cancel();
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue queue;
+  EventHandle a = queue.Schedule(1, [] {});
+  queue.Schedule(2, [] {});
+  EXPECT_EQ(queue.size(), 2u);
+  a.Cancel();
+  EXPECT_EQ(queue.NextTime(), 2);  // skips the cancelled head
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueueTest, CallbackMaySchedule) {
+  EventQueue queue;
+  int runs = 0;
+  queue.Schedule(1, [&] {
+    ++runs;
+    queue.Schedule(2, [&] { ++runs; });
+  });
+  while (queue.RunNext()) {
+  }
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(SimulatorTest, AdvanceToRunsDueEventsAndSetsClock) {
+  Simulator sim;
+  std::vector<SimTime> seen;
+  sim.ScheduleAt(10, [&] { seen.push_back(sim.now()); });
+  sim.ScheduleAt(20, [&] { seen.push_back(sim.now()); });
+  sim.ScheduleAt(50, [&] { seen.push_back(sim.now()); });
+  sim.AdvanceTo(30);
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(seen, (std::vector<SimTime>{10, 20}));
+  sim.RunAll();
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(SimulatorTest, StepUntilStopsOnPredicate) {
+  Simulator sim;
+  bool flag = false;
+  sim.ScheduleAt(10, [&] { flag = true; });
+  sim.ScheduleAt(20, [&] { FAIL() << "should not run"; });
+  EXPECT_TRUE(sim.StepUntil([&] { return flag; }, 100));
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(SimulatorTest, StepUntilDeadlineAdvancesClock) {
+  Simulator sim;
+  EXPECT_FALSE(sim.StepUntil([] { return false; }, 42));
+  EXPECT_EQ(sim.now(), 42);
+}
+
+TEST(SimulatorTest, StepUntilImmediateWhenAlreadyTrue) {
+  Simulator sim;
+  EXPECT_TRUE(sim.StepUntil([] { return true; }, 42));
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(SimulatorTest, ScheduleAfterClampsNegativeDelay) {
+  Simulator sim;
+  bool ran = false;
+  sim.ScheduleAfter(-5, [&] { ran = true; });
+  sim.RunAll();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(SimulatorTest, RunAllHonorsLimit) {
+  Simulator sim;
+  int runs = 0;
+  // Self-perpetuating event chain.
+  std::function<void()> chain = [&] {
+    ++runs;
+    sim.ScheduleAfter(1, chain);
+  };
+  sim.ScheduleAfter(1, chain);
+  EXPECT_EQ(sim.RunAll(100), 100u);
+  EXPECT_EQ(runs, 100);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(7);
+  Rng fork = a.Fork();
+  EXPECT_NE(a.NextU64(), fork.NextU64());
+}
+
+class RngSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedTest, UniformIntStaysInRange) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 17);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST_P(RngSeedTest, NextDoubleInHalfOpenUnit) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST_P(RngSeedTest, ExponentialMeanConverges) {
+  Rng rng(GetParam());
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST_P(RngSeedTest, BoundedParetoStaysBounded) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.BoundedPareto(1.2, 100.0, 1e6);
+    EXPECT_GE(v, 100.0 * 0.999);
+    EXPECT_LE(v, 1e6 * 1.001);
+  }
+}
+
+TEST_P(RngSeedTest, BernoulliExtremes) {
+  Rng rng(GetParam());
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedTest,
+                         ::testing::Values(1ull, 42ull, 0xdeadbeefull, 977ull, 31337ull));
+
+}  // namespace
+}  // namespace scio

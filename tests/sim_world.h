@@ -1,0 +1,62 @@
+// Shared fixture: a small simulated world for syscall-level tests — kernel,
+// network, one server process with a listener, and helpers to make
+// established connections.
+
+#ifndef TESTS_SIM_WORLD_H_
+#define TESTS_SIM_WORLD_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/sys.h"
+
+namespace scio {
+
+class SimWorldTest : public ::testing::Test {
+ public:
+  SimWorldTest()
+      : kernel_(&sim_),
+        net_(&kernel_),
+        proc_(kernel_.CreateProcess("server")),
+        sys_(&kernel_, &proc_, &net_) {
+    listen_fd_ = sys_.Listen();
+    EXPECT_GE(listen_fd_, 0);
+    listener_ = sys_.listener(listen_fd_);
+  }
+
+  // Client connects; run the sim until the SYN lands in the backlog.
+  std::shared_ptr<SimSocket> ClientConnect() {
+    auto client = net_.Connect(listener_);
+    EXPECT_NE(client, nullptr);
+    sim_.StepUntil([&] { return listener_->backlog_depth() > 0; },
+                   sim_.now() + Seconds(1));
+    return client;
+  }
+
+  // Full path: connect + accept; returns {client socket, server fd}.
+  std::pair<std::shared_ptr<SimSocket>, int> EstablishedPair() {
+    auto client = ClientConnect();
+    const int fd = sys_.Accept(listen_fd_);
+    EXPECT_GE(fd, 0);
+    // Let the SYN-ACK reach the client.
+    sim_.StepUntil([&] { return client->state() == SimSocket::State::kEstablished; },
+                   sim_.now() + Seconds(1));
+    return {client, fd};
+  }
+
+  // Run the simulation for a fixed span.
+  void RunFor(SimDuration d) { sim_.AdvanceTo(sim_.now() + d); }
+
+  Simulator sim_;
+  SimKernel kernel_;
+  NetStack net_;
+  Process& proc_;
+  Sys sys_;
+  int listen_fd_ = -1;
+  std::shared_ptr<SimListener> listener_;
+};
+
+}  // namespace scio
+
+#endif  // TESTS_SIM_WORLD_H_

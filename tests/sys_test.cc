@@ -1,0 +1,99 @@
+// Tests for the Sys syscall facade: error paths, cost accounting, and the
+// counters that benches rely on.
+
+#include <gtest/gtest.h>
+
+#include "tests/sim_world.h"
+
+namespace scio {
+namespace {
+
+class SysTest : public SimWorldTest {};
+
+TEST_F(SysTest, EverySyscallCharges) {
+  const SimDuration busy0 = kernel_.busy_time();
+  sys_.Poll({static_cast<PollFd*>(nullptr), 0}, 0);
+  const SimDuration busy1 = kernel_.busy_time();
+  EXPECT_GE(busy1 - busy0, kernel_.cost().syscall_entry);
+}
+
+TEST_F(SysTest, ReadOnBadFdIsEmptyNotEof) {
+  const ReadResult r = sys_.Read(12345, 100);
+  EXPECT_EQ(r.n, 0u);
+  EXPECT_FALSE(r.eof);
+}
+
+TEST_F(SysTest, ReadOnListenerFdIsRejected) {
+  // A listener is a File but not a SimSocket; read must not crash.
+  const ReadResult r = sys_.Read(listen_fd_, 100);
+  EXPECT_EQ(r.n, 0u);
+}
+
+TEST_F(SysTest, CloseBadFdFails) { EXPECT_EQ(sys_.Close(777), -1); }
+
+TEST_F(SysTest, DevPollOpsOnNonDevPollFdFail) {
+  EXPECT_EQ(sys_.DevPollWrite(listen_fd_, {}), -1);
+  EXPECT_EQ(sys_.DevPollAlloc(listen_fd_, 4), -1);
+  EXPECT_EQ(sys_.DevPollMmap(listen_fd_), nullptr);
+  EXPECT_EQ(sys_.DevPollMunmap(listen_fd_), -1);
+  DvPoll args;
+  EXPECT_EQ(sys_.DevPollPoll(listen_fd_, &args), -1);
+  EXPECT_EQ(sys_.DevPollWritePoll(listen_fd_, {}, &args), -1);
+}
+
+TEST_F(SysTest, SocketAccessorsTypeCheck) {
+  EXPECT_EQ(sys_.socket(listen_fd_), nullptr);
+  EXPECT_NE(sys_.listener(listen_fd_), nullptr);
+  const int dp = sys_.OpenDevPoll();
+  EXPECT_NE(sys_.devpoll(dp), nullptr);
+  EXPECT_EQ(sys_.listener(dp), nullptr);
+}
+
+TEST_F(SysTest, ByteCountersTrackTraffic) {
+  auto [client, fd] = EstablishedPair();
+  client->Write(Chunk{"12345", 0});
+  RunFor(Millis(5));
+  sys_.Read(fd, 100);
+  sys_.Write(fd, Chunk{"abc", 1000});
+  EXPECT_EQ(kernel_.stats().bytes_read, 5u);
+  EXPECT_EQ(kernel_.stats().bytes_written, 1003u);
+}
+
+TEST_F(SysTest, WriteCostScalesWithBytes) {
+  auto [client, fd] = EstablishedPair();
+  kernel_.Charge(Nanos(1));  // flush interrupt debt
+  const SimDuration busy0 = kernel_.busy_time();
+  sys_.Write(fd, Chunk{"", 100});
+  const SimDuration small = kernel_.busy_time() - busy0;
+  const SimDuration busy1 = kernel_.busy_time();
+  sys_.Write(fd, Chunk{"", 10000});
+  const SimDuration large = kernel_.busy_time() - busy1;
+  EXPECT_GT(large, small + kernel_.cost().write_per_byte * 9000);
+}
+
+TEST_F(SysTest, ListenExhaustionReturnsError) {
+  int fd = 0;
+  int count = 0;
+  while ((fd = sys_.Listen()) >= 0) {
+    ++count;
+  }
+  EXPECT_EQ(fd, -1);
+  EXPECT_EQ(count + 1, proc_.fds().max_fds()) << "fixture already holds one fd";
+}
+
+TEST_F(SysTest, FlushRtSignalsChargesPerSignal) {
+  auto [client, fd] = EstablishedPair();
+  sys_.ArmAsync(fd, kSigRtMin + 1);
+  for (int i = 0; i < 10; ++i) {
+    client->Write(Chunk{"x", 0});
+  }
+  RunFor(Millis(10));
+  kernel_.Charge(Nanos(1));
+  const SimDuration busy0 = kernel_.busy_time();
+  EXPECT_EQ(sys_.FlushRtSignals(), 10u);
+  EXPECT_GE(kernel_.busy_time() - busy0,
+            kernel_.cost().syscall_entry + 10 * kernel_.cost().rt_signal_flush_per_sig);
+}
+
+}  // namespace
+}  // namespace scio
