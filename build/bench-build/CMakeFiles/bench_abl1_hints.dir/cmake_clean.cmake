@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl1_hints"
+  "../bench/bench_abl1_hints.pdb"
+  "CMakeFiles/bench_abl1_hints.dir/bench_abl1_hints.cc.o"
+  "CMakeFiles/bench_abl1_hints.dir/bench_abl1_hints.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl1_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

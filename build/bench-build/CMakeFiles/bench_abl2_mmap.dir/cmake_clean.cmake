@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl2_mmap"
+  "../bench/bench_abl2_mmap.pdb"
+  "CMakeFiles/bench_abl2_mmap.dir/bench_abl2_mmap.cc.o"
+  "CMakeFiles/bench_abl2_mmap.dir/bench_abl2_mmap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl2_mmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl4_sigbatch"
+  "../bench/bench_abl4_sigbatch.pdb"
+  "CMakeFiles/bench_abl4_sigbatch.dir/bench_abl4_sigbatch.cc.o"
+  "CMakeFiles/bench_abl4_sigbatch.dir/bench_abl4_sigbatch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl4_sigbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl5_fused_update"
+  "../bench/bench_abl5_fused_update.pdb"
+  "CMakeFiles/bench_abl5_fused_update.dir/bench_abl5_fused_update.cc.o"
+  "CMakeFiles/bench_abl5_fused_update.dir/bench_abl5_fused_update.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl5_fused_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

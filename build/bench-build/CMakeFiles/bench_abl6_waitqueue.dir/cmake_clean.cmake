@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl6_waitqueue"
+  "../bench/bench_abl6_waitqueue.pdb"
+  "CMakeFiles/bench_abl6_waitqueue.dir/bench_abl6_waitqueue.cc.o"
+  "CMakeFiles/bench_abl6_waitqueue.dir/bench_abl6_waitqueue.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl6_waitqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_abl6_waitqueue.
+# This may be replaced when dependencies are built.

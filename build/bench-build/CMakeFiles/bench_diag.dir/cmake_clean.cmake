@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/bench_diag"
+  "../tools/bench_diag.pdb"
+  "CMakeFiles/bench_diag.dir/bench_diag.cc.o"
+  "CMakeFiles/bench_diag.dir/bench_diag.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_docsize"
+  "../bench/bench_ext_docsize.pdb"
+  "CMakeFiles/bench_ext_docsize.dir/bench_ext_docsize.cc.o"
+  "CMakeFiles/bench_ext_docsize.dir/bench_ext_docsize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_docsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

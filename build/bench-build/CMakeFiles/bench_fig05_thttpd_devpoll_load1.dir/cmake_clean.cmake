@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_thttpd_devpoll_load1"
+  "../bench/bench_fig05_thttpd_devpoll_load1.pdb"
+  "CMakeFiles/bench_fig05_thttpd_devpoll_load1.dir/bench_fig05_thttpd_devpoll_load1.cc.o"
+  "CMakeFiles/bench_fig05_thttpd_devpoll_load1.dir/bench_fig05_thttpd_devpoll_load1.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_thttpd_devpoll_load1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

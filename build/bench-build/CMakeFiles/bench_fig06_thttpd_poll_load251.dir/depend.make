@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig06_thttpd_poll_load251.
+# This may be replaced when dependencies are built.

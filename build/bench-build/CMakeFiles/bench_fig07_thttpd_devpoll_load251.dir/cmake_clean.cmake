@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_thttpd_devpoll_load251"
+  "../bench/bench_fig07_thttpd_devpoll_load251.pdb"
+  "CMakeFiles/bench_fig07_thttpd_devpoll_load251.dir/bench_fig07_thttpd_devpoll_load251.cc.o"
+  "CMakeFiles/bench_fig07_thttpd_devpoll_load251.dir/bench_fig07_thttpd_devpoll_load251.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_thttpd_devpoll_load251.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_error_rates"
+  "../bench/bench_fig10_error_rates.pdb"
+  "CMakeFiles/bench_fig10_error_rates.dir/bench_fig10_error_rates.cc.o"
+  "CMakeFiles/bench_fig10_error_rates.dir/bench_fig10_error_rates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_error_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_phhttpd_load501"
+  "../bench/bench_fig13_phhttpd_load501.pdb"
+  "CMakeFiles/bench_fig13_phhttpd_load501.dir/bench_fig13_phhttpd_load501.cc.o"
+  "CMakeFiles/bench_fig13_phhttpd_load501.dir/bench_fig13_phhttpd_load501.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_phhttpd_load501.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

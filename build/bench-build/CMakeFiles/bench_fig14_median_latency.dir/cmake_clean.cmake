@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_median_latency"
+  "../bench/bench_fig14_median_latency.pdb"
+  "CMakeFiles/bench_fig14_median_latency.dir/bench_fig14_median_latency.cc.o"
+  "CMakeFiles/bench_fig14_median_latency.dir/bench_fig14_median_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_median_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

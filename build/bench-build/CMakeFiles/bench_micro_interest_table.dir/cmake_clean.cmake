@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_interest_table"
+  "../bench/bench_micro_interest_table.pdb"
+  "CMakeFiles/bench_micro_interest_table.dir/bench_micro_interest_table.cc.o"
+  "CMakeFiles/bench_micro_interest_table.dir/bench_micro_interest_table.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_interest_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_posix"
+  "../bench/bench_micro_posix.pdb"
+  "CMakeFiles/bench_micro_posix.dir/bench_micro_posix.cc.o"
+  "CMakeFiles/bench_micro_posix.dir/bench_micro_posix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/bench_smoke"
+  "../tools/bench_smoke.pdb"
+  "CMakeFiles/bench_smoke.dir/bench_smoke.cc.o"
+  "CMakeFiles/bench_smoke.dir/bench_smoke.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scio_figure_harness.dir/figure_harness.cc.o"
+  "CMakeFiles/scio_figure_harness.dir/figure_harness.cc.o.d"
+  "libscio_figure_harness.a"
+  "libscio_figure_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scio_figure_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

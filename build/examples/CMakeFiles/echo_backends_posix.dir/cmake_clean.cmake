@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/echo_backends_posix.dir/echo_backends_posix.cpp.o"
+  "CMakeFiles/echo_backends_posix.dir/echo_backends_posix.cpp.o.d"
+  "echo_backends_posix"
+  "echo_backends_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/echo_backends_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

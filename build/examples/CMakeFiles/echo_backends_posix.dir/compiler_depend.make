@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for echo_backends_posix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_crossover.dir/hybrid_crossover.cpp.o"
+  "CMakeFiles/hybrid_crossover.dir/hybrid_crossover.cpp.o.d"
+  "hybrid_crossover"
+  "hybrid_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_server_shootout.dir/web_server_shootout.cpp.o"
+  "CMakeFiles/web_server_shootout.dir/web_server_shootout.cpp.o.d"
+  "web_server_shootout"
+  "web_server_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_server_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/devpoll.cc" "src/core/CMakeFiles/scio_core.dir/devpoll.cc.o" "gcc" "src/core/CMakeFiles/scio_core.dir/devpoll.cc.o.d"
+  "/root/repo/src/core/interest_table.cc" "src/core/CMakeFiles/scio_core.dir/interest_table.cc.o" "gcc" "src/core/CMakeFiles/scio_core.dir/interest_table.cc.o.d"
+  "/root/repo/src/core/poll_syscall.cc" "src/core/CMakeFiles/scio_core.dir/poll_syscall.cc.o" "gcc" "src/core/CMakeFiles/scio_core.dir/poll_syscall.cc.o.d"
+  "/root/repo/src/core/rt_io.cc" "src/core/CMakeFiles/scio_core.dir/rt_io.cc.o" "gcc" "src/core/CMakeFiles/scio_core.dir/rt_io.cc.o.d"
+  "/root/repo/src/core/sys.cc" "src/core/CMakeFiles/scio_core.dir/sys.cc.o" "gcc" "src/core/CMakeFiles/scio_core.dir/sys.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/scio_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scio_core.dir/devpoll.cc.o"
+  "CMakeFiles/scio_core.dir/devpoll.cc.o.d"
+  "CMakeFiles/scio_core.dir/interest_table.cc.o"
+  "CMakeFiles/scio_core.dir/interest_table.cc.o.d"
+  "CMakeFiles/scio_core.dir/poll_syscall.cc.o"
+  "CMakeFiles/scio_core.dir/poll_syscall.cc.o.d"
+  "CMakeFiles/scio_core.dir/rt_io.cc.o"
+  "CMakeFiles/scio_core.dir/rt_io.cc.o.d"
+  "CMakeFiles/scio_core.dir/sys.cc.o"
+  "CMakeFiles/scio_core.dir/sys.cc.o.d"
+  "libscio_core.a"
+  "libscio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/http_message.cc" "src/http/CMakeFiles/scio_http.dir/http_message.cc.o" "gcc" "src/http/CMakeFiles/scio_http.dir/http_message.cc.o.d"
+  "/root/repo/src/http/request_parser.cc" "src/http/CMakeFiles/scio_http.dir/request_parser.cc.o" "gcc" "src/http/CMakeFiles/scio_http.dir/request_parser.cc.o.d"
+  "/root/repo/src/http/response_reader.cc" "src/http/CMakeFiles/scio_http.dir/response_reader.cc.o" "gcc" "src/http/CMakeFiles/scio_http.dir/response_reader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/scio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/scio_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

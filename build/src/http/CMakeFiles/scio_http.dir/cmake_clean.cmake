@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scio_http.dir/http_message.cc.o"
+  "CMakeFiles/scio_http.dir/http_message.cc.o.d"
+  "CMakeFiles/scio_http.dir/request_parser.cc.o"
+  "CMakeFiles/scio_http.dir/request_parser.cc.o.d"
+  "CMakeFiles/scio_http.dir/response_reader.cc.o"
+  "CMakeFiles/scio_http.dir/response_reader.cc.o.d"
+  "libscio_http.a"
+  "libscio_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scio_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/fd_table.cc" "src/kernel/CMakeFiles/scio_kernel.dir/fd_table.cc.o" "gcc" "src/kernel/CMakeFiles/scio_kernel.dir/fd_table.cc.o.d"
+  "/root/repo/src/kernel/file.cc" "src/kernel/CMakeFiles/scio_kernel.dir/file.cc.o" "gcc" "src/kernel/CMakeFiles/scio_kernel.dir/file.cc.o.d"
+  "/root/repo/src/kernel/kernel_stats.cc" "src/kernel/CMakeFiles/scio_kernel.dir/kernel_stats.cc.o" "gcc" "src/kernel/CMakeFiles/scio_kernel.dir/kernel_stats.cc.o.d"
+  "/root/repo/src/kernel/process.cc" "src/kernel/CMakeFiles/scio_kernel.dir/process.cc.o" "gcc" "src/kernel/CMakeFiles/scio_kernel.dir/process.cc.o.d"
+  "/root/repo/src/kernel/sim_kernel.cc" "src/kernel/CMakeFiles/scio_kernel.dir/sim_kernel.cc.o" "gcc" "src/kernel/CMakeFiles/scio_kernel.dir/sim_kernel.cc.o.d"
+  "/root/repo/src/kernel/wait_queue.cc" "src/kernel/CMakeFiles/scio_kernel.dir/wait_queue.cc.o" "gcc" "src/kernel/CMakeFiles/scio_kernel.dir/wait_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/scio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scio_kernel.dir/fd_table.cc.o"
+  "CMakeFiles/scio_kernel.dir/fd_table.cc.o.d"
+  "CMakeFiles/scio_kernel.dir/file.cc.o"
+  "CMakeFiles/scio_kernel.dir/file.cc.o.d"
+  "CMakeFiles/scio_kernel.dir/kernel_stats.cc.o"
+  "CMakeFiles/scio_kernel.dir/kernel_stats.cc.o.d"
+  "CMakeFiles/scio_kernel.dir/process.cc.o"
+  "CMakeFiles/scio_kernel.dir/process.cc.o.d"
+  "CMakeFiles/scio_kernel.dir/sim_kernel.cc.o"
+  "CMakeFiles/scio_kernel.dir/sim_kernel.cc.o.d"
+  "CMakeFiles/scio_kernel.dir/wait_queue.cc.o"
+  "CMakeFiles/scio_kernel.dir/wait_queue.cc.o.d"
+  "libscio_kernel.a"
+  "libscio_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scio_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

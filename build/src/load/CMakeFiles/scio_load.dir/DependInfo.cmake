@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/load/active_client.cc" "src/load/CMakeFiles/scio_load.dir/active_client.cc.o" "gcc" "src/load/CMakeFiles/scio_load.dir/active_client.cc.o.d"
+  "/root/repo/src/load/benchmark_run.cc" "src/load/CMakeFiles/scio_load.dir/benchmark_run.cc.o" "gcc" "src/load/CMakeFiles/scio_load.dir/benchmark_run.cc.o.d"
+  "/root/repo/src/load/httperf.cc" "src/load/CMakeFiles/scio_load.dir/httperf.cc.o" "gcc" "src/load/CMakeFiles/scio_load.dir/httperf.cc.o.d"
+  "/root/repo/src/load/inactive_pool.cc" "src/load/CMakeFiles/scio_load.dir/inactive_pool.cc.o" "gcc" "src/load/CMakeFiles/scio_load.dir/inactive_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/servers/CMakeFiles/scio_servers.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/scio_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/scio_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/scio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/scio_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

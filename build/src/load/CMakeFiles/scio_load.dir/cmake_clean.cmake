@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scio_load.dir/active_client.cc.o"
+  "CMakeFiles/scio_load.dir/active_client.cc.o.d"
+  "CMakeFiles/scio_load.dir/benchmark_run.cc.o"
+  "CMakeFiles/scio_load.dir/benchmark_run.cc.o.d"
+  "CMakeFiles/scio_load.dir/httperf.cc.o"
+  "CMakeFiles/scio_load.dir/httperf.cc.o.d"
+  "CMakeFiles/scio_load.dir/inactive_pool.cc.o"
+  "CMakeFiles/scio_load.dir/inactive_pool.cc.o.d"
+  "libscio_load.a"
+  "libscio_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scio_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scio_metrics.dir/percentile.cc.o"
+  "CMakeFiles/scio_metrics.dir/percentile.cc.o.d"
+  "CMakeFiles/scio_metrics.dir/table.cc.o"
+  "CMakeFiles/scio_metrics.dir/table.cc.o.d"
+  "libscio_metrics.a"
+  "libscio_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scio_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/link.cc" "src/net/CMakeFiles/scio_net.dir/link.cc.o" "gcc" "src/net/CMakeFiles/scio_net.dir/link.cc.o.d"
+  "/root/repo/src/net/listener.cc" "src/net/CMakeFiles/scio_net.dir/listener.cc.o" "gcc" "src/net/CMakeFiles/scio_net.dir/listener.cc.o.d"
+  "/root/repo/src/net/net_stack.cc" "src/net/CMakeFiles/scio_net.dir/net_stack.cc.o" "gcc" "src/net/CMakeFiles/scio_net.dir/net_stack.cc.o.d"
+  "/root/repo/src/net/port_allocator.cc" "src/net/CMakeFiles/scio_net.dir/port_allocator.cc.o" "gcc" "src/net/CMakeFiles/scio_net.dir/port_allocator.cc.o.d"
+  "/root/repo/src/net/socket.cc" "src/net/CMakeFiles/scio_net.dir/socket.cc.o" "gcc" "src/net/CMakeFiles/scio_net.dir/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/scio_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

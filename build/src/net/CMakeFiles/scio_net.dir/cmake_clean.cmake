@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scio_net.dir/link.cc.o"
+  "CMakeFiles/scio_net.dir/link.cc.o.d"
+  "CMakeFiles/scio_net.dir/listener.cc.o"
+  "CMakeFiles/scio_net.dir/listener.cc.o.d"
+  "CMakeFiles/scio_net.dir/net_stack.cc.o"
+  "CMakeFiles/scio_net.dir/net_stack.cc.o.d"
+  "CMakeFiles/scio_net.dir/port_allocator.cc.o"
+  "CMakeFiles/scio_net.dir/port_allocator.cc.o.d"
+  "CMakeFiles/scio_net.dir/socket.cc.o"
+  "CMakeFiles/scio_net.dir/socket.cc.o.d"
+  "libscio_net.a"
+  "libscio_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scio_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/posix/epoll_backend.cc" "src/posix/CMakeFiles/scio_posix.dir/epoll_backend.cc.o" "gcc" "src/posix/CMakeFiles/scio_posix.dir/epoll_backend.cc.o.d"
+  "/root/repo/src/posix/event_backend.cc" "src/posix/CMakeFiles/scio_posix.dir/event_backend.cc.o" "gcc" "src/posix/CMakeFiles/scio_posix.dir/event_backend.cc.o.d"
+  "/root/repo/src/posix/poll_backend.cc" "src/posix/CMakeFiles/scio_posix.dir/poll_backend.cc.o" "gcc" "src/posix/CMakeFiles/scio_posix.dir/poll_backend.cc.o.d"
+  "/root/repo/src/posix/rtsig_backend.cc" "src/posix/CMakeFiles/scio_posix.dir/rtsig_backend.cc.o" "gcc" "src/posix/CMakeFiles/scio_posix.dir/rtsig_backend.cc.o.d"
+  "/root/repo/src/posix/select_backend.cc" "src/posix/CMakeFiles/scio_posix.dir/select_backend.cc.o" "gcc" "src/posix/CMakeFiles/scio_posix.dir/select_backend.cc.o.d"
+  "/root/repo/src/posix/socketpair_rig.cc" "src/posix/CMakeFiles/scio_posix.dir/socketpair_rig.cc.o" "gcc" "src/posix/CMakeFiles/scio_posix.dir/socketpair_rig.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

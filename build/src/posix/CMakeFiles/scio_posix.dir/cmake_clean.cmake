@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scio_posix.dir/epoll_backend.cc.o"
+  "CMakeFiles/scio_posix.dir/epoll_backend.cc.o.d"
+  "CMakeFiles/scio_posix.dir/event_backend.cc.o"
+  "CMakeFiles/scio_posix.dir/event_backend.cc.o.d"
+  "CMakeFiles/scio_posix.dir/poll_backend.cc.o"
+  "CMakeFiles/scio_posix.dir/poll_backend.cc.o.d"
+  "CMakeFiles/scio_posix.dir/rtsig_backend.cc.o"
+  "CMakeFiles/scio_posix.dir/rtsig_backend.cc.o.d"
+  "CMakeFiles/scio_posix.dir/select_backend.cc.o"
+  "CMakeFiles/scio_posix.dir/select_backend.cc.o.d"
+  "CMakeFiles/scio_posix.dir/socketpair_rig.cc.o"
+  "CMakeFiles/scio_posix.dir/socketpair_rig.cc.o.d"
+  "libscio_posix.a"
+  "libscio_posix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scio_posix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

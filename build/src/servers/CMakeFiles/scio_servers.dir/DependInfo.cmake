@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/servers/hybrid_server.cc" "src/servers/CMakeFiles/scio_servers.dir/hybrid_server.cc.o" "gcc" "src/servers/CMakeFiles/scio_servers.dir/hybrid_server.cc.o.d"
+  "/root/repo/src/servers/phhttpd.cc" "src/servers/CMakeFiles/scio_servers.dir/phhttpd.cc.o" "gcc" "src/servers/CMakeFiles/scio_servers.dir/phhttpd.cc.o.d"
+  "/root/repo/src/servers/server_base.cc" "src/servers/CMakeFiles/scio_servers.dir/server_base.cc.o" "gcc" "src/servers/CMakeFiles/scio_servers.dir/server_base.cc.o.d"
+  "/root/repo/src/servers/thttpd_devpoll.cc" "src/servers/CMakeFiles/scio_servers.dir/thttpd_devpoll.cc.o" "gcc" "src/servers/CMakeFiles/scio_servers.dir/thttpd_devpoll.cc.o.d"
+  "/root/repo/src/servers/thttpd_poll.cc" "src/servers/CMakeFiles/scio_servers.dir/thttpd_poll.cc.o" "gcc" "src/servers/CMakeFiles/scio_servers.dir/thttpd_poll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/scio_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/scio_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

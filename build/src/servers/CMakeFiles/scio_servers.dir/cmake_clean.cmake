@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scio_servers.dir/hybrid_server.cc.o"
+  "CMakeFiles/scio_servers.dir/hybrid_server.cc.o.d"
+  "CMakeFiles/scio_servers.dir/phhttpd.cc.o"
+  "CMakeFiles/scio_servers.dir/phhttpd.cc.o.d"
+  "CMakeFiles/scio_servers.dir/server_base.cc.o"
+  "CMakeFiles/scio_servers.dir/server_base.cc.o.d"
+  "CMakeFiles/scio_servers.dir/thttpd_devpoll.cc.o"
+  "CMakeFiles/scio_servers.dir/thttpd_devpoll.cc.o.d"
+  "CMakeFiles/scio_servers.dir/thttpd_poll.cc.o"
+  "CMakeFiles/scio_servers.dir/thttpd_poll.cc.o.d"
+  "libscio_servers.a"
+  "libscio_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scio_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscio_servers.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scio_sim.dir/event_queue.cc.o"
+  "CMakeFiles/scio_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/scio_sim.dir/rng.cc.o"
+  "CMakeFiles/scio_sim.dir/rng.cc.o.d"
+  "CMakeFiles/scio_sim.dir/simulator.cc.o"
+  "CMakeFiles/scio_sim.dir/simulator.cc.o.d"
+  "libscio_sim.a"
+  "libscio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devpoll_test.dir/devpoll_test.cc.o"
+  "CMakeFiles/devpoll_test.dir/devpoll_test.cc.o.d"
+  "devpoll_test"
+  "devpoll_test.pdb"
+  "devpoll_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devpoll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/http_test.cc" "tests/CMakeFiles/http_test.dir/http_test.cc.o" "gcc" "tests/CMakeFiles/http_test.dir/http_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/scio_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/scio_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/scio_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/servers/CMakeFiles/scio_servers.dir/DependInfo.cmake"
+  "/root/repo/build/src/posix/CMakeFiles/scio_posix.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/scio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/scio_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interest_table_test.dir/interest_table_test.cc.o"
+  "CMakeFiles/interest_table_test.dir/interest_table_test.cc.o.d"
+  "interest_table_test"
+  "interest_table_test.pdb"
+  "interest_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interest_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

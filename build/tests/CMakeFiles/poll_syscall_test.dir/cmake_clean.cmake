@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poll_syscall_test.dir/poll_syscall_test.cc.o"
+  "CMakeFiles/poll_syscall_test.dir/poll_syscall_test.cc.o.d"
+  "poll_syscall_test"
+  "poll_syscall_test.pdb"
+  "poll_syscall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poll_syscall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

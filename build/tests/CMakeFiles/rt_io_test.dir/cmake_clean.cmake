@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_io_test.dir/rt_io_test.cc.o"
+  "CMakeFiles/rt_io_test.dir/rt_io_test.cc.o.d"
+  "rt_io_test"
+  "rt_io_test.pdb"
+  "rt_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/devpoll_test[1]_include.cmake")
+include("/root/repo/build/tests/load_test[1]_include.cmake")
+include("/root/repo/build/tests/http_test[1]_include.cmake")
+include("/root/repo/build/tests/interest_table_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/posix_test[1]_include.cmake")
+include("/root/repo/build/tests/servers_test[1]_include.cmake")
+include("/root/repo/build/tests/poll_syscall_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_io_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/sys_test[1]_include.cmake")
