@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/kernel/sys_errno.h"
+
 namespace scio {
 
 DevPollDevice::DevPollDevice(SimKernel* kernel, Process* owner, DevPollOptions options)
@@ -53,6 +55,20 @@ long DevPollDevice::WriteInternal(std::span<const PollFd> updates) {
   kernel()->Charge(kernel()->cost().devpoll_lock_acquire +
                    kernel()->cost().devpoll_write_per_fd *
                        static_cast<SimDuration>(updates.size()));
+
+  // Interest-set growth allocates kernel memory; under an ENOMEM fault window
+  // the whole write fails atomically, before any update is applied, so the
+  // caller can retry the batch verbatim.
+  bool grows = false;
+  for (const PollFd& update : updates) {
+    grows = grows || (update.events & kPollRemove) == 0;
+  }
+  if (grows) {
+    if (FaultPlane* fault = kernel()->fault();
+        fault != nullptr && fault->InjectInterestEnomem()) {
+      return kErrNoMem;
+    }
+  }
 
   const uint64_t resizes_before = table_.resize_count();
   for (const PollFd& update : updates) {
@@ -295,6 +311,10 @@ int DevPollDevice::PollInternal(DvPoll* args) {
                        static_cast<SimDuration>(waiters.size()));
       waiters.clear();
     }
+    if (FaultPlane* fault = kernel()->fault();
+        fault != nullptr && fault->InjectEintr()) {
+      return kErrIntr;
+    }
   }
 }
 
@@ -303,8 +323,8 @@ int DevPollDevice::IoctlDpWritePoll(std::span<const PollFd> updates, DvPoll* arg
   // could improve efficiency" — one syscall entry covers both halves.
   ++kernel()->stats().syscalls;
   kernel()->Charge(kernel()->cost().syscall_entry);
-  if (WriteInternal(updates) < 0) {
-    return -1;
+  if (long rc = WriteInternal(updates); rc < 0) {
+    return static_cast<int>(rc);  // propagate kErrNoMem vs bad-args -1
   }
   return PollInternal(args);
 }

@@ -3,6 +3,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/kernel/sys_errno.h"
+
 namespace scio {
 
 int PollSyscall::ScanOnce(std::span<PollFd> fds) {
@@ -82,6 +84,10 @@ int PollSyscall::Poll(std::span<PollFd> fds, int timeout_ms) {
                       static_cast<SimDuration>(waiters.size()));
     }
     waiters.clear();
+    if (FaultPlane* fault = kernel_->fault();
+        fault != nullptr && fault->InjectEintr()) {
+      return kErrIntr;  // a signal interrupted the sleep; caller must retry
+    }
   }
 }
 

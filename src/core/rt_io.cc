@@ -23,6 +23,12 @@ bool RtIo::WaitForSignal(int timeout_ms) {
       return false;
     }
     kernel_->BlockProcess(*proc_, deadline);
+    if (FaultPlane* fault = kernel_->fault();
+        fault != nullptr && fault->InjectEintr()) {
+      // A non-queued signal interrupted the wait: surfaces to the caller as
+      // an empty wait result, which every signal loop already retries.
+      return false;
+    }
   }
   return true;
 }

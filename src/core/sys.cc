@@ -1,5 +1,7 @@
 #include "src/core/sys.h"
 
+#include "src/kernel/sys_errno.h"
+
 namespace scio {
 
 int Sys::Listen(int backlog) {
@@ -7,6 +9,9 @@ int Sys::Listen(int backlog) {
   // socket() + bind() + listen().
   stats.syscalls += 3;
   kernel_->Charge(3 * kernel_->cost().syscall_entry);
+  if (FaultPlane* fault = kernel_->fault(); fault != nullptr && fault->InjectOpenEmfile()) {
+    return kErrMFile;
+  }
   auto listener = std::make_shared<SimListener>(kernel_, net_, backlog);
   return proc_->fds().Allocate(std::move(listener));
 }
@@ -18,7 +23,13 @@ int Sys::Accept(int listener_fd) {
   kernel_->Charge(kernel_->cost().syscall_entry);
   auto listener = std::dynamic_pointer_cast<SimListener>(proc_->fds().Get(listener_fd));
   if (listener == nullptr) {
-    return -2;
+    return kErrBadF;
+  }
+  if (FaultPlane* fault = kernel_->fault(); fault != nullptr && fault->InjectAcceptEmfile()) {
+    // Injected descriptor exhaustion: unlike the natural EMFILE below, the
+    // connection stays queued in the backlog so the server can retry once it
+    // has shed descriptors.
+    return kErrMFile;
   }
   std::shared_ptr<SimSocket> conn = listener->Accept();
   if (conn == nullptr) {
@@ -41,7 +52,9 @@ ReadResult Sys::Read(int fd, size_t max_bytes) {
   kernel_->Charge(kernel_->cost().syscall_entry + kernel_->cost().read_extra);
   auto socket = std::dynamic_pointer_cast<SimSocket>(proc_->fds().Get(fd));
   if (socket == nullptr) {
-    return ReadResult{};  // EBADF modelled as empty non-eof read
+    ReadResult bad;
+    bad.err = kErrBadF;
+    return bad;
   }
   ReadResult result = socket->Read(max_bytes);
   stats.bytes_read += result.n;
@@ -57,6 +70,10 @@ long Sys::Write(int fd, Chunk chunk) {
   auto socket = std::dynamic_pointer_cast<SimSocket>(proc_->fds().Get(fd));
   if (socket == nullptr) {
     return -1;
+  }
+  const SimSocket::State state = socket->state();
+  if (state != SimSocket::State::kEstablished && state != SimSocket::State::kPeerClosed) {
+    return kErrPipe;  // the connection can never carry these bytes
   }
   const size_t accepted = socket->Write(std::move(chunk));
   stats.bytes_written += accepted;
@@ -77,6 +94,9 @@ int Sys::Poll(std::span<PollFd> fds, int timeout_ms) { return poll_.Poll(fds, ti
 int Sys::OpenDevPoll(DevPollOptions options) {
   ++kernel_->stats().syscalls;
   kernel_->Charge(kernel_->cost().syscall_entry);
+  if (FaultPlane* fault = kernel_->fault(); fault != nullptr && fault->InjectOpenEmfile()) {
+    return kErrMFile;
+  }
   auto device = std::make_shared<DevPollDevice>(kernel_, proc_, options);
   return proc_->fds().Allocate(std::move(device));
 }

@@ -19,6 +19,7 @@
 #include "src/core/rt_io.h"
 #include "src/kernel/process.h"
 #include "src/kernel/sim_kernel.h"
+#include "src/kernel/sys_errno.h"
 #include "src/net/listener.h"
 #include "src/net/net_stack.h"
 #include "src/net/socket.h"
@@ -44,10 +45,12 @@ class Sys {
   // -3 when the fd table is full (EMFILE — the connection is dropped).
   int Accept(int listener_fd);
 
-  // read(): ReadResult.n == 0 with eof=false means EAGAIN.
+  // read(): ReadResult.n == 0 with eof=false means EAGAIN; a bad fd sets
+  // result.err = kErrBadF instead of asserting.
   ReadResult Read(int fd, size_t max_bytes);
 
-  // write(): returns bytes accepted (0 = would block), or -1 on a bad fd.
+  // write(): returns bytes accepted (0 = would block), -1 on a bad fd, or
+  // kErrPipe when the connection can no longer carry data.
   long Write(int fd, Chunk chunk);
 
   // close(): returns 0 or -1 (EBADF).

@@ -1,0 +1,134 @@
+#include "src/fault/fault_plane.h"
+
+namespace scio {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kAcceptEmfile:
+      return "accept-emfile";
+    case FaultKind::kOpenEmfile:
+      return "open-emfile";
+    case FaultKind::kInterestEnomem:
+      return "interest-enomem";
+    case FaultKind::kEintr:
+      return "eintr";
+    case FaultKind::kRtQueueShrink:
+      return "rt-queue-shrink";
+    case FaultKind::kPacketLoss:
+      return "packet-loss";
+    case FaultKind::kLatencySpike:
+      return "latency-spike";
+    case FaultKind::kLinkFlap:
+      return "link-flap";
+  }
+  return "unknown";
+}
+
+std::vector<std::pair<std::string, uint64_t>> FaultStats::ToRows() const {
+  return {
+      {"fault_accept_emfile_injected", accept_emfile_injected},
+      {"fault_open_emfile_injected", open_emfile_injected},
+      {"fault_interest_enomem_injected", interest_enomem_injected},
+      {"fault_eintr_injected", eintr_injected},
+      {"fault_rt_signals_shed", rt_signals_shed},
+      {"fault_packets_lost", packets_lost},
+      {"fault_packets_spiked", packets_spiked},
+      {"fault_packets_flap_held", packets_flap_held},
+  };
+}
+
+FaultPlane::FaultPlane(Simulator* sim, FaultSchedule schedule)
+    : sim_(sim), schedule_(std::move(schedule)), rng_(schedule_.seed) {}
+
+const FaultWindow* FaultPlane::ActiveWindow(FaultKind kind, LinkDir dir) const {
+  const SimTime now = sim_->now();
+  for (const FaultWindow& window : schedule_.windows) {
+    if (window.kind != kind || now < window.start || now >= window.end) {
+      continue;
+    }
+    if (dir != LinkDir::kBoth && window.dir != LinkDir::kBoth && window.dir != dir) {
+      continue;
+    }
+    return &window;
+  }
+  return nullptr;
+}
+
+bool FaultPlane::Roll(const FaultWindow* window) {
+  if (window == nullptr) {
+    return false;
+  }
+  // The RNG is only consumed inside an active window, so an empty or
+  // never-matching schedule is a pure no-op and perturbs nothing.
+  if (window->probability >= 1.0) {
+    return true;
+  }
+  return rng_.Bernoulli(window->probability);
+}
+
+bool FaultPlane::InjectAcceptEmfile() {
+  if (Roll(ActiveWindow(FaultKind::kAcceptEmfile))) {
+    ++stats_.accept_emfile_injected;
+    return true;
+  }
+  return false;
+}
+
+bool FaultPlane::InjectOpenEmfile() {
+  if (Roll(ActiveWindow(FaultKind::kOpenEmfile))) {
+    ++stats_.open_emfile_injected;
+    return true;
+  }
+  return false;
+}
+
+bool FaultPlane::InjectInterestEnomem() {
+  if (Roll(ActiveWindow(FaultKind::kInterestEnomem))) {
+    ++stats_.interest_enomem_injected;
+    return true;
+  }
+  return false;
+}
+
+bool FaultPlane::InjectEintr() {
+  if (Roll(ActiveWindow(FaultKind::kEintr))) {
+    ++stats_.eintr_injected;
+    return true;
+  }
+  return false;
+}
+
+std::optional<size_t> FaultPlane::RtQueueCap() const {
+  const FaultWindow* window = ActiveWindow(FaultKind::kRtQueueShrink);
+  if (window == nullptr || window->magnitude < 0) {
+    return std::nullopt;
+  }
+  return static_cast<size_t>(window->magnitude);
+}
+
+FaultPlane::TransmitFault FaultPlane::OnTransmit(bool toward_server) {
+  TransmitFault fault;
+  const LinkDir dir = toward_server ? LinkDir::kToServer : LinkDir::kToClient;
+
+  if (const FaultWindow* spike = ActiveWindow(FaultKind::kLatencySpike, dir);
+      Roll(spike)) {
+    fault.extra_delay += static_cast<SimDuration>(spike->magnitude);
+    ++stats_.packets_spiked;
+  }
+  if (const FaultWindow* loss = ActiveWindow(FaultKind::kPacketLoss, dir);
+      Roll(loss)) {
+    // No retransmission machinery in the socket model, so a "lost" packet is
+    // delivered late by one RTO penalty; in-order delivery in Link keeps the
+    // byte stream intact, which is exactly TCP's contract under loss.
+    fault.extra_delay += static_cast<SimDuration>(loss->magnitude);
+    ++stats_.packets_lost;
+  }
+  if (const FaultWindow* flap = ActiveWindow(FaultKind::kLinkFlap, dir)) {
+    // Link down: traffic is queued and released when the window closes.
+    fault.hold_until = flap->end;
+    ++stats_.packets_flap_held;
+  }
+  return fault;
+}
+
+}  // namespace scio

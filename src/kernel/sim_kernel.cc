@@ -30,6 +30,19 @@ bool SimKernel::BlockProcess(Process& proc, SimTime deadline) {
 
 void SimKernel::QueueRtSignal(Process& proc, const SigInfo& si) {
   ChargeDebt(cost_.rt_signal_enqueue);
+  if (fault_ != nullptr) {
+    // A fault window may shrink the effective queue: signals beyond the
+    // forced cap are shed exactly as a real overflow would shed them, which
+    // drives the early-SIGIO recovery path on demand.
+    if (std::optional<size_t> cap = fault_->RtQueueCap();
+        cap.has_value() && proc.rt_queue_length() >= *cap) {
+      fault_->CountShedSignal();
+      ++stats_.rt_signals_dropped;
+      ++stats_.rt_queue_overflows;
+      proc.RaiseSigIo();
+      return;
+    }
+  }
   if (proc.QueueSignal(si)) {
     ++stats_.rt_signals_queued;
   } else {

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault_plane.h"
 #include "src/kernel/cost_model.h"
 #include "src/kernel/kernel_stats.h"
 #include "src/kernel/process.h"
@@ -66,6 +67,11 @@ class SimKernel {
   // overflow statistics.
   void QueueRtSignal(Process& proc, const SigInfo& si);
 
+  // Optional fault-injection plane. Null (the default) means no faults; the
+  // syscall layer and servers consult it through these accessors.
+  void set_fault_plane(FaultPlane* plane) { fault_ = plane; }
+  FaultPlane* fault() { return fault_; }
+
   // Ask server loops to wind down; blocking syscalls return early.
   void RequestStop() { stopped_ = true; }
   bool stopped() const { return stopped_; }
@@ -84,6 +90,7 @@ class SimKernel {
   SimDuration interrupt_debt_ = 0;
   SimDuration busy_time_ = 0;
   bool stopped_ = false;
+  FaultPlane* fault_ = nullptr;
 };
 
 }  // namespace scio

@@ -1,0 +1,30 @@
+// Errno-style results for the simulated syscall surface.
+//
+// Simulated syscalls report failure the way the real ones do: a negative
+// return the caller must branch on, never an assert. The constants below name
+// the encodings used across Sys, PollSyscall, DevPollDevice and RtIo so
+// servers (and tests) can handle each failure mode explicitly. The numeric
+// values are part of the established API (-1 accept/EAGAIN, -2 EBADF,
+// -3 EMFILE) and must not be renumbered.
+
+#ifndef SRC_KERNEL_SYS_ERRNO_H_
+#define SRC_KERNEL_SYS_ERRNO_H_
+
+namespace scio {
+
+// accept(): backlog empty / operation would block.
+inline constexpr int kErrAgain = -1;
+// Bad or closed file descriptor.
+inline constexpr int kErrBadF = -2;
+// Per-process descriptor table full (or injected descriptor exhaustion).
+inline constexpr int kErrMFile = -3;
+// Blocking wait interrupted by a signal; the caller must retry.
+inline constexpr int kErrIntr = -4;
+// Kernel allocation failed (interest-set growth under memory pressure).
+inline constexpr int kErrNoMem = -5;
+// Write on a connection whose local end is already closed.
+inline constexpr int kErrPipe = -6;
+
+}  // namespace scio
+
+#endif  // SRC_KERNEL_SYS_ERRNO_H_

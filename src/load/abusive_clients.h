@@ -1,0 +1,89 @@
+// AbusiveFleet: pathological client profiles for torture runs.
+//
+// "Scouting the Path to a Million-Client Server" observes that at scale the
+// binding failures are resource exhaustion and pathological clients, not
+// steady-state throughput. This fleet supplies two such profiles:
+//
+//  - Slowloris writers: each holds one connection open indefinitely by
+//    dribbling a request that never completes, one byte per interval. Unlike
+//    InactivePool members (who may go silent), a slowloris member always
+//    trickles fast enough to defeat a naive idle timeout while pinning an fd
+//    and an interest-set slot forever.
+//
+//  - Connect-and-abort churn: connections are opened at a fixed rate and
+//    slammed shut moments after the handshake. The server pays accept(),
+//    interest registration, and close() for every one and serves nothing.
+//
+// All timing decisions come from the workload's seeded RNG, so an abusive
+// run is exactly reproducible.
+
+#ifndef SRC_LOAD_ABUSIVE_CLIENTS_H_
+#define SRC_LOAD_ABUSIVE_CLIENTS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/load/workload.h"
+#include "src/net/listener.h"
+#include "src/net/net_stack.h"
+#include "src/net/socket.h"
+#include "src/sim/rng.h"
+
+namespace scio {
+
+class AbusiveFleet {
+ public:
+  AbusiveFleet(NetStack* net, std::shared_ptr<SimListener> listener,
+               AbusiveWorkload workload);
+  ~AbusiveFleet();
+
+  // Launch the slowloris population and the abort-churn stream for
+  // [start_at, start_at + duration); the whole fleet stands down (closing
+  // every connection) when the window ends.
+  void Start(SimTime start_at, SimDuration duration);
+
+  // Stop all activity and close every connection (end of run).
+  void Shutdown();
+
+  bool enabled() const {
+    return workload_.slowloris_connections > 0 || workload_.abort_churn_rate > 0;
+  }
+  uint64_t slowloris_reconnects() const { return slowloris_reconnects_; }
+  uint64_t slowloris_bytes() const { return slowloris_bytes_; }
+  uint64_t aborts_completed() const { return aborts_completed_; }
+
+ private:
+  struct Slowloris {
+    std::shared_ptr<SimSocket> socket;
+    size_t next_byte = 0;
+    EventHandle write_timer;
+    EventHandle reconnect_timer;
+  };
+  struct Aborter {
+    std::shared_ptr<SimSocket> socket;
+    EventHandle abort_timer;
+  };
+
+  void ConnectSlowloris(size_t idx);
+  void ScheduleSlowlorisWrite(size_t idx);
+  void LaunchAborter();
+  void FinishAborter(Aborter* aborter);
+
+  NetStack* net_;
+  std::shared_ptr<SimListener> listener_;
+  AbusiveWorkload workload_;
+  Rng rng_;
+  std::string drip_request_;  // request header that never terminates
+  std::vector<Slowloris> slowloris_;
+  std::vector<std::unique_ptr<Aborter>> aborters_;
+  bool shutdown_ = false;
+  uint64_t slowloris_reconnects_ = 0;
+  uint64_t slowloris_bytes_ = 0;
+  uint64_t aborts_completed_ = 0;
+};
+
+}  // namespace scio
+
+#endif  // SRC_LOAD_ABUSIVE_CLIENTS_H_

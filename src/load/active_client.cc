@@ -17,7 +17,10 @@ ActiveClient::ActiveClient(NetStack* net, std::shared_ptr<SimListener> listener,
 ActiveClient::~ActiveClient() { timeout_timer_.Cancel(); }
 
 void ActiveClient::Start() {
-  record_->start = net_->kernel()->now();
+  if (record_->attempts == 0) {
+    record_->start = net_->kernel()->now();
+  }
+  ++record_->attempts;
   socket_ = net_->Connect(listener_);
   if (socket_ == nullptr) {
     Finish(ConnOutcome::kNoPorts);
@@ -76,6 +79,9 @@ void ActiveClient::Finish(ConnOutcome outcome) {
     socket_->on_data = nullptr;
     socket_->on_eof = nullptr;
     socket_->Close();
+  }
+  if (on_done) {
+    on_done(outcome);
   }
 }
 

@@ -7,6 +7,7 @@
 #ifndef SRC_LOAD_ACTIVE_CLIENT_H_
 #define SRC_LOAD_ACTIVE_CLIENT_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -27,9 +28,15 @@ class ActiveClient {
   ~ActiveClient();
 
   // Initiate the connection; fills the record immediately on kNoPorts.
+  // Counts one attempt; the record's start time is set on the first attempt
+  // only, so ConnTime spans retries.
   void Start();
 
   bool done() const { return done_; }
+
+  // Invoked once, after the outcome is recorded; the generator uses it to
+  // decide whether to retry this record on a fresh connection.
+  std::function<void(ConnOutcome)> on_done;
 
  private:
   void Finish(ConnOutcome outcome);

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "src/load/abusive_clients.h"
 #include "src/load/httperf.h"
 #include "src/load/inactive_pool.h"
 #include "src/metrics/percentile.h"
@@ -26,56 +27,80 @@ std::string ServerKindName(ServerKind kind) {
 BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config) {
   Simulator sim;
   SimKernel kernel(&sim, config.cost);
+  FaultPlane fault_plane(&sim, config.faults);
+  kernel.set_fault_plane(&fault_plane);
   NetStack net(&kernel, config.net);
-  Process& proc = kernel.CreateProcess("server");
+  net.InstallFaultPlane(&fault_plane);
+  Process& proc = kernel.CreateProcess("server", config.server_max_fds);
   proc.set_rt_queue_max(config.rt_queue_max);
   Sys sys(&kernel, &proc, &net);
   StaticContent content;
   content.AddDocument("/index.html", config.document_bytes);
 
+  bool setup_ok = true;
   std::unique_ptr<HttpServerBase> server;
   switch (config.server) {
     case ServerKind::kThttpdPoll:
       server = std::make_unique<ThttpdPoll>(&sys, &content, config.server_config,
                                             config.poll_options);
-      server->Setup();
+      setup_ok = server->Setup() >= 0;
       break;
     case ServerKind::kThttpdDevPoll: {
       auto s = std::make_unique<ThttpdDevPoll>(&sys, &content, config.server_config,
                                                config.devpoll_config);
-      s->Setup();
-      s->SetupDevPoll();
+      setup_ok = s->Setup() >= 0 && s->SetupDevPoll() >= 0;
       server = std::move(s);
       break;
     }
     case ServerKind::kPhhttpd: {
       auto s = std::make_unique<Phhttpd>(&sys, &content, config.server_config,
                                          config.phhttpd_config);
-      s->Setup();
-      s->SetupSignals();
+      setup_ok = s->Setup() >= 0;
+      if (setup_ok) {
+        s->SetupSignals();
+      }
       server = std::move(s);
       break;
     }
     case ServerKind::kHybrid: {
       auto s = std::make_unique<HybridServer>(&sys, &content, config.server_config,
                                               config.devpoll_config, config.hybrid_config);
-      s->Setup();
-      s->SetupDevPoll();
-      s->SetupHybrid();
+      setup_ok = s->Setup() >= 0 && s->SetupDevPoll() >= 0;
+      if (setup_ok) {
+        s->SetupHybrid();
+      }
       server = std::move(s);
       break;
     }
+  }
+  if (!setup_ok) {
+    BenchmarkResult failed;
+    failed.setup_ok = false;
+    failed.target_rate = config.active.request_rate;
+    failed.inactive = config.inactive.connections;
+    failed.fault_stats = fault_plane.stats();
+    return failed;
   }
 
   auto listener = sys.listener(server->listener_fd());
   InactivePool pool(&net, listener, config.inactive);
   HttperfGenerator generator(&net, listener, config.active);
+  AbusiveFleet abusive(&net, listener, config.abusive);
 
   pool.Start();
+  if (abusive.enabled()) {
+    const SimTime abusive_start = config.abusive.start_at;
+    const SimDuration abusive_for =
+        config.abusive.active_for > 0
+            ? config.abusive.active_for
+            : config.warmup + config.active.duration - abusive_start;
+    abusive.Start(abusive_start, abusive_for);
+  }
   generator.Start(config.warmup);
   const SimTime until = config.warmup + config.active.duration + config.drain;
   server->Run(until);
   pool.Shutdown();
+  abusive.Shutdown();
   kernel.RequestStop();
 
   // --- reduction ---------------------------------------------------------------
@@ -110,6 +135,7 @@ BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config) {
     }
   }
   const StreamingStats rate_stats = window.Summary();
+  result.reply_series = window.Rates();
   result.reply_avg = rate_stats.mean();
   result.reply_min = rate_stats.min();
   result.reply_max = rate_stats.max();
@@ -133,6 +159,17 @@ BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config) {
     result.phhttpd_fell_back_to_poll = ph->in_poll_fallback();
   }
   result.hybrid_mode_switches = result.server_stats.mode_switches;
+  if (auto* hybrid = dynamic_cast<HybridServer*>(server.get())) {
+    result.hybrid_in_signal_mode = hybrid->mode() == EventMode::kSignals;
+  }
+  result.fault_stats = fault_plane.stats();
+  result.client_retries = generator.retries();
+  result.abusive_aborts = abusive.aborts_completed();
+  result.slowloris_reconnects = abusive.slowloris_reconnects();
+
+  // `sim` outlives `net` on unwind; drop undelivered events (which hold
+  // sockets that release ports on destruction) while the stack is alive.
+  sim.DiscardPending();
   return result;
 }
 

@@ -10,7 +10,9 @@
 #define SRC_LOAD_BENCHMARK_RUN_H_
 
 #include <string>
+#include <vector>
 
+#include "src/fault/fault_plane.h"
 #include "src/kernel/cost_model.h"
 #include "src/kernel/kernel_stats.h"
 #include "src/load/workload.h"
@@ -35,6 +37,11 @@ struct BenchmarkRunConfig {
   ServerKind server = ServerKind::kThttpdPoll;
   ActiveWorkload active;
   InactiveWorkload inactive;
+  // Torture-run knobs: an empty schedule and zero abusive populations (the
+  // defaults) leave the happy-path benches bit-identical to before.
+  FaultSchedule faults;
+  AbusiveWorkload abusive;
+  int server_max_fds = 8192;
 
   // Size of the served document. The paper uses a 6 KB index.html (§5);
   // larger documents keep sockets active longer and exercise partial writes.
@@ -85,6 +92,21 @@ struct BenchmarkResult {
   uint64_t hybrid_mode_switches = 0;
   double cpu_utilization = 0;
   size_t rt_queue_peak = 0;
+
+  // Fault-plane observability (all zero on a fault-free run).
+  FaultStats fault_stats;
+  // Per-bucket reply rates over the generation window — the recovery-time
+  // signal the torture bench reduces.
+  std::vector<double> reply_series;
+  uint64_t client_retries = 0;
+  uint64_t abusive_aborts = 0;
+  uint64_t slowloris_reconnects = 0;
+  // True when the hybrid server ended the run back in RT-signal mode (i.e.
+  // it recovered from its poll excursion).
+  bool hybrid_in_signal_mode = false;
+  // False when server setup itself failed (e.g. an open-EMFILE window active
+  // at t=0); the run is skipped rather than crashed.
+  bool setup_ok = true;
 };
 
 BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config);

@@ -1,5 +1,6 @@
 #include "src/load/httperf.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace scio {
@@ -41,13 +42,36 @@ void HttperfGenerator::Start(SimTime start_at) {
     records_.emplace_back();
     ConnRecord* record = &records_.back();
     net_->kernel()->sim().ScheduleAt(start_at + static_cast<SimTime>(offset),
-                                     [this, record] {
-                                       clients_.push_back(std::make_unique<ActiveClient>(
-                                           net_, listener_, workload_.path,
-                                           workload_.client_timeout, record));
-                                       clients_.back()->Start();
-                                     });
+                                     [this, record] { Launch(record); });
   }
+}
+
+void HttperfGenerator::Launch(ConnRecord* record) {
+  clients_.push_back(std::make_unique<ActiveClient>(
+      net_, listener_, workload_.path, workload_.client_timeout, record));
+  ActiveClient* client = clients_.back().get();
+  if (workload_.max_retries > 0) {
+    client->on_done = [this, record](ConnOutcome outcome) { MaybeRetry(record, outcome); };
+  }
+  client->Start();
+}
+
+void HttperfGenerator::MaybeRetry(ConnRecord* record, ConnOutcome outcome) {
+  const bool retryable = outcome == ConnOutcome::kRefused ||
+                         outcome == ConnOutcome::kTimeout ||
+                         outcome == ConnOutcome::kReset;
+  if (!retryable || record->attempts > workload_.max_retries) {
+    return;
+  }
+  // Capped exponential backoff: 1st retry after retry_backoff, then double.
+  SimDuration delay = workload_.retry_backoff;
+  for (int i = 1; i < record->attempts && delay < workload_.retry_backoff_cap; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, workload_.retry_backoff_cap);
+  ++retries_;
+  record->outcome = ConnOutcome::kPending;  // the request is live again
+  net_->kernel()->sim().ScheduleAfter(delay, [this, record] { Launch(record); });
 }
 
 }  // namespace scio

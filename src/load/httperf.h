@@ -30,8 +30,12 @@ class HttperfGenerator {
   // connections still in flight stay kPending).
   const std::deque<ConnRecord>& records() const { return records_; }
   size_t attempts() const { return records_.size(); }
+  uint64_t retries() const { return retries_; }
 
  private:
+  void Launch(ConnRecord* record);
+  void MaybeRetry(ConnRecord* record, ConnOutcome outcome);
+
   NetStack* net_;
   std::shared_ptr<SimListener> listener_;
   ActiveWorkload workload_;
@@ -39,6 +43,7 @@ class HttperfGenerator {
   // Deque: push_back never invalidates the record pointers clients hold.
   std::deque<ConnRecord> records_;
   std::vector<std::unique_ptr<ActiveClient>> clients_;
+  uint64_t retries_ = 0;
 };
 
 }  // namespace scio

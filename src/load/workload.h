@@ -26,6 +26,33 @@ struct ActiveWorkload {
   bool poisson_arrivals = true;
   double arrival_jitter = 0.1;           // +/- fraction of the inter-arrival gap
   uint64_t seed = 1;
+  // Real clients retry refused/timed-out/reset requests with capped
+  // exponential backoff, which is exactly what prolongs an overload episode
+  // after the original fault clears. 0 disables retries (the seed behaviour).
+  int max_retries = 0;
+  SimDuration retry_backoff = Millis(50);      // first retry delay
+  SimDuration retry_backoff_cap = Millis(800); // delay never exceeds this
+};
+
+// Pathological-client load: clients that consume server resources while
+// contributing nothing. These are the "abusive" profiles the torture bench
+// turns on; zero populations (the default) disable the fleet entirely.
+struct AbusiveWorkload {
+  // Slowloris writers: hold a connection open forever by dribbling one
+  // request byte per write_interval — they pin fds and interest-set slots.
+  int slowloris_connections = 0;
+  SimDuration slowloris_write_interval = Millis(200);
+  SimDuration slowloris_reconnect_delay = Millis(100);
+  // Connect-and-abort churn: complete the handshake, then slam the
+  // connection shut — the server pays accept + close for nothing.
+  double abort_churn_rate = 0.0;      // connects per second
+  SimDuration abort_after = Millis(5);  // dwell between connect and abort
+  // Activity window, relative to run start. active_for == 0 means "until the
+  // load-generation window ends"; a finite window makes the attack clear so
+  // recovery can be measured.
+  SimDuration start_at = 0;
+  SimDuration active_for = 0;
+  uint64_t seed = 3;
 };
 
 struct InactiveWorkload {
@@ -53,6 +80,7 @@ struct ConnRecord {
   SimTime start = 0;
   SimTime end = 0;
   ConnOutcome outcome = ConnOutcome::kPending;
+  int attempts = 0;  // connection attempts, 1 + retries taken
 
   // Connection time (connect -> full response), the FIG 14 metric.
   SimDuration ConnTime() const { return end - start; }

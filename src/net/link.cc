@@ -1,5 +1,9 @@
 #include "src/net/link.h"
 
+#include <algorithm>
+
+#include "src/fault/fault_plane.h"
+
 namespace scio {
 
 void Link::Transmit(size_t bytes, std::function<void()> deliver) {
@@ -8,7 +12,22 @@ void Link::Transmit(size_t bytes, std::function<void()> deliver) {
       static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 * 1e9 / bandwidth_bps_);
   busy_until_ = start + tx_time;
   bytes_carried_ += bytes;
-  sim_->ScheduleAt(busy_until_ + latency_, std::move(deliver));
+
+  SimTime arrival = busy_until_ + latency_;
+  if (fault_ != nullptr) {
+    const FaultPlane::TransmitFault hit = fault_->OnTransmit(toward_server_);
+    arrival += hit.extra_delay;
+    if (hit.hold_until > 0) {
+      // Link flap: the frame sits in the queue until the link comes back,
+      // then still needs one propagation delay to cross.
+      arrival = std::max(arrival, hit.hold_until + latency_);
+    }
+  }
+  // TCP delivers in order: a delayed frame head-of-line blocks everything
+  // behind it, so no frame may overtake an earlier one.
+  arrival = std::max(arrival, last_arrival_);
+  last_arrival_ = arrival;
+  sim_->ScheduleAt(arrival, std::move(deliver));
 }
 
 }  // namespace scio

@@ -17,6 +17,8 @@
 
 namespace scio {
 
+class FaultPlane;
+
 class Link {
  public:
   Link(Simulator* sim, double bandwidth_bps, SimDuration latency)
@@ -27,6 +29,13 @@ class Link {
   // Queue `bytes` for transmission; `deliver` runs at the arrival time.
   void Transmit(size_t bytes, std::function<void()> deliver);
 
+  // Subject this link to a fault schedule (loss, latency spikes, flaps).
+  // `toward_server` tells the plane which direction this link carries.
+  void InstallFaultPlane(FaultPlane* plane, bool toward_server) {
+    fault_ = plane;
+    toward_server_ = toward_server;
+  }
+
   SimTime busy_until() const { return busy_until_; }
   uint64_t bytes_carried() const { return bytes_carried_; }
   SimDuration latency() const { return latency_; }
@@ -36,7 +45,10 @@ class Link {
   double bandwidth_bps_;
   SimDuration latency_;
   SimTime busy_until_ = 0;
+  SimTime last_arrival_ = 0;  // enforces in-order delivery under faults
   uint64_t bytes_carried_ = 0;
+  FaultPlane* fault_ = nullptr;
+  bool toward_server_ = false;
 };
 
 }  // namespace scio

@@ -43,6 +43,12 @@ class NetStack {
   const NetConfig& config() const { return config_; }
   PortAllocator& ports() { return ports_; }
 
+  // Subject both link directions to a fault schedule (null to detach).
+  void InstallFaultPlane(FaultPlane* plane) {
+    to_server_.InstallFaultPlane(plane, /*toward_server=*/true);
+    to_client_.InstallFaultPlane(plane, /*toward_server=*/false);
+  }
+
   // Direction selector: traffic *from* the client flows toward the server.
   Link& LinkFor(bool toward_server) { return toward_server ? to_server_ : to_client_; }
   Link& to_server() { return to_server_; }

@@ -43,6 +43,7 @@ struct ReadResult {
   size_t n = 0;        // bytes consumed (0 with eof=false means would-block)
   std::string data;    // real prefix of the consumed bytes
   bool eof = false;    // peer closed and no data remains
+  int err = 0;         // 0, or an errno-style code (kErrBadF) from sys_errno.h
 };
 
 class SimSocket : public File, public std::enable_shared_from_this<SimSocket> {

@@ -76,6 +76,10 @@ void Phhttpd::RunPollIteration(SimTime until, int timeout_override_ms) {
     }
   }
   const int ready = sys().Poll(pollfds_, timeout_ms);
+  if (ready == kErrIntr) {
+    ++stats_.eintr_returns;  // next loop pass rebuilds and retries
+    return;
+  }
   if (ready <= 0) {
     return;
   }

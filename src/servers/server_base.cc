@@ -1,6 +1,5 @@
 #include "src/servers/server_base.h"
 
-#include <cassert>
 #include <vector>
 
 #include "src/http/http_message.h"
@@ -12,22 +11,48 @@ HttpServerBase::HttpServerBase(Sys* sys, const StaticContent* content, ServerCon
 
 int HttpServerBase::Setup() {
   listener_fd_ = sys_->Listen(config_.listen_backlog);
-  assert(listener_fd_ >= 0);
+  if (listener_fd_ < 0) {
+    return listener_fd_;  // EMFILE: the caller decides whether to retry
+  }
   next_sweep_ = kernel().now() + config_.timer_sweep_interval;
   return listener_fd_;
 }
 
+bool HttpServerBase::UnderFdPressure() {
+  const double used = static_cast<double>(sys_->proc().fds().open_count());
+  const double capacity = static_cast<double>(sys_->proc().fds().max_fds());
+  if (fd_pressure_) {
+    if (used <= capacity * config_.fd_low_watermark) {
+      fd_pressure_ = false;
+    }
+  } else if (used >= capacity * config_.fd_high_watermark) {
+    fd_pressure_ = true;
+  }
+  return fd_pressure_;
+}
+
 int HttpServerBase::DrainAccepts() {
   int accepted = 0;
+  accept_stalled_ = false;
   while (true) {
+    if (UnderFdPressure()) {
+      // Leave the rest of the backlog queued: accepting now would only push
+      // the table into EMFILE. Reap idle conns so capacity comes back.
+      ++stats_.accepts_throttled;
+      PressureReap();
+      accept_stalled_ = true;
+      break;
+    }
     const int fd = sys_->Accept(listener_fd_);
     if (fd == -1) {
       break;  // backlog empty
     }
     if (fd < 0) {
-      if (fd == -3) {
+      if (fd == kErrMFile) {
         ++stats_.accept_emfile;
+        PressureReap();  // shed idle conns so a later accept can succeed
       }
+      accept_stalled_ = true;
       break;
     }
     kernel().Charge(kernel().cost().server_conn_setup);
@@ -65,6 +90,11 @@ bool HttpServerBase::HandleReadable(int fd) {
   conn.last_activity = kernel().now();
 
   const ReadResult r = sys_->Read(fd, config_.read_chunk);
+  if (r.err != 0) {
+    // EBADF: our bookkeeping has a conn the fd table doesn't. Drop it.
+    CloseConn(fd);
+    return false;
+  }
   if (r.eof) {
     ++stats_.peer_closes;
     CloseConn(fd);
@@ -107,6 +137,7 @@ bool HttpServerBase::HandleWritable(int fd) {
 
   const long sent = sys_->Write(fd, conn.pending_write);
   if (sent < 0) {
+    ++stats_.write_errors;  // EPIPE/EBADF: response can never complete
     CloseConn(fd);
     return false;
   }
@@ -170,21 +201,33 @@ void HttpServerBase::CloseConn(int fd) {
   sys_->Close(fd);
 }
 
-int HttpServerBase::SweepTimeouts() {
+int HttpServerBase::ReapIdle(SimDuration timeout, bool pressure) {
   const SimTime now = kernel().now();
   kernel().Charge(kernel().cost().server_timer_sweep_per_conn *
                   static_cast<SimDuration>(conns_.size()));
   std::vector<int> expired;
   for (const auto& [fd, conn] : conns_) {
-    if (now - conn.last_activity > config_.idle_timeout) {
+    if (now - conn.last_activity > timeout) {
       expired.push_back(fd);
     }
   }
   for (int fd : expired) {
-    ++stats_.idle_timeouts;
+    if (pressure) {
+      ++stats_.pressure_reaps;
+    } else {
+      ++stats_.idle_timeouts;
+    }
     CloseConn(fd);
   }
   return static_cast<int>(expired.size());
+}
+
+int HttpServerBase::SweepTimeouts() {
+  return ReapIdle(config_.idle_timeout, /*pressure=*/false);
+}
+
+int HttpServerBase::PressureReap() {
+  return ReapIdle(config_.pressure_idle_timeout, /*pressure=*/true);
 }
 
 void HttpServerBase::MaybeSweep() {
@@ -192,6 +235,18 @@ void HttpServerBase::MaybeSweep() {
     return;
   }
   SweepTimeouts();
+  // Under pressure, also shed anything idle past the aggressive timeout so
+  // accepting can resume without waiting for EMFILE to force the issue.
+  if (UnderFdPressure()) {
+    PressureReap();
+  }
+  if (accept_stalled_) {
+    // Connections stranded in the backlog by an earlier failed accept raise
+    // no further notification (their edge already fired), so the sweep is
+    // the only place a signal-driven server can pick them back up.
+    ++stats_.accept_retries;
+    DrainAccepts();
+  }
   next_sweep_ = kernel().now() + config_.timer_sweep_interval;
 }
 

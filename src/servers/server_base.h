@@ -25,6 +25,13 @@ struct ServerConfig {
   // are expected to survive (their clients trickle bytes to stay alive).
   SimDuration idle_timeout = Seconds(60);
   SimDuration timer_sweep_interval = Seconds(1);
+  // Graceful degradation under descriptor pressure: above the high watermark
+  // (fraction of the fd table) the server stops accepting and reaps idle
+  // connections on the much shorter pressure timeout; accepting resumes only
+  // below the low watermark (hysteresis, so it doesn't flap at the edge).
+  double fd_high_watermark = 0.92;
+  double fd_low_watermark = 0.85;
+  SimDuration pressure_idle_timeout = Seconds(2);
 };
 
 struct ServerStats {
@@ -39,6 +46,12 @@ struct ServerStats {
   uint64_t loop_iterations = 0;
   uint64_t overflow_recoveries = 0;  // RT signal queue overflows handled
   uint64_t mode_switches = 0;        // hybrid server transitions
+  uint64_t accepts_throttled = 0;    // accepts skipped under fd pressure
+  uint64_t pressure_reaps = 0;       // idle conns closed early under pressure
+  uint64_t eintr_returns = 0;        // waits interrupted and retried
+  uint64_t write_errors = 0;         // EPIPE/EBADF on response writes
+  uint64_t devpoll_write_retries = 0;  // interest batches requeued on ENOMEM
+  uint64_t accept_retries = 0;       // sweep-driven re-probes of a stalled backlog
 };
 
 class HttpServerBase {
@@ -47,7 +60,7 @@ class HttpServerBase {
   virtual ~HttpServerBase() = default;
 
   // Create the listening socket. Must be called once before Run().
-  // Returns the listener fd (asserts on failure).
+  // Returns the listener fd, or a negative errno-style code on failure.
   int Setup();
 
   // Run the event loop until simulated time `until` (or kernel stop).
@@ -95,6 +108,11 @@ class HttpServerBase {
   int SweepTimeouts();
   // Run the sweep if the interval has elapsed.
   void MaybeSweep();
+  // True while the fd table is too full to accept (hysteretic; see
+  // ServerConfig watermarks). Updating the flag is a side effect.
+  bool UnderFdPressure();
+  // Shed idle connections using the aggressive pressure timeout.
+  int PressureReap();
 
   bool HasConn(int fd) const { return conns_.find(fd) != conns_.end(); }
 
@@ -109,10 +127,19 @@ class HttpServerBase {
   std::unordered_map<int, Conn> conns_;
   ServerStats stats_;
   SimTime next_sweep_ = 0;
+  bool fd_pressure_ = false;
+  // True when DrainAccepts bailed out (EMFILE or fd pressure) with the
+  // backlog possibly non-empty. Signal-driven servers never get another
+  // listener edge for those queued connections — the enqueue-time signal was
+  // already consumed — so MaybeSweep re-probes the backlog until it drains.
+  bool accept_stalled_ = false;
 
  private:
   // Build and start sending the response for a completed request.
   void StartResponse(int fd, Conn& conn);
+  // Close connections idle longer than `timeout`; `pressure` attributes the
+  // closes to pressure_reaps instead of idle_timeouts.
+  int ReapIdle(SimDuration timeout, bool pressure);
 };
 
 }  // namespace scio

@@ -1,7 +1,6 @@
 #include "src/servers/thttpd_devpoll.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace scio {
 
@@ -13,13 +12,17 @@ ThttpdDevPoll::ThttpdDevPoll(Sys* sys, const StaticContent* content, ServerConfi
 
 int ThttpdDevPoll::SetupDevPoll() {
   dpfd_ = sys().OpenDevPoll(dp_config_.devpoll);
-  assert(dpfd_ >= 0);
+  if (dpfd_ < 0) {
+    return dpfd_;
+  }
   if (dp_config_.use_mmap_results) {
-    int rc = sys().DevPollAlloc(dpfd_, dp_config_.result_slots);
-    assert(rc == 0);
-    (void)rc;
+    if (sys().DevPollAlloc(dpfd_, dp_config_.result_slots) != 0) {
+      return -1;
+    }
     result_area_ = sys().DevPollMmap(dpfd_);
-    assert(result_area_ != nullptr);
+    if (result_area_ == nullptr) {
+      return -1;
+    }
   } else {
     result_buffer_.resize(static_cast<size_t>(dp_config_.result_slots));
   }
@@ -31,14 +34,20 @@ void ThttpdDevPoll::QueueUpdate(int fd, PollEvents events) {
   pending_updates_.push_back(PollFd{fd, events, 0});
 }
 
-void ThttpdDevPoll::FlushUpdates() {
+bool ThttpdDevPoll::FlushUpdates() {
   if (pending_updates_.empty()) {
-    return;
+    return true;
   }
   const long rc = sys().DevPollWrite(dpfd_, pending_updates_);
-  assert(rc >= 0);
-  (void)rc;
+  if (rc < 0) {
+    // ENOMEM under memory pressure: the write failed atomically, so keep the
+    // batch queued and retry on the next loop pass. Meanwhile DP_POLL runs
+    // with the previous (stale but valid) interest set.
+    ++stats_.devpoll_write_retries;
+    return false;
+  }
   pending_updates_.clear();
+  return true;
 }
 
 void ThttpdDevPoll::OnConnOpened(int fd) { QueueUpdate(fd, kPollIn); }
@@ -85,10 +94,20 @@ int ThttpdDevPoll::PollAndDispatch(SimTime until) {
   int ready;
   if (dp_config_.use_fused_ioctl && !pending_updates_.empty()) {
     ready = sys().DevPollWritePoll(dpfd_, pending_updates_, &args);
+    if (ready == kErrNoMem) {
+      // The write half failed before anything was applied: keep the batch
+      // for the next pass (no poll happened either).
+      ++stats_.devpoll_write_retries;
+      return 0;
+    }
     pending_updates_.clear();
   } else {
     FlushUpdates();
     ready = sys().DevPollPoll(dpfd_, &args);
+  }
+  if (ready == kErrIntr) {
+    ++stats_.eintr_returns;
+    return 0;
   }
   if (ready <= 0) {
     return 0;

@@ -29,6 +29,7 @@ class ThttpdDevPoll : public HttpServerBase {
                 ThttpdDevPollConfig dp_config = ThttpdDevPollConfig{});
 
   // Opens /dev/poll, sets up the result mapping, registers the listener.
+  // Returns the device fd, or a negative errno-style code on failure.
   int SetupDevPoll();
 
   void Run(SimTime until) override;
@@ -41,7 +42,9 @@ class ThttpdDevPoll : public HttpServerBase {
   void OnConnClosing(int fd) override;
 
   void QueueUpdate(int fd, PollEvents events);
-  void FlushUpdates();
+  // Returns false when the write failed (ENOMEM); the batch stays queued and
+  // is retried before the next poll.
+  bool FlushUpdates();
   // One DP_POLL + dispatch pass; returns number of events handled.
   int PollAndDispatch(SimTime until);
 

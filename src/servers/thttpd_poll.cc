@@ -33,6 +33,10 @@ void ThttpdPoll::Run(SimTime until) {
     const auto timeout_ms =
         static_cast<int>((wake_at - kernel().now() + Millis(1) - 1) / Millis(1));
     const int ready = sys().Poll(pollfds_, timeout_ms < 0 ? 0 : timeout_ms);
+    if (ready == kErrIntr) {
+      ++stats_.eintr_returns;  // interrupted; rebuild and retry
+      continue;
+    }
     if (ready <= 0) {
       continue;
     }

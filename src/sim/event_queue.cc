@@ -26,6 +26,13 @@ void EventQueue::SkipCancelled() {
   }
 }
 
+void EventQueue::Clear() {
+  while (!heap_.empty()) {
+    heap_.pop();
+  }
+  live_count_ = 0;
+}
+
 SimTime EventQueue::NextTime() {
   SkipCancelled();
   return heap_.empty() ? kSimTimeNever : heap_.top().when;

@@ -58,6 +58,11 @@ class EventQueue {
   // Pop and run the earliest live event. Returns false if the queue is empty.
   bool RunNext();
 
+  // Drop every pending event without running it. Callbacks (and anything they
+  // own, e.g. sockets captured by in-flight packet deliveries) are destroyed
+  // here, so call this while the objects they reference are still alive.
+  void Clear();
+
   // Total events ever executed; useful for progress accounting in tests.
   uint64_t executed_count() const { return executed_count_; }
 

@@ -49,6 +49,13 @@ class Simulator {
   // guard). Returns the number of events executed.
   uint64_t RunAll(uint64_t limit = UINT64_MAX);
 
+  // Drop all pending events without running them. The simulator's queue can
+  // outlive the world it simulates (it is typically declared first, destroyed
+  // last), and pending callbacks often own world objects — e.g. in-flight
+  // packet deliveries holding sockets that release ports on destruction. Call
+  // this during teardown, while the kernel and net stack are still alive.
+  void DiscardPending() { queue_.Clear(); }
+
   uint64_t executed_count() const { return queue_.executed_count(); }
   size_t pending_count() const { return queue_.size(); }
 

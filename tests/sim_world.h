@@ -25,6 +25,11 @@ class SimWorldTest : public ::testing::Test {
     listener_ = sys_.listener(listen_fd_);
   }
 
+  // Members are destroyed in reverse declaration order, so net_ (which owns
+  // the port allocator) dies before sim_. Pending events still hold sockets
+  // whose destructors release ports — drop them while the world is intact.
+  ~SimWorldTest() override { sim_.DiscardPending(); }
+
   // Client connects; run the sim until the SYN lands in the backlog.
   std::shared_ptr<SimSocket> ClientConnect() {
     auto client = net_.Connect(listener_);
