@@ -1,0 +1,363 @@
+// MICRO-3: event-engine microbenchmarks — the pooled timer-wheel scheduler
+// versus the priority-queue-of-allocations engine it replaced.
+//
+// Two modes:
+//
+//   ./bench_micro_engine [out.json]   (default; used by CI)
+//       Runs a fixed, deterministic set of timed workloads — schedule/fire
+//       steady state and schedule/cancel/fire churn for both engines, plus a
+//       quick end-to-end figure sweep — and writes BENCH_engine.json
+//       (schema: bench name -> {wall_ms, events_scheduled, allocs}) so
+//       future PRs can track the perf trajectory.
+//
+//   ./bench_micro_engine --gbench [gbench flags...]
+//       Runs the google-benchmark suite: schedule/cancel/fire mixes at
+//       1e3..1e6 pending events, with and without cancellation churn.
+//
+// The legacy engine is reproduced locally (a std::priority_queue of entries
+// carrying a std::function plus a shared_ptr cancellation block — exactly
+// the allocation behaviour src/sim had before the wheel) so the comparison
+// stays honest as the real engine evolves.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/load/benchmark_run.h"
+#include "src/sim/event_queue.h"
+
+// --- allocation accounting ----------------------------------------------------
+// Counts every global operator new so the JSON can record allocs per bench.
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  std::abort();
+}
+
+void* operator new[](size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  std::abort();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace {
+
+using scio::SimTime;
+
+// --- the legacy engine, reproduced as the baseline ---------------------------
+
+class HeapQueue {
+ public:
+  struct State {
+    bool cancelled = false;
+  };
+
+  std::shared_ptr<State> Schedule(SimTime when, std::function<void()> cb) {
+    auto state = std::make_shared<State>();
+    queue_.push(Entry{when, next_seq_++, std::move(cb), state});
+    return state;
+  }
+
+  bool RunNext() {
+    SkipCancelled();
+    if (queue_.empty()) {
+      return false;
+    }
+    Entry entry = queue_.top();
+    queue_.pop();
+    entry.cb();
+    return true;
+  }
+
+  bool empty() {
+    SkipCancelled();
+    return queue_.empty();
+  }
+
+  SimTime NextTime() {
+    SkipCancelled();
+    return queue_.empty() ? 0 : queue_.top().when;
+  }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t seq;
+    std::function<void()> cb;
+    std::shared_ptr<State> state;
+    bool operator>(const Entry& other) const {
+      return when != other.when ? when > other.when : seq > other.seq;
+    }
+  };
+
+  void SkipCancelled() {
+    while (!queue_.empty() && queue_.top().state->cancelled) {
+      queue_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  uint64_t next_seq_ = 0;
+};
+
+// --- deterministic workloads -------------------------------------------------
+
+uint64_t XorShift(uint64_t* s) {
+  uint64_t x = *s;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *s = x;
+}
+
+// A callback shaped like the real hot path: captures a pointer and an index.
+struct Payload {
+  uint64_t* sink;
+  uint64_t value;
+  void operator()() const { *sink += value; }
+};
+
+// Steady state: keep `pending` events in flight; each op schedules a
+// replacement a pseudo-random offset ahead, then fires the earliest. The
+// clock follows the queue (now = next event time), exactly as the
+// Simulator's StepUntil drives it. Returns events scheduled.
+template <typename ScheduleFn, typename NextFn, typename FireFn>
+uint64_t SteadyMix(size_t pending, uint64_t ops, uint64_t* sink,
+                   ScheduleFn schedule, NextFn next, FireFn fire) {
+  uint64_t rng = 0x9e3779b97f4a7c15ULL;
+  uint64_t scheduled = 0;
+  for (size_t i = 0; i < pending; ++i) {
+    schedule(static_cast<SimTime>(XorShift(&rng) % 1'000'000),
+             Payload{sink, ++scheduled});
+  }
+  for (uint64_t i = 0; i < ops; ++i) {
+    const SimTime now = next();
+    schedule(now + static_cast<SimTime>(XorShift(&rng) % 1'000'000),
+             Payload{sink, ++scheduled});
+    fire();
+  }
+  return scheduled;
+}
+
+// Churn: schedule two, cancel one, fire one — cancellation-heavy traffic like
+// client timeout timers that almost never expire.
+template <typename ScheduleFn, typename NextFn, typename CancelFn, typename FireFn>
+uint64_t ChurnMix(size_t pending, uint64_t ops, uint64_t* sink,
+                  ScheduleFn schedule, NextFn next, CancelFn cancel, FireFn fire) {
+  uint64_t rng = 0x2545f4914f6cdd1dULL;
+  uint64_t scheduled = 0;
+  for (size_t i = 0; i < pending; ++i) {
+    schedule(static_cast<SimTime>(XorShift(&rng) % 1'000'000),
+             Payload{sink, ++scheduled});
+  }
+  for (uint64_t i = 0; i < ops; ++i) {
+    const SimTime now = next();
+    schedule(now + static_cast<SimTime>(XorShift(&rng) % 1'000'000),
+             Payload{sink, ++scheduled});
+    auto doomed = schedule(now + static_cast<SimTime>(XorShift(&rng) % 500'000),
+                           Payload{sink, ++scheduled});
+    cancel(doomed);
+    fire();
+  }
+  return scheduled;
+}
+
+uint64_t RunWheelSteady(size_t pending, uint64_t ops, uint64_t* sink) {
+  scio::EventQueue q;
+  return SteadyMix(
+      pending, ops, sink,
+      [&](SimTime when, Payload p) { return q.Schedule(when, p); },
+      [&] { return q.NextTime(); }, [&] { q.RunNext(); });
+}
+
+uint64_t RunHeapSteady(size_t pending, uint64_t ops, uint64_t* sink) {
+  HeapQueue q;
+  return SteadyMix(
+      pending, ops, sink,
+      [&](SimTime when, Payload p) { return q.Schedule(when, p); },
+      [&] { return q.NextTime(); }, [&] { q.RunNext(); });
+}
+
+uint64_t RunWheelChurn(size_t pending, uint64_t ops, uint64_t* sink) {
+  scio::EventQueue q;
+  return ChurnMix(
+      pending, ops, sink,
+      [&](SimTime when, Payload p) { return q.Schedule(when, p); },
+      [&] { return q.NextTime(); },
+      [](scio::EventHandle h) { h.Cancel(); }, [&] { q.RunNext(); });
+}
+
+uint64_t RunHeapChurn(size_t pending, uint64_t ops, uint64_t* sink) {
+  HeapQueue q;
+  return ChurnMix(
+      pending, ops, sink,
+      [&](SimTime when, Payload p) { return q.Schedule(when, p); },
+      [&] { return q.NextTime(); },
+      [](const std::shared_ptr<HeapQueue::State>& s) { s->cancelled = true; },
+      [&] { q.RunNext(); });
+}
+
+// --- google-benchmark suite --------------------------------------------------
+
+void BM_WheelScheduleFire(benchmark::State& state) {
+  const auto pending = static_cast<size_t>(state.range(0));
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunWheelSteady(pending, pending, &sink));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(pending) * 2);
+}
+BENCHMARK(BM_WheelScheduleFire)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_HeapScheduleFire(benchmark::State& state) {
+  const auto pending = static_cast<size_t>(state.range(0));
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunHeapSteady(pending, pending, &sink));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(pending) * 2);
+}
+BENCHMARK(BM_HeapScheduleFire)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_WheelChurn(benchmark::State& state) {
+  const auto pending = static_cast<size_t>(state.range(0));
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunWheelChurn(pending, pending, &sink));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(pending) * 2);
+}
+BENCHMARK(BM_WheelChurn)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_HeapChurn(benchmark::State& state) {
+  const auto pending = static_cast<size_t>(state.range(0));
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunHeapChurn(pending, pending, &sink));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(pending) * 2);
+}
+BENCHMARK(BM_HeapChurn)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
+
+// --- JSON perf-trajectory mode -----------------------------------------------
+
+struct TimedResult {
+  std::string name;
+  double wall_ms = 0;
+  uint64_t events_scheduled = 0;
+  uint64_t allocs = 0;
+};
+
+template <typename Fn>
+TimedResult Timed(const std::string& name, Fn fn) {
+  TimedResult r;
+  r.name = name;
+  const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  r.events_scheduled = fn();
+  const auto end = std::chrono::steady_clock::now();
+  r.allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  r.wall_ms = std::chrono::duration<double, std::milli>(end - start).count();
+  return r;
+}
+
+uint64_t RunQuickFigureSweep() {
+  // A miniature fig04-shaped run: enough simulated traffic to exercise the
+  // whole stack, small enough to keep the CI timing step fast.
+  scio::BenchmarkRunConfig config;
+  config.server = scio::ServerKind::kThttpdPoll;
+  config.active.request_rate = 700.0;
+  config.active.duration = scio::Seconds(4);
+  config.inactive.connections = 64;
+  uint64_t events = 0;
+  const scio::BenchmarkResult result = scio::RunBenchmark(config);
+  events += result.attempts + result.successes;
+  return events;
+}
+
+int JsonMain(const char* out_path) {
+  constexpr size_t kPending = 1 << 17;  // ~131k pending events
+  constexpr uint64_t kOps = 1 << 21;    // ~2.1M schedule/fire pairs
+  uint64_t sink = 0;
+
+  std::vector<TimedResult> results;
+  results.push_back(Timed("wheel_schedule_fire",
+                          [&] { return RunWheelSteady(kPending, kOps, &sink); }));
+  results.push_back(Timed("heap_schedule_fire",
+                          [&] { return RunHeapSteady(kPending, kOps, &sink); }));
+  results.push_back(Timed("wheel_churn_cancel",
+                          [&] { return RunWheelChurn(kPending, kOps / 2, &sink); }));
+  results.push_back(Timed("heap_churn_cancel",
+                          [&] { return RunHeapChurn(kPending, kOps / 2, &sink); }));
+  results.push_back(Timed("figure_sweep_quick", [] { return RunQuickFigureSweep(); }));
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const TimedResult& r = results[i];
+    std::fprintf(f,
+                 "  \"%s\": {\"wall_ms\": %.3f, \"events_scheduled\": %llu, "
+                 "\"allocs\": %llu}%s\n",
+                 r.name.c_str(), r.wall_ms,
+                 static_cast<unsigned long long>(r.events_scheduled),
+                 static_cast<unsigned long long>(r.allocs),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  for (const TimedResult& r : results) {
+    std::printf("%-22s %10.3f ms  %12llu events  %12llu allocs\n", r.name.c_str(),
+                r.wall_ms, static_cast<unsigned long long>(r.events_scheduled),
+                static_cast<unsigned long long>(r.allocs));
+  }
+  std::printf("steady speedup (heap/wheel): %.2fx\n",
+              results[1].wall_ms / results[0].wall_ms);
+  std::printf("churn  speedup (heap/wheel): %.2fx\n",
+              results[3].wall_ms / results[2].wall_ms);
+  std::printf("(json written to %s)\n", out_path);
+  (void)sink;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--gbench") == 0) {
+    argv[1] = argv[0];
+    ++argv;
+    --argc;
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_engine.json";
+  return JsonMain(out_path);
+}

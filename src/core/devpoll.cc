@@ -163,7 +163,10 @@ PollEvents DevPollDevice::EvaluateInterest(Interest& interest) {
   std::shared_ptr<File> file = interest.file.lock();
   std::shared_ptr<File> current = owner_->fds().Get(interest.fd);
   if (current == nullptr) {
-    return kPollNval;  // fd closed while interest outstanding
+    // fd closed while interest outstanding: no driver to call. Counted
+    // separately so scanned == driver_calls + avoided + stale always holds.
+    ++stats.devpoll_scan_stale_fd;
+    return kPollNval;
   }
   if (file != current) {
     BindInterest(interest);  // fd number was reused; rebind
@@ -220,9 +223,11 @@ int DevPollDevice::ScanOnce(PollFd* out, int max, bool charge_copyout) {
 
   if (options_.hinted_first_scan && options_.hints_enabled) {
     // Future-work mode: visit only hinted / cached-ready interests.
-    std::vector<int> worklist;
-    worklist.swap(active_list_);
-    for (int fd : worklist) {
+    // PushActive during the walk appends to the (now empty) active_list_;
+    // the swapped buffers both retain capacity across scans.
+    scan_worklist_.clear();
+    scan_worklist_.swap(active_list_);
+    for (int fd : scan_worklist_) {
       Interest* interest = table_.Find(fd);
       if (interest == nullptr) {
         continue;  // removed since queued
@@ -291,25 +296,31 @@ int DevPollDevice::PollInternal(DvPoll* args) {
 
     // Sleep. Hintable interests wake us through MarkHint; anything else
     // needs classic per-file wait queue entries (with their churn costs).
-    std::vector<std::unique_ptr<Waiter>> waiters;
+    // The Waiter objects themselves are pooled; only the queue registration
+    // churns, which is exactly what the cost model charges for.
+    size_t used = 0;
     table_.ForEach([&](Interest& interest) {
       if (interest.hintable) {
         return;
       }
       if (std::shared_ptr<File> file = interest.file.lock()) {
-        auto waiter = std::make_unique<Waiter>([this] { owner_->Wake(); });
-        file->poll_wait().Add(waiter.get());
-        waiters.push_back(std::move(waiter));
+        if (used == waiter_pool_.size()) {
+          waiter_pool_.push_back(
+              std::make_unique<Waiter>([proc = owner_] { proc->Wake(); }));
+        }
+        file->poll_wait().Add(waiter_pool_[used++].get());
         ++stats.poll_waitqueue_adds;
         kernel()->Charge(cost.poll_waitqueue_add_per_fd);
       }
     });
     kernel()->BlockProcess(*owner_, deadline);
-    if (!waiters.empty()) {
-      stats.poll_waitqueue_removes += waiters.size();
+    if (used > 0) {
+      stats.poll_waitqueue_removes += used;
       kernel()->Charge(cost.poll_waitqueue_remove_per_fd *
-                       static_cast<SimDuration>(waiters.size()));
-      waiters.clear();
+                       static_cast<SimDuration>(used));
+      for (size_t i = 0; i < used; ++i) {
+        waiter_pool_[i]->Detach();
+      }
     }
     if (FaultPlane* fault = kernel()->fault();
         fault != nullptr && fault->InjectEintr()) {

@@ -28,6 +28,7 @@
 #include "src/kernel/poll_types.h"
 #include "src/kernel/process.h"
 #include "src/kernel/sim_kernel.h"
+#include "src/kernel/wait_queue.h"
 
 namespace scio {
 
@@ -112,6 +113,12 @@ class DevPollDevice : public File {
   bool mapped_ = false;
   bool closed_ = false;
   std::vector<int> active_list_;  // hinted-first mode scan worklist
+  // Ping-pong partner of active_list_: ScanOnce drains into it so both
+  // buffers keep their capacity across scans (no per-scan allocation).
+  std::vector<int> scan_worklist_;
+  // Pooled wait-queue entries for the non-hintable sleep path; grown on
+  // demand, reused across sleep/wake cycles.
+  std::vector<std::unique_ptr<Waiter>> waiter_pool_;
 };
 
 }  // namespace scio

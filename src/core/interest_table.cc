@@ -1,5 +1,6 @@
 #include "src/core/interest_table.h"
 
+#include <memory>
 #include <utility>
 
 namespace scio {
@@ -15,15 +16,27 @@ size_t RoundUpPow2(size_t n) {
 }  // namespace
 
 InterestHashTable::InterestHashTable(size_t initial_buckets)
-    : buckets_(RoundUpPow2(initial_buckets < 1 ? 1 : initial_buckets)) {}
+    : buckets_(RoundUpPow2(initial_buckets < 1 ? 1 : initial_buckets), nullptr) {}
 
 Interest* InterestHashTable::Find(int fd) {
-  for (auto& interest : buckets_[BucketOf(fd)]) {
-    if (interest.fd == fd) {
-      return &interest;
+  for (Node* node = buckets_[BucketOf(fd)]; node != nullptr; node = node->next) {
+    if (node->interest.fd == fd) {
+      return &node->interest;
     }
   }
   return nullptr;
+}
+
+InterestHashTable::Node* InterestHashTable::TakeNode() {
+  if (free_ != nullptr) {
+    Node* node = free_;
+    free_ = node->next;
+    node->interest = Interest{};  // scrub state left by the previous tenant
+    node->next = nullptr;
+    return node;
+  }
+  slab_.push_back(std::make_unique<Node>());
+  return slab_.back().get();
 }
 
 Interest& InterestHashTable::FindOrInsert(int fd, bool* inserted) {
@@ -31,23 +44,37 @@ Interest& InterestHashTable::FindOrInsert(int fd, bool* inserted) {
     *inserted = false;
     return *found;
   }
+  assert(!iterating_ && "must not insert during InterestHashTable::ForEach");
   MaybeGrow();
-  auto& bucket = buckets_[BucketOf(fd)];
-  bucket.emplace_back();
-  bucket.back().fd = fd;
+  Node* node = TakeNode();
+  node->interest.fd = fd;
+  // Append at the tail to preserve insertion order within the bucket (the
+  // scan order tests and seeded runs depend on it). Chains average <= 2
+  // entries by the doubling rule, so the walk is constant time.
+  Node** tail = &buckets_[BucketOf(fd)];
+  while (*tail != nullptr) {
+    tail = &(*tail)->next;
+  }
+  *tail = node;
   ++size_;
   *inserted = true;
-  return bucket.back();
+  return node->interest;
 }
 
 bool InterestHashTable::Erase(int fd) {
-  auto& bucket = buckets_[BucketOf(fd)];
-  for (auto it = bucket.begin(); it != bucket.end(); ++it) {
-    if (it->fd == fd) {
-      bucket.erase(it);
+  assert(!iterating_ && "must not erase during InterestHashTable::ForEach");
+  Node** link = &buckets_[BucketOf(fd)];
+  while (*link != nullptr) {
+    Node* node = *link;
+    if (node->interest.fd == fd) {
+      *link = node->next;
+      node->interest = Interest{};  // release File/BackmapLink refs promptly
+      node->next = free_;
+      free_ = node;
       --size_;
       return true;
     }
+    link = &node->next;
   }
   return false;
 }
@@ -58,13 +85,25 @@ void InterestHashTable::MaybeGrow() {
   if (size_ + 1 < buckets_.size() * 2) {
     return;
   }
-  std::vector<std::vector<Interest>> old = std::move(buckets_);
-  buckets_.clear();
-  buckets_.resize(old.size() * 2);
+  std::vector<Node*> old = std::move(buckets_);
+  buckets_.assign(old.size() * 2, nullptr);
   ++resize_count_;
-  for (auto& bucket : old) {
-    for (auto& interest : bucket) {
-      buckets_[BucketOf(interest.fd)].push_back(std::move(interest));
+  // Rehash by walking old buckets in order and appending to new tails: the
+  // relative order of entries sharing a new bucket is preserved, keeping the
+  // post-resize scan order identical to the by-value implementation.
+  std::vector<Node*> tails(buckets_.size(), nullptr);
+  for (Node* node : old) {
+    while (node != nullptr) {
+      Node* next = node->next;
+      const size_t b = BucketOf(node->interest.fd);
+      node->next = nullptr;
+      if (tails[b] == nullptr) {
+        buckets_[b] = node;
+      } else {
+        tails[b]->next = node;
+      }
+      tails[b] = node;
+      node = next;
     }
   }
 }

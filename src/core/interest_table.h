@@ -8,10 +8,18 @@
 // Each Interest also carries the §3.2 hint machinery: the hint bit set by the
 // driver's backmap traversal, and the cached result of the last driver poll
 // callback.
+//
+// Pointer stability: entries live in individually-owned nodes chained per
+// bucket, so an `Interest*`/`Interest&` obtained from Find/FindOrInsert stays
+// valid across later inserts — including ones that double the bucket count —
+// until that fd is erased. (The previous layout stored Interest by value in
+// bucket vectors, so any growth moved every entry and silently invalidated
+// references held across a write() batch.)
 
 #ifndef SRC_CORE_INTEREST_TABLE_H_
 #define SRC_CORE_INTEREST_TABLE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -45,11 +53,16 @@ class InterestHashTable {
  public:
   explicit InterestHashTable(size_t initial_buckets = 8);
 
-  // Returns the interest for fd, or nullptr.
+  InterestHashTable(InterestHashTable&&) = default;
+  InterestHashTable& operator=(InterestHashTable&&) = default;
+
+  // Returns the interest for fd, or nullptr. The pointer stays valid across
+  // later inserts (see header comment) until Erase(fd).
   Interest* Find(int fd);
 
   // Returns the interest for fd, inserting a default one if absent.
-  // `inserted` reports whether a new entry was created.
+  // `inserted` reports whether a new entry was created. The reference stays
+  // valid across later inserts until Erase(fd).
   Interest& FindOrInsert(int fd, bool* inserted);
 
   // Returns true if an entry was removed.
@@ -59,24 +72,38 @@ class InterestHashTable {
   size_t bucket_count() const { return buckets_.size(); }
   uint64_t resize_count() const { return resize_count_; }
 
-  // Visit every interest (scan order: bucket order). The callback must not
-  // insert or erase.
+  // Visit every interest (scan order: bucket order, insertion order within a
+  // bucket). The callback must not insert or erase — enforced by assert in
+  // debug builds.
   template <typename Fn>
   void ForEach(Fn&& fn) {
-    for (auto& bucket : buckets_) {
-      for (auto& interest : bucket) {
-        fn(interest);
+    iterating_ = true;
+    for (Node* node : buckets_) {
+      for (; node != nullptr; node = node->next) {
+        fn(node->interest);
       }
     }
+    iterating_ = false;
   }
 
  private:
+  // Nodes are owned by slab_ (never freed until the table dies) and chained
+  // per bucket; erased nodes park on a free list for reuse.
+  struct Node {
+    Interest interest;
+    Node* next = nullptr;
+  };
+
   size_t BucketOf(int fd) const { return static_cast<size_t>(fd) & (buckets_.size() - 1); }
+  Node* TakeNode();
   void MaybeGrow();
 
-  std::vector<std::vector<Interest>> buckets_;  // bucket count is a power of two
+  std::vector<Node*> buckets_;  // bucket count is a power of two
+  std::vector<std::unique_ptr<Node>> slab_;
+  Node* free_ = nullptr;
   size_t size_ = 0;
   uint64_t resize_count_ = 0;
+  bool iterating_ = false;  // ForEach reentrancy guard (asserted in debug)
 };
 
 }  // namespace scio

@@ -58,9 +58,9 @@ int PollSyscall::Poll(std::span<PollFd> fds, int timeout_ms) {
     }
 
     // Sleep: enqueue a waiter on every polled file, then tear them all down
-    // on wake — the wait-queue churn of §6.
-    std::vector<std::unique_ptr<Waiter>> waiters;
-    waiters.reserve(fds.size());
+    // on wake — the wait-queue churn of §6. The Waiter objects are pooled;
+    // only the queue registrations churn, which is what the model charges.
+    size_t used = 0;
     for (const PollFd& pfd : fds) {
       if (pfd.fd < 0) {
         continue;
@@ -69,21 +69,25 @@ int PollSyscall::Poll(std::span<PollFd> fds, int timeout_ms) {
       if (file == nullptr) {
         continue;
       }
-      auto waiter = std::make_unique<Waiter>([this] { proc_->Wake(); });
-      file->poll_wait().Add(waiter.get());
-      waiters.push_back(std::move(waiter));
+      if (used == waiter_pool_.size()) {
+        waiter_pool_.push_back(
+            std::make_unique<Waiter>([proc = proc_] { proc->Wake(); }));
+      }
+      file->poll_wait().Add(waiter_pool_[used++].get());
       ++stats.poll_waitqueue_adds;
       if (options_.charge_waitqueue) {
         kernel_->Charge(cost.poll_waitqueue_add_per_fd);
       }
     }
     kernel_->BlockProcess(*proc_, deadline);
-    stats.poll_waitqueue_removes += waiters.size();
+    stats.poll_waitqueue_removes += used;
     if (options_.charge_waitqueue) {
       kernel_->Charge(cost.poll_waitqueue_remove_per_fd *
-                      static_cast<SimDuration>(waiters.size()));
+                      static_cast<SimDuration>(used));
     }
-    waiters.clear();
+    for (size_t i = 0; i < used; ++i) {
+      waiter_pool_[i]->Detach();
+    }
     if (FaultPlane* fault = kernel_->fault();
         fault != nullptr && fault->InjectEintr()) {
       return kErrIntr;  // a signal interrupted the sleep; caller must retry

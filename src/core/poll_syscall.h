@@ -9,11 +9,14 @@
 #ifndef SRC_CORE_POLL_SYSCALL_H_
 #define SRC_CORE_POLL_SYSCALL_H_
 
+#include <memory>
 #include <span>
+#include <vector>
 
 #include "src/kernel/poll_types.h"
 #include "src/kernel/process.h"
 #include "src/kernel/sim_kernel.h"
+#include "src/kernel/wait_queue.h"
 
 namespace scio {
 
@@ -39,6 +42,10 @@ class PollSyscall {
   SimKernel* kernel_;
   Process* proc_;
   PollSyscallOptions options_;
+  // Pooled wait-queue entries, reused across sleep/wake cycles. The wake
+  // closures capture the Process* by value (PollSyscall objects get
+  // move-assigned into SysCalls; the process they serve never moves).
+  std::vector<std::unique_ptr<Waiter>> waiter_pool_;
 };
 
 }  // namespace scio

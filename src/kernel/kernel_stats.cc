@@ -24,6 +24,7 @@ std::vector<std::pair<std::string, uint64_t>> KernelStats::ToRows() const {
       {"devpoll.interests_scanned", devpoll_interests_scanned},
       {"devpoll.driver_calls", devpoll_driver_calls},
       {"devpoll.driver_calls_avoided", devpoll_driver_calls_avoided},
+      {"devpoll.scan_stale_fd", devpoll_scan_stale_fd},
       {"devpoll.hints_set", devpoll_hints_set},
       {"devpoll.cached_ready_rechecks", devpoll_cached_ready_rechecks},
       {"devpoll.results_copied", devpoll_results_copied},

@@ -41,6 +41,10 @@ struct KernelStats {
   uint64_t devpoll_interests_scanned = 0;
   uint64_t devpoll_driver_calls = 0;
   uint64_t devpoll_driver_calls_avoided = 0;
+  // Scanned interests whose fd was closed (POLLNVAL): no driver call happens.
+  // Invariant: interests_scanned == driver_calls + driver_calls_avoided +
+  // scan_stale_fd (pinned by DevPollTest).
+  uint64_t devpoll_scan_stale_fd = 0;
   uint64_t devpoll_hints_set = 0;
   uint64_t devpoll_cached_ready_rechecks = 0;
   uint64_t devpoll_results_copied = 0;

@@ -11,6 +11,12 @@ Waiter::~Waiter() {
   }
 }
 
+void Waiter::Detach() {
+  if (queue_ != nullptr) {
+    queue_->Remove(this);
+  }
+}
+
 WaitQueue::~WaitQueue() {
   // Orphan any still-registered waiters so their destructors don't touch us.
   for (Waiter* w : waiters_) {

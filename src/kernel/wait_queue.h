@@ -23,6 +23,11 @@ class Waiter {
   Waiter& operator=(const Waiter&) = delete;
   ~Waiter();
 
+  // Unregister from the current queue, if any. The waiter stays usable and
+  // can be Add()ed again — this lets the poll sleep paths pool waiter
+  // objects across sleep/wake cycles instead of reallocating them.
+  void Detach();
+
  private:
   friend class WaitQueue;
   std::function<void()> on_wake_;

@@ -110,6 +110,7 @@ BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config) {
 
   RateSeries replies(config.sample_width, config.active.duration + config.drain);
   PercentileTracker conn_times;
+  conn_times.Reserve(generator.records().size());
   for (const ConnRecord& record : generator.records()) {
     ++result.attempts;
     switch (record.outcome) {

@@ -14,9 +14,19 @@ namespace scio {
 class PercentileTracker {
  public:
   void Add(double x) {
+    if (samples_.size() == samples_.capacity()) {
+      // Grow in large steps: recording tens of thousands of samples should
+      // not churn through a dozen small reallocations at the start.
+      samples_.reserve(samples_.capacity() < kMinBlock ? kMinBlock
+                                                       : samples_.capacity() * 2);
+    }
     samples_.push_back(x);
     sorted_ = false;
   }
+
+  // Pre-size for an expected sample count (callers usually know the request
+  // budget up front).
+  void Reserve(size_t n) { samples_.reserve(n); }
 
   size_t count() const { return samples_.size(); }
 
@@ -27,6 +37,8 @@ class PercentileTracker {
   double Median() { return Percentile(50.0); }
 
  private:
+  static constexpr size_t kMinBlock = 1024;
+
   void EnsureSorted();
 
   std::vector<double> samples_;

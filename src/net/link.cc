@@ -6,7 +6,7 @@
 
 namespace scio {
 
-void Link::Transmit(size_t bytes, std::function<void()> deliver) {
+void Link::Transmit(size_t bytes, EventCallback deliver) {
   const SimTime start = busy_until_ > sim_->now() ? busy_until_ : sim_->now();
   const auto tx_time =
       static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 * 1e9 / bandwidth_bps_);

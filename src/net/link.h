@@ -11,8 +11,8 @@
 #define SRC_NET_LINK_H_
 
 #include <cstdint>
-#include <functional>
 
+#include "src/sim/event_callback.h"
 #include "src/sim/simulator.h"
 
 namespace scio {
@@ -27,7 +27,9 @@ class Link {
   Link& operator=(const Link&) = delete;
 
   // Queue `bytes` for transmission; `deliver` runs at the arrival time.
-  void Transmit(size_t bytes, std::function<void()> deliver);
+  // EventCallback stores small captures inline, so delivery scheduling does
+  // not allocate once the event pool has warmed up.
+  void Transmit(size_t bytes, EventCallback deliver);
 
   // Subject this link to a fault schedule (loss, latency spikes, flaps).
   // `toward_server` tells the plane which direction this link carries.

@@ -60,7 +60,10 @@ void Phhttpd::EnterPollFallback() {
 }
 
 void Phhttpd::RunPollIteration(SimTime until, int timeout_override_ms) {
+  // clear() keeps the allocation, so after the connection count peaks the
+  // per-iteration rebuild performs no heap traffic.
   pollfds_.clear();
+  pollfds_.reserve(conns_.size() + 1);
   pollfds_.push_back(PollFd{listener_fd_, kPollIn, 0});
   for (const auto& [fd, conn] : conns_) {
     pollfds_.push_back(PollFd{fd, conn.phase == Phase::kWriting ? kPollOut : kPollIn, 0});

@@ -62,22 +62,22 @@ void ThttpdDevPoll::OnConnClosing(int fd) {
   QueueUpdate(fd, kPollRemove);
   // The fd is about to be closed; purge any queued update for it first so a
   // later flush cannot resurrect an interest for a reused fd number.
-  std::vector<PollFd> keep;
-  keep.reserve(pending_updates_.size());
+  // Compacted in place: connection close is a hot path under abusive loads.
   PollFd removal{};
   bool have_removal = false;
+  auto out = pending_updates_.begin();
   for (const PollFd& update : pending_updates_) {
     if (update.fd != fd) {
-      keep.push_back(update);
+      *out++ = update;
     } else if ((update.events & kPollRemove) != 0) {
       removal = update;
       have_removal = true;
     }
   }
+  pending_updates_.erase(out, pending_updates_.end());
   if (have_removal) {
-    keep.push_back(removal);
+    pending_updates_.push_back(removal);
   }
-  pending_updates_ = std::move(keep);
   // Flush immediately: after return the fd number may be reused by accept().
   FlushUpdates();
 }

@@ -12,7 +12,10 @@ ThttpdPoll::ThttpdPoll(Sys* sys, const StaticContent* content, ServerConfig conf
 }
 
 void ThttpdPoll::RebuildPollSet() {
+  // clear() keeps the allocation, so after the connection count peaks the
+  // per-iteration rebuild performs no heap traffic.
   pollfds_.clear();
+  pollfds_.reserve(conns_.size() + 1);
   pollfds_.push_back(PollFd{listener_fd_, kPollIn, 0});
   for (const auto& [fd, conn] : conns_) {
     pollfds_.push_back(

@@ -1,0 +1,123 @@
+// EventCallback: the event engine's callable type.
+//
+// A move-only, type-erased `void()` callable with a fixed-size inline buffer.
+// Callables that fit (every hot-path lambda in the simulator: packet
+// deliveries capture two weak_ptrs plus a small chunk, timers capture a
+// pointer and an index) are stored in place — scheduling an event performs no
+// heap allocation. Larger callables fall back to a single heap cell, so the
+// type stays fully general.
+//
+// This replaces std::function on the Schedule() hot path, where the
+// std::function control block plus the shared_ptr cancellation state used to
+// account for two allocations per scheduled event.
+
+#ifndef SRC_SIM_EVENT_CALLBACK_H_
+#define SRC_SIM_EVENT_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace scio {
+
+class EventCallback {
+ public:
+  // Sized to hold the largest hot-path capture (socket delivery lambdas:
+  // two weak_ptrs + a Chunk + a count ≈ 88 bytes) without heap fallback.
+  static constexpr size_t kInlineCapacity = 96;
+
+  EventCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = InlineOps<Fn>();
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      ops_ = HeapOps<Fn>();
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept { MoveFrom(other); }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // Destroy the held callable (if any) and return to the empty state.
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static const Ops* InlineOps() {
+    static constexpr Ops ops = {
+        [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+        [](void* dst, void* src) {
+          Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+          ::new (dst) Fn(std::move(*from));
+          from->~Fn();
+        },
+        [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); },
+    };
+    return &ops;
+  }
+
+  template <typename Fn>
+  static const Ops* HeapOps() {
+    static constexpr Ops ops = {
+        [](void* p) { (**reinterpret_cast<Fn**>(p))(); },
+        [](void* dst, void* src) {
+          *reinterpret_cast<Fn**>(dst) = *reinterpret_cast<Fn**>(src);
+        },
+        [](void* p) { delete *reinterpret_cast<Fn**>(p); },
+    };
+    return &ops;
+  }
+
+  void MoveFrom(EventCallback& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace scio
+
+#endif  // SRC_SIM_EVENT_CALLBACK_H_

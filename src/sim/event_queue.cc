@@ -1,56 +1,330 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
+#include <bit>
+#include <cassert>
 #include <utility>
 
 namespace scio {
 
+namespace {
+inline void Prefetch(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p);
+#else
+  (void)p;
+#endif
+}
+}  // namespace
+
 void EventHandle::Cancel() {
-  if (state_ && !state_->fired) {
-    state_->cancelled = true;
+  if (queue_ != nullptr) {
+    queue_->CancelAt(index_, gen_);
   }
 }
 
-bool EventHandle::pending() const { return state_ && !state_->fired && !state_->cancelled; }
+bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->PendingAt(index_, gen_);
+}
+
+EventQueue::EventQueue() {
+  std::fill(std::begin(slot_head_), std::end(slot_head_), kNil);
+}
+
+EventQueue::~EventQueue() = default;
+
+uint32_t EventQueue::AllocNode() {
+  if (free_head_ == kNil) {
+    const uint32_t base = static_cast<uint32_t>(chunks_.size() * kChunkSize);
+    chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+    cb_chunks_.push_back(std::make_unique<EventCallback[]>(kChunkSize));
+    // Thread the fresh chunk onto the free list, lowest index on top.
+    for (size_t i = kChunkSize; i > 0; --i) {
+      Node& n = chunks_.back()[i - 1];
+      n.next = free_head_;
+      free_head_ = base + static_cast<uint32_t>(i - 1);
+    }
+  }
+  const uint32_t idx = free_head_;
+  free_head_ = node(idx).next;
+  return idx;
+}
+
+void EventQueue::FreeNode(uint32_t idx) {
+  Node& n = node(idx);
+  cb(idx).Reset();
+  ++n.gen;  // invalidate every outstanding handle to the old event
+  n.state = NodeState::kFree;
+  n.cancelled = false;
+  n.next = free_head_;
+  free_head_ = idx;
+}
+
+void EventQueue::PushSlot(int level, int index, uint32_t idx) {
+  // Push-front: touches only the new node (warm) and the slot-head array.
+  const int s = level * kSlotsPerLevel + index;
+  Node& n = node(idx);
+  n.state = NodeState::kInSlot;
+  n.next = slot_head_[s];
+  slot_head_[s] = idx;
+  occupied_[level] |= uint64_t{1} << index;
+}
+
+uint32_t EventQueue::DetachSlot(int level, int index) {
+  const int s = level * kSlotsPerLevel + index;
+  const uint32_t head = slot_head_[s];
+  slot_head_[s] = kNil;
+  occupied_[level] &= ~(uint64_t{1} << index);
+  return head;
+}
+
+void EventQueue::Route(uint32_t idx) {
+  Node& n = node(idx);
+  assert(n.when >= current_tick_ && "live events never precede the wheel origin");
+  const uint64_t when = static_cast<uint64_t>(n.when);
+  const uint64_t cur = static_cast<uint64_t>(current_tick_);
+  const uint64_t delta = when - cur;
+  int level = delta == 0 ? 0 : (63 - std::countl_zero(delta)) / kLevelBits;
+  if (level >= kLevels) {
+    level = kLevels - 1;
+  }
+  // A level's 64 slots only disambiguate times within one rotation of the
+  // cursor; if the delta straddles a rotation boundary, bump up a level.
+  while (level < kLevels - 1 &&
+         (when >> (level * kLevelBits)) - (cur >> (level * kLevelBits)) >=
+             static_cast<uint64_t>(kSlotsPerLevel)) {
+    ++level;
+  }
+  const int shift = level * kLevelBits;
+  int index;
+  if ((when >> shift) - (cur >> shift) >= static_cast<uint64_t>(kSlotsPerLevel)) {
+    // Beyond even the top level's horizon (> 64^kLevels ns out): park in the
+    // farthest slot; each visit of that slot re-routes the node closer.
+    index = static_cast<int>(((cur >> shift) + (kSlotsPerLevel - 1)) &
+                             (kSlotsPerLevel - 1));
+  } else {
+    index = static_cast<int>((when >> shift) & (kSlotsPerLevel - 1));
+  }
+  PushSlot(level, index, idx);
+}
 
 EventHandle EventQueue::Schedule(SimTime when, Callback cb) {
-  auto state = std::make_shared<EventHandle::State>();
-  heap_.push(Entry{when, next_seq_++, std::move(cb), state});
+  if (when < 0) {
+    when = 0;
+  }
+  if (when < current_tick_) {
+    // The wheel origin overshot (NextTime resolves the next tick eagerly,
+    // and the clock owner may sit before it). Roll the origin back so the
+    // new event still fires in exact time order.
+    if (DueBufferActive()) {
+      FlushDueIntoWheel();
+    }
+    due_.clear();
+    due_pos_ = 0;
+    current_tick_ = when;
+  }
+  const uint32_t idx = AllocNode();
+  Node& n = node(idx);
+  n.when = when;
+  n.seq = next_seq_++;
+  n.cancelled = false;
+  this->cb(idx) = std::move(cb);
+  Route(idx);
   ++live_count_;
-  return EventHandle(std::move(state));
+  return EventHandle(this, idx, n.gen);
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty() && heap_.top().state->cancelled) {
-    heap_.pop();
-    --live_count_;
+void EventQueue::CancelAt(uint32_t idx, uint32_t gen) {
+  Node& n = node(idx);
+  if (n.gen != gen || n.cancelled) {
+    return;  // already fired, cancelled, or the node was recycled
   }
+  // Lazy unlink: the node stays chained (and its callback alive) until the
+  // wheel next visits its slot or the due buffer reaches it.
+  n.cancelled = true;
+  --live_count_;
 }
 
-void EventQueue::Clear() {
-  while (!heap_.empty()) {
-    heap_.pop();
+bool EventQueue::PendingAt(uint32_t idx, uint32_t gen) const {
+  const Node& n = node(idx);
+  return n.gen == gen && !n.cancelled;
+}
+
+void EventQueue::FlushDueIntoWheel() {
+  for (size_t i = due_pos_; i < due_.size(); ++i) {
+    const uint32_t idx = due_[i];
+    if (node(idx).cancelled) {
+      FreeNode(idx);  // live_count_ already dropped at Cancel time
+    } else {
+      Route(idx);
+    }
   }
-  live_count_ = 0;
+  due_.clear();
+  due_pos_ = 0;
+}
+
+void EventQueue::CollectDue() {
+  const int index = static_cast<int>(current_tick_ & (kSlotsPerLevel - 1));
+  uint32_t it = DetachSlot(0, index);
+  due_.clear();
+  due_pos_ = 0;
+  while (it != kNil) {
+    const uint32_t next = node(it).next;
+    if (next != kNil) {
+      Prefetch(&node(next));
+    }
+    Node& n = node(it);
+    if (n.cancelled) {
+      FreeNode(it);  // live_count_ already dropped at Cancel time
+    } else if (n.when == current_tick_) {
+      n.state = NodeState::kInDue;
+      due_.push_back(it);
+    } else {
+      // Residue collision (possible after an origin rollback): send the node
+      // to its true position so the slot no longer misleads the search.
+      Route(it);
+    }
+    it = next;
+  }
+  // Same-time events fire in schedule order no matter which wheel level they
+  // arrived from — this sort is what makes the wheel replay-identical to the
+  // old (time, seq) priority queue.
+  if (due_.size() > 1) {
+    std::sort(due_.begin(), due_.end(),
+              [this](uint32_t a, uint32_t b) { return node(a).seq < node(b).seq; });
+  }
+  due_tick_ = current_tick_;
+}
+
+bool EventQueue::FindNextSlot(int* level, int* index, SimTime* lower_bound) const {
+  SimTime best = kSimTimeNever;
+  bool found = false;
+  const uint64_t cur = static_cast<uint64_t>(current_tick_);
+  for (int l = 0; l < kLevels; ++l) {
+    const uint64_t occ = occupied_[l];
+    if (occ == 0) {
+      continue;
+    }
+    const int shift = l * kLevelBits;
+    const uint64_t pos = cur >> shift;
+    const int cursor = static_cast<int>(pos & (kSlotsPerLevel - 1));
+    uint64_t cand_pos;
+    int idx;
+    if (const uint64_t ahead = occ >> cursor; ahead != 0) {
+      const int off = std::countr_zero(ahead);
+      idx = cursor + off;
+      cand_pos = pos + static_cast<uint64_t>(off);
+    } else {
+      // Occupied slots before the cursor belong to the next rotation.
+      idx = std::countr_zero(occ);
+      cand_pos = pos - static_cast<uint64_t>(cursor) +
+                 static_cast<uint64_t>(kSlotsPerLevel + idx);
+    }
+    const uint64_t t64 = cand_pos << shift;
+    SimTime t = t64 > static_cast<uint64_t>(kSimTimeNever) ? kSimTimeNever
+                                                           : static_cast<SimTime>(t64);
+    if (t < current_tick_) {
+      t = current_tick_;  // cursor slot of a coarse level: lower bound is "now"
+    }
+    // `<=`: on ties a higher level wins, so far slots cascade down before the
+    // level-0 slot drains — required for same-time seq ordering.
+    if (!found || t <= best) {
+      best = t;
+      *level = l;
+      *index = idx;
+      found = true;
+    }
+  }
+  *lower_bound = best;
+  return found;
+}
+
+void EventQueue::Cascade(int level, int index) {
+  uint32_t it = DetachSlot(level, index);
+  while (it != kNil) {
+    const uint32_t next = node(it).next;
+    if (next != kNil) {
+      Prefetch(&node(next));  // chain nodes are scattered across the slab
+    }
+    if (node(it).cancelled) {
+      FreeNode(it);
+    } else {
+      Route(it);
+    }
+    it = next;
+  }
 }
 
 SimTime EventQueue::NextTime() {
-  SkipCancelled();
-  return heap_.empty() ? kSimTimeNever : heap_.top().when;
+  // Drop cancelled events parked at the head of the due buffer.
+  while (DueBufferActive() && node(due_[due_pos_]).cancelled) {
+    FreeNode(due_[due_pos_]);
+    ++due_pos_;
+  }
+  if (DueBufferActive()) {
+    return due_tick_;
+  }
+  due_.clear();
+  due_pos_ = 0;
+  if (live_count_ == 0) {
+    return kSimTimeNever;
+  }
+  while (true) {
+    int level = 0;
+    int index = 0;
+    SimTime lower_bound = kSimTimeNever;
+    if (!FindNextSlot(&level, &index, &lower_bound)) {
+      return kSimTimeNever;  // unreachable while live_count_ > 0
+    }
+    current_tick_ = lower_bound;
+    if (level == 0) {
+      CollectDue();
+      if (DueBufferActive()) {
+        return due_tick_;
+      }
+      // The slot only held residue-colliding future nodes; they have been
+      // re-routed, so the search now makes progress.
+    } else {
+      Cascade(level, index);
+    }
+  }
 }
 
 bool EventQueue::RunNext() {
-  SkipCancelled();
-  if (heap_.empty()) {
+  if (NextTime() == kSimTimeNever) {
     return false;
   }
-  // Move the entry out before running: the callback may schedule new events.
-  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
+  // NextTime() leaves a live event at the head of the due buffer.
+  const uint32_t idx = due_[due_pos_++];
+  EventCallback callback = std::move(cb(idx));
   --live_count_;
-  entry.state->fired = true;
   ++executed_count_;
-  entry.cb();
+  FreeNode(idx);  // before the callback runs: Cancel/pending from inside it
+                  // see a consistent "already fired" state
+  callback();
   return true;
+}
+
+void EventQueue::Clear() {
+  for (size_t i = due_pos_; i < due_.size(); ++i) {
+    FreeNode(due_[i]);
+  }
+  due_.clear();
+  due_pos_ = 0;
+  for (int l = 0; l < kLevels; ++l) {
+    uint64_t occ = occupied_[l];
+    while (occ != 0) {
+      const int index = std::countr_zero(occ);
+      occ &= occ - 1;
+      uint32_t it = DetachSlot(l, index);
+      while (it != kNil) {
+        const uint32_t next = node(it).next;
+        FreeNode(it);
+        it = next;
+      }
+    }
+  }
+  live_count_ = 0;
 }
 
 }  // namespace scio

@@ -1,21 +1,58 @@
-// Pending-event priority queue for the discrete-event simulator.
+// Pending-event scheduler for the discrete-event simulator.
 //
 // Events are (time, sequence, callback) triples ordered by time, with the
 // insertion sequence number breaking ties so that same-time events run in
-// schedule order — a requirement for deterministic replays.
+// schedule order — a requirement for deterministic replays. That ordering
+// contract is identical to the original priority-queue engine; only the
+// mechanics changed.
+//
+// Implementation: a hierarchical timer wheel (Varghese/Lauck; the same shape
+// as the Linux kernel's timer wheel) backed by a slab of pooled event nodes.
+//
+//   - kLevels levels of 64 slots each; level l has a granularity of 64^l
+//     nanosecond ticks, so the wheel spans 64^kLevels ns (> 1000 years of
+//     simulated time) before the farthest-slot clamp engages.
+//   - Scheduling appends an intrusive node to one slot: O(1), no allocation
+//     once the slab has warmed up. Callbacks live inline in the node
+//     (EventCallback), so the steady state performs zero heap traffic.
+//   - Advancing cascades far slots toward level 0 using per-level occupancy
+//     bitmaps to jump straight to the next occupied slot — no tick-at-a-time
+//     stepping, which matters because simulated time moves in irregular
+//     nanosecond leaps.
+//   - When the earliest slot reaches level 0 its events all share one exact
+//     tick; they are drained into a scratch buffer and sorted by sequence
+//     number, which restores global FIFO order for same-time events even
+//     when some of them cascaded down from far levels.
+//   - Slot lists are singly linked and push-front: scheduling touches only
+//     the new node and the slot-head array, never another (cold) node. The
+//     resulting arbitrary intra-slot order is harmless because the due-buffer
+//     sort is what establishes firing order.
+//   - Cancellation is an index + generation counter: EventHandle stays
+//     copyable and trivially destructible, Cancel() after the event fired
+//     (or on an empty handle, or twice) is a safe no-op, and freed nodes are
+//     recycled through a free list. Cancelled nodes are unlinked lazily, when
+//     the wheel next visits their slot (same discipline the old engine used
+//     for its heap).
+//
+// Lifetime: handles weakly reference the queue by pointer, so a handle must
+// not be cancelled/queried after its EventQueue is destroyed. Every holder
+// in the tree (client timers) dies before the Simulator, which is always
+// declared first.
 
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "src/sim/event_callback.h"
 #include "src/sim/time.h"
 
 namespace scio {
+
+class EventQueue;
 
 // Handle to a scheduled event; allows cancellation. Copyable and cheap.
 // A default-constructed handle refers to nothing and Cancel() is a no-op.
@@ -32,19 +69,26 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  struct State {
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit EventHandle(std::shared_ptr<State> state) : state_(std::move(state)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(EventQueue* queue, uint32_t index, uint32_t gen)
+      : queue_(queue), index_(index), gen_(gen) {}
+
+  EventQueue* queue_ = nullptr;
+  uint32_t index_ = 0;
+  uint32_t gen_ = 0;
 };
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventCallback;
+
+  EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  ~EventQueue();
 
   // Schedule `cb` at absolute time `when`. Returns a cancellation handle.
+  // `when` earlier than every already-executed event is clamped forward so
+  // the new event simply fires next.
   EventHandle Schedule(SimTime when, Callback cb);
 
   bool empty() const { return live_count_ == 0; }
@@ -61,31 +105,91 @@ class EventQueue {
   // Drop every pending event without running it. Callbacks (and anything they
   // own, e.g. sockets captured by in-flight packet deliveries) are destroyed
   // here, so call this while the objects they reference are still alive.
+  // Pooled nodes are retained for reuse.
   void Clear();
 
   // Total events ever executed; useful for progress accounting in tests.
   uint64_t executed_count() const { return executed_count_; }
 
+  // Pool introspection (benchmarks assert the zero-alloc steady state).
+  size_t pool_capacity() const { return chunks_.size() * kChunkSize; }
+
  private:
-  struct Entry {
-    SimTime when;
-    uint64_t seq;
-    Callback cb;
-    std::shared_ptr<EventHandle::State> state;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
-    }
-  };
+  friend class EventHandle;
 
-  // Drop cancelled entries from the front of the heap.
-  void SkipCancelled();
+  static constexpr int kLevelBits = 6;
+  static constexpr int kSlotsPerLevel = 1 << kLevelBits;         // 64
+  static constexpr int kLevels = 10;                             // spans 2^60 ns
+  static constexpr uint32_t kNil = UINT32_MAX;
+  static constexpr size_t kChunkSize = 1024;                     // nodes per slab chunk
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  enum class NodeState : uint8_t { kFree, kInSlot, kInDue };
+
+  // Hot routing metadata only — exactly 32 bytes, two per cache line. The
+  // callback lives in a parallel array (cb_chunks_): cascades re-route nodes
+  // many times but only Schedule and RunNext ever touch the callback, so
+  // keeping it out of Node shrinks the cascade working set ~4.5x.
+  struct Node {
+    SimTime when = 0;
+    uint64_t seq = 0;
+    uint32_t gen = 0;         // bumped every time the node is freed
+    uint32_t next = kNil;     // slot chain link; doubles as the free-list link
+    NodeState state = NodeState::kFree;
+    bool cancelled = false;   // lazily reaped when the slot is next visited
+  };
+  static_assert(sizeof(Node) == 32, "keep the hot node at half a cache line");
+
+  Node& node(uint32_t idx) { return chunks_[idx / kChunkSize][idx % kChunkSize]; }
+  const Node& node(uint32_t idx) const { return chunks_[idx / kChunkSize][idx % kChunkSize]; }
+  EventCallback& cb(uint32_t idx) { return cb_chunks_[idx / kChunkSize][idx % kChunkSize]; }
+
+  uint32_t AllocNode();
+  void FreeNode(uint32_t idx);  // destroys the callback, bumps the generation
+
+  // Place a node into the wheel according to its `when` and current_tick_.
+  void Route(uint32_t idx);
+  void PushSlot(int level, int index, uint32_t idx);
+
+  // Detach a whole slot list (returns the head; bitmap bit cleared).
+  uint32_t DetachSlot(int level, int index);
+
+  // Find the occupied slot with the smallest lower-bound time. Returns false
+  // when the wheel is empty. Ties prefer higher levels so far slots cascade
+  // before a same-time level-0 slot drains (required for seq ordering).
+  bool FindNextSlot(int* level, int* index, SimTime* lower_bound) const;
+
+  // Move every node of slot (level, index) down the wheel after advancing
+  // current_tick_ to the slot's lower bound.
+  void Cascade(int level, int index);
+
+  // Pull every event with time == current_tick_ out of its level-0 slot into
+  // the due buffer, sorted by sequence number.
+  void CollectDue();
+
+  // Re-insert unfired due-buffer events into the wheel (rollback path: a new
+  // event was scheduled earlier than the buffered tick).
+  void FlushDueIntoWheel();
+
+  bool DueBufferActive() const { return due_pos_ < due_.size(); }
+
+  void CancelAt(uint32_t idx, uint32_t gen);
+  bool PendingAt(uint32_t idx, uint32_t gen) const;
+
+  // --- storage -----------------------------------------------------------------
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::vector<std::unique_ptr<EventCallback[]>> cb_chunks_;  // parallel to chunks_
+  uint32_t free_head_ = kNil;
+
+  uint32_t slot_head_[kLevels * kSlotsPerLevel];
+  uint64_t occupied_[kLevels] = {};
+
+  // Earliest-tick drain buffer: node indices, sorted by seq, consumed by
+  // RunNext. Persistent capacity.
+  std::vector<uint32_t> due_;
+  size_t due_pos_ = 0;
+  SimTime due_tick_ = 0;
+
+  SimTime current_tick_ = 0;  // wheel origin; <= every live event's time
   uint64_t next_seq_ = 0;
   size_t live_count_ = 0;
   uint64_t executed_count_ = 0;

@@ -1,0 +1,43 @@
+// FuncRef: a non-owning, allocation-free callable reference.
+//
+// Used where a callback is invoked strictly within the callee's dynamic
+// extent (e.g. Simulator::StepUntil's stop predicate, called thousands of
+// times per blocking syscall). Unlike std::function it never allocates and
+// never copies the callable — it is two words: an object pointer and an
+// invoke thunk. The referenced callable must outlive the call, which a
+// function argument temporary always does.
+
+#ifndef SRC_SIM_FUNC_REF_H_
+#define SRC_SIM_FUNC_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace scio {
+
+template <typename Sig>
+class FuncRef;
+
+template <typename R, typename... Args>
+class FuncRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FuncRef> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  FuncRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        invoke_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::decay_t<F>*>(obj))(std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return invoke_(obj_, std::forward<Args>(args)...); }
+
+ private:
+  void* obj_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace scio
+
+#endif  // SRC_SIM_FUNC_REF_H_

@@ -2,7 +2,7 @@
 
 namespace scio {
 
-bool Simulator::StepUntil(const std::function<bool()>& stop, SimTime deadline) {
+bool Simulator::StepUntil(FuncRef<bool()> stop, SimTime deadline) {
   while (true) {
     if (stop()) {
       return true;

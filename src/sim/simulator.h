@@ -11,10 +11,10 @@
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
-#include <functional>
 #include <utility>
 
 #include "src/sim/event_queue.h"
+#include "src/sim/func_ref.h"
 #include "src/sim/time.h"
 
 namespace scio {
@@ -40,7 +40,8 @@ class Simulator {
   // Run events (advancing the clock) until `stop()` returns true or the clock
   // would pass `deadline`. Returns true if `stop` was satisfied, false on
   // deadline/queue exhaustion. On a deadline return, now() == deadline.
-  bool StepUntil(const std::function<bool()>& stop, SimTime deadline);
+  // `stop` is a non-owning reference: it is only invoked within this call.
+  bool StepUntil(FuncRef<bool()> stop, SimTime deadline);
 
   // Execute all events with time <= target, then set now() = target.
   void AdvanceTo(SimTime target);

@@ -312,6 +312,46 @@ TEST_F(DevPollTest, CloseDestroysInterestSet) {
       << "backmap links unregistered when the set dies";
 }
 
+// --- scan counter taxonomy --------------------------------------------------------
+//
+// Every scanned interest falls into exactly one bucket: the driver was
+// called, the driver was skipped (hint cache), or the fd was stale. The sum
+// is pinned so a future fast path cannot silently fall out of accounting.
+class DevPollTaxonomy : public DevPollTest,
+                        public ::testing::WithParamInterface<bool> {};
+
+TEST_P(DevPollTaxonomy, ScanCountersPartitionInterestsScanned) {
+  DevPollOptions options;
+  options.hinted_first_scan = GetParam();
+  Open(options);
+  // Mixed population: idle interests (driver skipped once hints settle), an
+  // active one (driver called), and a closed fd left registered (stale).
+  std::vector<std::pair<std::shared_ptr<SimSocket>, int>> conns;
+  for (int i = 0; i < 4; ++i) {
+    conns.push_back(EstablishedPair());
+    WriteOne(conns.back().second, kPollIn);
+  }
+  auto [stale_client, stale_fd] = EstablishedPair();
+  WriteOne(stale_fd, kPollIn);
+  sys_.Close(stale_fd);  // improper usage: interest outlives the fd
+  conns[0].first->Write(Chunk{"x", 0});
+  RunFor(Millis(5));
+  PollNow();
+  PollNow();
+  sys_.Read(conns[0].second, 100);  // ready -> not-ready transition
+  PollNow();
+  const KernelStats& stats = kernel_.stats();
+  EXPECT_GT(stats.devpoll_interests_scanned, 0u);
+  EXPECT_GT(stats.devpoll_driver_calls, 0u);
+  EXPECT_GT(stats.devpoll_scan_stale_fd, 0u);
+  EXPECT_EQ(stats.devpoll_interests_scanned,
+            stats.devpoll_driver_calls + stats.devpoll_driver_calls_avoided +
+                stats.devpoll_scan_stale_fd)
+      << "a scanned interest escaped the counter taxonomy";
+}
+
+INSTANTIATE_TEST_SUITE_P(BothScanModes, DevPollTaxonomy, ::testing::Bool());
+
 // --- hint-cache coherence property ------------------------------------------------
 //
 // Whatever interleaving of traffic, reads, interest updates, and scans

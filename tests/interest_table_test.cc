@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "src/core/interest_table.h"
 #include "src/sim/rng.h"
@@ -93,6 +94,64 @@ TEST(InterestTableTest, SurvivesRehashWithState) {
     EXPECT_EQ(interest->events, static_cast<PollEvents>(fd + 1));
     EXPECT_EQ(interest->hint, (fd % 2) == 0);
   }
+}
+
+TEST(InterestTableTest, PointersStableAcrossGrowth) {
+  InterestHashTable table(8);
+  bool inserted;
+  Interest& pinned = table.FindOrInsert(3, &inserted);
+  pinned.events = kPollIn;
+  Interest* const address = &pinned;
+  // Insert well past several doubling thresholds while holding the reference.
+  for (int fd = 100; fd < 400; ++fd) {
+    table.FindOrInsert(fd, &inserted);
+  }
+  ASSERT_GE(table.resize_count(), 3u) << "growth must actually have happened";
+  EXPECT_EQ(table.Find(3), address) << "node moved during rehash";
+  EXPECT_EQ(pinned.events, kPollIn);
+  pinned.hint = true;  // a write through the held reference hits live data
+  EXPECT_TRUE(table.Find(3)->hint);
+}
+
+TEST(InterestTableTest, PointersStableAcrossEraseChurn) {
+  InterestHashTable table(4);
+  bool inserted;
+  Interest* const address = &table.FindOrInsert(7, &inserted);
+  for (int round = 0; round < 20; ++round) {
+    for (int fd = 1000; fd < 1040; ++fd) {
+      table.FindOrInsert(fd, &inserted);
+    }
+    for (int fd = 1000; fd < 1040; ++fd) {
+      table.Erase(fd);
+    }
+  }
+  EXPECT_EQ(table.Find(7), address) << "freelist recycling moved a live node";
+}
+
+TEST(InterestTableTest, ForEachOrderDeterministicAcrossIdenticalBuilds) {
+  // Scan order feeds the simulated /dev/poll result order, so two tables
+  // built by the same insertion/erasure sequence must scan identically.
+  auto build = [](InterestHashTable& table) {
+    bool inserted;
+    for (int fd : {9, 1, 33, 5, 17, 2, 65, 41, 73, 12, 99, 7, 25, 49, 81, 13}) {
+      table.FindOrInsert(fd, &inserted);
+    }
+    table.Erase(33);
+    table.Erase(12);
+    for (int fd : {129, 161, 193, 33}) {
+      table.FindOrInsert(fd, &inserted);  // growth + a freelist reuse
+    }
+  };
+  InterestHashTable a(4);
+  InterestHashTable b(4);
+  build(a);
+  build(b);
+  std::vector<int> order_a;
+  std::vector<int> order_b;
+  a.ForEach([&](Interest& interest) { order_a.push_back(interest.fd); });
+  b.ForEach([&](Interest& interest) { order_b.push_back(interest.fd); });
+  EXPECT_EQ(order_a, order_b);
+  EXPECT_EQ(order_a.size(), 18u);
 }
 
 // Property sweep: for any insertion pattern, the invariant

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "src/load/benchmark_run.h"
 #include "src/load/httperf.h"
 #include "src/load/inactive_pool.h"
@@ -125,6 +128,27 @@ TEST(BenchmarkRunTest, SmallRunProducesSaneNumbers) {
 
 class DeterminismTest : public ::testing::TestWithParam<ServerKind> {};
 
+// Everything that must be bit-identical across two runs of the same seed —
+// the event engine's replay contract (same-time events in schedule order).
+std::string MetricsSignature(const BenchmarkResult& r) {
+  std::ostringstream out;
+  out.precision(17);
+  out << r.attempts << '|' << r.successes << '|' << r.errors << '|' << r.pending
+      << '|' << r.reply_avg << '|' << r.reply_min << '|' << r.reply_max << '|'
+      << r.reply_stddev << '|' << r.median_conn_ms << '|' << r.p90_conn_ms << '|'
+      << r.cpu_utilization << '|' << r.kernel_stats.syscalls << '|'
+      << r.kernel_stats.poll_driver_calls << '|'
+      << r.kernel_stats.devpoll_driver_calls << '|'
+      << r.kernel_stats.devpoll_interests_scanned << '|'
+      << r.kernel_stats.devpoll_driver_calls_avoided << '|'
+      << r.kernel_stats.devpoll_scan_stale_fd << '|'
+      << r.server_stats.connections_accepted;
+  for (const double v : r.reply_series) {
+    out << '|' << v;
+  }
+  return out.str();
+}
+
 TEST_P(DeterminismTest, IdenticalSeedsIdenticalResults) {
   BenchmarkRunConfig config;
   config.server = GetParam();
@@ -141,6 +165,7 @@ TEST_P(DeterminismTest, IdenticalSeedsIdenticalResults) {
   EXPECT_EQ(a.kernel_stats.poll_driver_calls, b.kernel_stats.poll_driver_calls);
   EXPECT_EQ(a.kernel_stats.devpoll_driver_calls, b.kernel_stats.devpoll_driver_calls);
   EXPECT_DOUBLE_EQ(a.median_conn_ms, b.median_conn_ms);
+  EXPECT_EQ(MetricsSignature(a), MetricsSignature(b));
 }
 
 INSTANTIATE_TEST_SUITE_P(AllServers, DeterminismTest,

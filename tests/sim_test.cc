@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/sim/event_queue.h"
@@ -83,6 +86,151 @@ TEST(EventQueueTest, CallbackMaySchedule) {
   while (queue.RunNext()) {
   }
   EXPECT_EQ(runs, 2);
+}
+
+TEST(EventQueueTest, SameTimeFifoAcrossWheelLevels) {
+  // The far event lands on a high wheel level at schedule time; the near one
+  // is scheduled for the same tick from one tick before it (level 0). The
+  // far event carries the lower sequence number, so it must still fire
+  // first after cascading down. Targets cover wheel levels 1 through 4.
+  for (const SimTime target : {SimTime{70}, SimTime{5000}, SimTime{300'000},
+                               SimTime{20'000'000}}) {
+    EventQueue queue;
+    std::vector<int> order;
+    queue.Schedule(target, [&] { order.push_back(1); });
+    queue.Schedule(target - 1, [&] {
+      queue.Schedule(target, [&] { order.push_back(2); });
+    });
+    while (queue.RunNext()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2})) << "target " << target;
+  }
+}
+
+TEST(EventQueueTest, DoubleCancelKeepsSizeConsistent) {
+  EventQueue queue;
+  EventHandle handle = queue.Schedule(10, [] {});
+  queue.Schedule(20, [] {});
+  handle.Cancel();
+  handle.Cancel();  // must not decrement the live count a second time
+  EXPECT_EQ(queue.size(), 1u);
+  size_t runs = 0;
+  while (queue.RunNext()) {
+    ++runs;
+  }
+  EXPECT_EQ(runs, 1u);
+}
+
+TEST(EventQueueTest, CallbackMayCancelSameTickEvent) {
+  EventQueue queue;
+  bool second_ran = false;
+  EventHandle second;
+  queue.Schedule(5, [&] { second.Cancel(); });
+  second = queue.Schedule(5, [&] { second_ran = true; });
+  while (queue.RunNext()) {
+  }
+  EXPECT_FALSE(second_ran);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueueTest, RecycledNodeDoesNotHonorStaleHandle) {
+  EventQueue queue;
+  EventHandle stale = queue.Schedule(1, [] {});
+  queue.RunNext();  // fires; the node returns to the pool
+  bool ran = false;
+  EventHandle fresh = queue.Schedule(2, [&] { ran = true; });
+  EXPECT_FALSE(stale.pending());
+  stale.Cancel();  // generation mismatch: must not touch the new occupant
+  EXPECT_TRUE(fresh.pending());
+  queue.RunNext();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, ClearDestroysPendingCallbacks) {
+  EventQueue queue;
+  auto token = std::make_shared<int>(42);
+  queue.Schedule(1000, [token] {});
+  queue.Schedule(200'000, [token] {});  // far slot: exercises the wheel sweep
+  EXPECT_EQ(token.use_count(), 3);
+  queue.Clear();
+  EXPECT_EQ(token.use_count(), 1) << "Clear() must release captured state";
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.RunNext());
+}
+
+TEST(EventQueueTest, CancelledCallbackReleasedByDrain) {
+  EventQueue queue;
+  auto token = std::make_shared<int>(0);
+  EventHandle handle = queue.Schedule(50, [token] {});
+  queue.Schedule(60, [] {});
+  handle.Cancel();
+  while (queue.RunNext()) {
+  }
+  EXPECT_EQ(token.use_count(), 1) << "lazily-reaped node still held the callback";
+}
+
+TEST(EventQueueTest, EarlierScheduleAfterNextTimeResolves) {
+  // NextTime() advances the wheel origin to the earliest pending tick; a
+  // Schedule for an earlier time afterwards must still fire first.
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(100, [&] { order.push_back(100); });
+  queue.Schedule(100, [&] { order.push_back(101); });
+  EXPECT_EQ(queue.NextTime(), 100);
+  queue.Schedule(50, [&] { order.push_back(50); });
+  EXPECT_EQ(queue.NextTime(), 50);
+  while (queue.RunNext()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{50, 100, 101}));
+}
+
+TEST(EventQueueTest, MatchesReferenceModelUnderSeededChurn) {
+  // Differential test: the wheel must fire exactly the (time, seq)-minimum
+  // live event, matching an ordered-map reference model, through a seeded
+  // mix of schedules, cancellations, and fires. Two passes over one queue so
+  // the second exercises node-pool reuse end to end.
+  EventQueue queue;
+  Rng rng(20260805);
+  for (int pass = 0; pass < 2; ++pass) {
+    std::map<std::pair<SimTime, uint64_t>, uint64_t> model;  // (when, seq) -> id
+    std::vector<std::pair<EventHandle, std::pair<SimTime, uint64_t>>> handles;
+    std::vector<uint64_t> fired;
+    uint64_t next_id = 0;
+    uint64_t next_seq = 0;
+    for (int step = 0; step < 4000; ++step) {
+      const double roll = rng.NextDouble();
+      if (roll < 0.5) {
+        const SimTime when = rng.UniformInt(0, 1'000'000);
+        const uint64_t id = next_id++;
+        const uint64_t seq = next_seq++;
+        EventHandle handle =
+            queue.Schedule(when, [&fired, id] { fired.push_back(id); });
+        model.emplace(std::make_pair(when, seq), id);
+        handles.emplace_back(handle, std::make_pair(when, seq));
+      } else if (roll < 0.65 && !handles.empty()) {
+        const size_t pick = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(handles.size()) - 1));
+        handles[pick].first.Cancel();       // no-op if already fired/cancelled
+        model.erase(handles[pick].second);  // ditto
+      } else if (!model.empty()) {
+        const uint64_t expected = model.begin()->second;
+        const size_t before = fired.size();
+        ASSERT_TRUE(queue.RunNext());
+        ASSERT_EQ(fired.size(), before + 1);
+        ASSERT_EQ(fired.back(), expected) << "wrong event fired at step " << step;
+        model.erase(model.begin());
+      }
+      ASSERT_EQ(queue.size(), model.size()) << "live-count drift at step " << step;
+    }
+    while (!model.empty()) {
+      const uint64_t expected = model.begin()->second;
+      ASSERT_TRUE(queue.RunNext());
+      ASSERT_EQ(fired.back(), expected);
+      model.erase(model.begin());
+    }
+    EXPECT_FALSE(queue.RunNext());
+    EXPECT_TRUE(queue.empty());
+  }
 }
 
 TEST(SimulatorTest, AdvanceToRunsDueEventsAndSetsClock) {
