@@ -1,5 +1,10 @@
 // Diagnostic: one benchmark point with full kernel/server counter dumps.
 // Used to attribute virtual-CPU spending while calibrating the cost model.
+//
+// --attribution adds the per-category virtual-CPU ledger (with the
+// sum==busy-time invariant checked), --trace=FILE attaches a flight recorder
+// and writes Chrome trace-event JSON (load it in about:tracing or Perfetto)
+// plus the per-phase breakdown table.
 
 #include <cstdlib>
 #include <cstring>
@@ -7,6 +12,7 @@
 
 #include "src/load/benchmark_run.h"
 #include "src/metrics/table.h"
+#include "src/trace/flight_recorder.h"
 
 int main(int argc, char** argv) {
   using namespace scio;
@@ -16,6 +22,8 @@ int main(int argc, char** argv) {
   config.active.duration = Seconds(4);
   config.inactive.connections = 501;
 
+  bool show_attribution = false;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--server=", 0) == 0) {
@@ -37,7 +45,20 @@ int main(int argc, char** argv) {
       config.active.duration = SecondsF(std::atof(arg.c_str() + 11));
     } else if (arg.rfind("--trickle-ms=", 0) == 0) {
       config.inactive.trickle_interval = MillisF(std::atof(arg.c_str() + 13));
+    } else if (arg == "--attribution") {
+      show_attribution = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
     }
+  }
+
+  FlightRecorder recorder;
+  if (!trace_path.empty()) {
+    if (!kFlightRecorderCompiledIn) {
+      std::cerr << "--trace: built with SCIO_DISABLE_TRACE; no events will be "
+                   "recorded\n";
+    }
+    config.recorder = &recorder;
   }
 
   const BenchmarkResult r = RunBenchmark(config);
@@ -64,6 +85,36 @@ int main(int argc, char** argv) {
   for (const auto& [name, value] : r.kernel_stats.ToRows()) {
     if (value != 0) {
       std::cout << "  " << name << " = " << value << "\n";
+    }
+  }
+
+  if (show_attribution || !trace_path.empty()) {
+    std::cout << "\n--- virtual-CPU attribution (ms charged) ---\n";
+    for (const auto& [name, ns] : r.attribution.ToRows()) {
+      if (ns != 0) {
+        std::cout << "  " << name << " = " << ToMillis(ns) << "\n";
+      }
+    }
+    std::cout << "  TOTAL = " << ToMillis(r.attribution.Sum())
+              << " (busy = " << ToMillis(r.busy_time) << ")\n";
+    if (r.attribution.Sum() != r.busy_time) {
+      std::cerr << "ATTRIBUTION INVARIANT VIOLATED: sum "
+                << r.attribution.Sum() << " != busy " << r.busy_time << "\n";
+      return 1;
+    }
+  }
+
+  if (!trace_path.empty()) {
+    std::cout << "\n--- flight recorder ---\n";
+    std::cout << "events held=" << recorder.size()
+              << " recorded=" << recorder.total_recorded()
+              << " dropped=" << recorder.dropped() << "\n";
+    recorder.PhaseBreakdown().Print(std::cout);
+    if (recorder.WriteChromeTraceFile(trace_path)) {
+      std::cout << "(chrome trace written to " << trace_path << ")\n";
+    } else {
+      std::cerr << "failed to write " << trace_path << "\n";
+      return 1;
     }
   }
   return 0;

@@ -187,6 +187,10 @@ std::string MetricsSignature(const BenchmarkResult& result) {
   for (const auto& [name, value] : result.fault_stats.ToRows()) {
     out << name << '=' << value << ';';
   }
+  // The per-category virtual-CPU ledger is part of the signature: same seed
+  // must spend every nanosecond in the same place, not just reach the same
+  // totals.
+  out << result.attribution.Signature() << '|' << result.busy_time << '|';
   for (double rate : result.reply_series) {
     out << rate << ',';
   }
@@ -265,6 +269,31 @@ int main() {
       std::cout << "  " << ServerKindName(server) << ": "
                 << (identical ? "identical" : "DIVERGED") << "\n";
       if (!identical) {
+        ++failures;
+      }
+    }
+  }
+
+  std::cout << "\n=== torture: attribution invariant + recorder-as-observer ===\n\n";
+  {
+    // Under the RNG-heaviest schedule: every charged nanosecond must land in
+    // exactly one category, and attaching a flight recorder must not move a
+    // single one of them (the recorder is a pure observer).
+    const TortureCase repro = BuildCases().front();
+    for (ServerKind server : servers) {
+      BenchmarkRunConfig cfg = MakeConfig(repro, server);
+      const BenchmarkResult bare = RunBenchmark(cfg);
+      FlightRecorder recorder;
+      cfg.recorder = &recorder;
+      const BenchmarkResult traced = RunBenchmark(cfg);
+      const bool invariant = bare.attribution.Sum() == bare.busy_time &&
+                             traced.attribution.Sum() == traced.busy_time;
+      const bool observer = MetricsSignature(bare) == MetricsSignature(traced);
+      std::cout << "  " << ServerKindName(server) << ": invariant "
+                << (invariant ? "holds" : "VIOLATED") << ", recorder "
+                << (observer ? "transparent" : "PERTURBED RUN") << " ("
+                << recorder.total_recorded() << " events)\n";
+      if (!invariant || !observer) {
         ++failures;
       }
     }

@@ -41,9 +41,13 @@ void DevPollDevice::BindInterest(Interest& interest) {
 }
 
 long DevPollDevice::Write(std::span<const PollFd> updates) {
+  SyscallTraceScope trace(kernel(), "dp_write",
+                          static_cast<int32_t>(updates.size()));
   ++kernel()->stats().syscalls;
-  kernel()->Charge(kernel()->cost().syscall_entry);
-  return WriteInternal(updates);
+  kernel()->Charge(kernel()->cost().syscall_entry, ChargeCat::kSyscallEntry);
+  const long rc = WriteInternal(updates);
+  trace.set_result(static_cast<int32_t>(rc));
+  return rc;
 }
 
 long DevPollDevice::WriteInternal(std::span<const PollFd> updates) {
@@ -52,9 +56,11 @@ long DevPollDevice::WriteInternal(std::span<const PollFd> updates) {
   stats.devpoll_interests_written += updates.size();
   // Interest-set mutation takes the backmap lock for writing (§3.2).
   ++stats.devpoll_lock_write_acquires;
-  kernel()->Charge(kernel()->cost().devpoll_lock_acquire +
-                   kernel()->cost().devpoll_write_per_fd *
-                       static_cast<SimDuration>(updates.size()));
+  kernel()->Charge(
+      {{ChargeCat::kInterestUpdate, kernel()->cost().devpoll_lock_acquire},
+       {ChargeCat::kInterestUpdate,
+        kernel()->cost().devpoll_write_per_fd *
+            static_cast<SimDuration>(updates.size())}});
 
   // Interest-set growth allocates kernel memory; under an ENOMEM fault window
   // the whole write fails atomically, before any update is applied, so the
@@ -98,8 +104,10 @@ long DevPollDevice::WriteInternal(std::span<const PollFd> updates) {
 }
 
 int DevPollDevice::IoctlDpAlloc(int nfds) {
+  SyscallTraceScope trace(kernel(), "dp_alloc", nfds);
   ++kernel()->stats().syscalls;
-  kernel()->Charge(kernel()->cost().syscall_entry + kernel()->cost().devpoll_ioctl_extra);
+  kernel()->Charge(kernel()->cost().syscall_entry + kernel()->cost().devpoll_ioctl_extra,
+                   ChargeCat::kSyscallEntry);
   if (nfds <= 0) {
     return -1;
   }
@@ -109,8 +117,9 @@ int DevPollDevice::IoctlDpAlloc(int nfds) {
 }
 
 PollFd* DevPollDevice::Mmap() {
+  SyscallTraceScope trace(kernel(), "dp_mmap");
   ++kernel()->stats().syscalls;
-  kernel()->Charge(kernel()->cost().syscall_entry);
+  kernel()->Charge(kernel()->cost().syscall_entry, ChargeCat::kSyscallEntry);
   if (!alloc_done_) {
     return nullptr;
   }
@@ -119,8 +128,9 @@ PollFd* DevPollDevice::Mmap() {
 }
 
 int DevPollDevice::Munmap() {
+  SyscallTraceScope trace(kernel(), "dp_munmap");
   ++kernel()->stats().syscalls;
-  kernel()->Charge(kernel()->cost().syscall_entry);
+  kernel()->Charge(kernel()->cost().syscall_entry, ChargeCat::kSyscallEntry);
   if (!mapped_) {
     return -1;
   }
@@ -142,7 +152,9 @@ void DevPollDevice::MarkHint(int fd, PollEvents mask) {
   // Hint marking takes the backmap lock for reading (§3.2: "hints require
   // only a read lock, so the lock itself is generally not contended").
   ++stats.devpoll_lock_read_acquires;
-  kernel()->ChargeDebt(kernel()->cost().devpoll_hint_set + kernel()->cost().devpoll_lock_acquire);
+  kernel()->ChargeDebt(
+      kernel()->cost().devpoll_hint_set + kernel()->cost().devpoll_lock_acquire,
+      ChargeCat::kHintMark);
   Interest* interest = table_.Find(fd);
   if (interest == nullptr) {
     return;
@@ -176,12 +188,12 @@ PollEvents DevPollDevice::EvaluateInterest(Interest& interest) {
   if (!interest.hintable) {
     // Driver doesn't hint (or hints disabled): poll it every scan.
     ++stats.devpoll_driver_calls;
-    kernel()->Charge(cost.poll_driver_poll_per_fd);
+    kernel()->Charge(cost.poll_driver_poll_per_fd, ChargeCat::kDriverPoll);
     interest.cached = file->PollMask();
   } else if (interest.hint) {
     // A hint invalidates the cache: call the driver and erase the hint.
     ++stats.devpoll_driver_calls;
-    kernel()->Charge(cost.poll_driver_poll_per_fd);
+    kernel()->Charge(cost.poll_driver_poll_per_fd, ChargeCat::kDriverPoll);
     interest.cached = file->PollMask();
     interest.hint = false;
   } else if ((interest.cached & (interest.events | kPollAlwaysReported)) != 0) {
@@ -189,7 +201,7 @@ PollEvents DevPollDevice::EvaluateInterest(Interest& interest) {
     // indicates readiness must be reevaluated every time.
     ++stats.devpoll_driver_calls;
     ++stats.devpoll_cached_ready_rechecks;
-    kernel()->Charge(cost.poll_driver_poll_per_fd);
+    kernel()->Charge(cost.poll_driver_poll_per_fd, ChargeCat::kDriverPoll);
     interest.cached = file->PollMask();
   } else {
     // Cached not-ready and no hint: trust the cache, skip the driver.
@@ -201,8 +213,9 @@ PollEvents DevPollDevice::EvaluateInterest(Interest& interest) {
 int DevPollDevice::ScanOnce(PollFd* out, int max, bool charge_copyout) {
   KernelStats& stats = kernel()->stats();
   const CostModel& cost = kernel()->cost();
+  const uint64_t scanned_before = stats.devpoll_interests_scanned;
   ++stats.devpoll_lock_read_acquires;
-  kernel()->Charge(cost.devpoll_lock_acquire);
+  kernel()->Charge(cost.devpoll_lock_acquire, ChargeCat::kDevpollScan);
 
   int ready = 0;
   auto emit = [&](Interest& interest, PollEvents revents) {
@@ -215,7 +228,7 @@ int DevPollDevice::ScanOnce(PollFd* out, int max, bool charge_copyout) {
     ++ready;
     if (charge_copyout) {
       ++stats.devpoll_results_copied;
-      kernel()->Charge(cost.devpoll_copyout_per_ready);
+      kernel()->Charge(cost.devpoll_copyout_per_ready, ChargeCat::kResultCopyout);
     } else {
       ++stats.devpoll_results_mapped;
     }
@@ -234,7 +247,7 @@ int DevPollDevice::ScanOnce(PollFd* out, int max, bool charge_copyout) {
       }
       interest->queued = false;
       ++stats.devpoll_interests_scanned;
-      kernel()->Charge(cost.devpoll_scan_per_interest);
+      kernel()->Charge(cost.devpoll_scan_per_interest, ChargeCat::kDevpollScan);
       const PollEvents revents = EvaluateInterest(*interest);
       if (revents != 0) {
         // Ready results must be rechecked on the next scan (no
@@ -243,31 +256,42 @@ int DevPollDevice::ScanOnce(PollFd* out, int max, bool charge_copyout) {
         emit(*interest, revents);
       }
     }
+    kernel()->TraceInstant(
+        TraceEventType::kScan, "dp_scan",
+        static_cast<int32_t>(stats.devpoll_interests_scanned - scanned_before),
+        ready);
     return ready;
   }
 
   table_.ForEach([&](Interest& interest) {
     ++stats.devpoll_interests_scanned;
-    kernel()->Charge(cost.devpoll_scan_per_interest);
+    kernel()->Charge(cost.devpoll_scan_per_interest, ChargeCat::kDevpollScan);
     const PollEvents revents = EvaluateInterest(interest);
     if (revents != 0) {
       emit(interest, revents);
     }
   });
+  kernel()->TraceInstant(
+      TraceEventType::kScan, "dp_scan",
+      static_cast<int32_t>(stats.devpoll_interests_scanned - scanned_before),
+      ready);
   return ready;
 }
 
 int DevPollDevice::IoctlDpPoll(DvPoll* args) {
+  SyscallTraceScope trace(kernel(), "dp_poll", args->dp_nfds);
   ++kernel()->stats().syscalls;
-  kernel()->Charge(kernel()->cost().syscall_entry);
-  return PollInternal(args);
+  kernel()->Charge(kernel()->cost().syscall_entry, ChargeCat::kSyscallEntry);
+  const int rc = PollInternal(args);
+  trace.set_result(rc);
+  return rc;
 }
 
 int DevPollDevice::PollInternal(DvPoll* args) {
   KernelStats& stats = kernel()->stats();
   const CostModel& cost = kernel()->cost();
   ++stats.devpoll_polls;
-  kernel()->Charge(cost.devpoll_ioctl_extra);
+  kernel()->Charge(cost.devpoll_ioctl_extra, ChargeCat::kSyscallEntry);
 
   const bool use_mapping = args->dp_fds == nullptr;
   PollFd* out = use_mapping ? result_area_.data() : args->dp_fds;
@@ -310,14 +334,15 @@ int DevPollDevice::PollInternal(DvPoll* args) {
         }
         file->poll_wait().Add(waiter_pool_[used++].get());
         ++stats.poll_waitqueue_adds;
-        kernel()->Charge(cost.poll_waitqueue_add_per_fd);
+        kernel()->Charge(cost.poll_waitqueue_add_per_fd, ChargeCat::kWaitqueue);
       }
     });
     kernel()->BlockProcess(*owner_, deadline);
     if (used > 0) {
       stats.poll_waitqueue_removes += used;
       kernel()->Charge(cost.poll_waitqueue_remove_per_fd *
-                       static_cast<SimDuration>(used));
+                           static_cast<SimDuration>(used),
+                       ChargeCat::kWaitqueue);
       for (size_t i = 0; i < used; ++i) {
         waiter_pool_[i]->Detach();
       }
@@ -332,12 +357,17 @@ int DevPollDevice::PollInternal(DvPoll* args) {
 int DevPollDevice::IoctlDpWritePoll(std::span<const PollFd> updates, DvPoll* args) {
   // §6 future work: "a single ioctl() that handles both operations at once
   // could improve efficiency" — one syscall entry covers both halves.
+  SyscallTraceScope trace(kernel(), "dp_writepoll",
+                          static_cast<int32_t>(updates.size()));
   ++kernel()->stats().syscalls;
-  kernel()->Charge(kernel()->cost().syscall_entry);
+  kernel()->Charge(kernel()->cost().syscall_entry, ChargeCat::kSyscallEntry);
   if (long rc = WriteInternal(updates); rc < 0) {
+    trace.set_result(static_cast<int32_t>(rc));
     return static_cast<int>(rc);  // propagate kErrNoMem vs bad-args -1
   }
-  return PollInternal(args);
+  const int rc = PollInternal(args);
+  trace.set_result(rc);
+  return rc;
 }
 
 PollEvents DevPollDevice::PollMask() const {

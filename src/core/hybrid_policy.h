@@ -13,6 +13,7 @@
 #ifndef SRC_CORE_HYBRID_POLICY_H_
 #define SRC_CORE_HYBRID_POLICY_H_
 
+#include <algorithm>
 #include <cstddef>
 
 #include "src/sim/time.h"
@@ -35,11 +36,26 @@ struct HybridPolicyConfig {
 
 class HybridPolicy {
  public:
+  // Watermarks are fractions of the queue maximum, truncated to whole
+  // entries; small queues need clamping or the truncation degenerates.
+  // high_ == 0 (queue_max 1) would read `queue_len >= 0` and pin the policy
+  // in polling mode forever, so high_ is clamped to at least 1. low_ == 0
+  // makes "calm" mean a perfectly empty queue, which background trickle
+  // traffic never satisfies, so low_ is clamped to at least 1 — while
+  // staying below high_ so hysteresis keeps a gap (at high_ == 1 only
+  // low_ == 0 fits).
   HybridPolicy(HybridPolicyConfig config, size_t queue_max)
       : config_(config),
         queue_max_(queue_max),
-        high_(static_cast<size_t>(config.high_watermark * static_cast<double>(queue_max))),
-        low_(static_cast<size_t>(config.low_watermark * static_cast<double>(queue_max))) {}
+        high_(std::max<size_t>(
+            1, static_cast<size_t>(config.high_watermark *
+                                   static_cast<double>(queue_max)))),
+        low_(high_ > 1
+                 ? std::clamp<size_t>(
+                       static_cast<size_t>(config.low_watermark *
+                                           static_cast<double>(queue_max)),
+                       1, high_ - 1)
+                 : 0) {}
 
   // Feed an observation; returns the mode the server should be in.
   EventMode Update(size_t queue_len, bool overflowed, SimTime now) {

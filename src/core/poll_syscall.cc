@@ -10,6 +10,7 @@ namespace scio {
 int PollSyscall::ScanOnce(std::span<PollFd> fds) {
   KernelStats& stats = kernel_->stats();
   const CostModel& cost = kernel_->cost();
+  const uint64_t scanned_before = stats.poll_fds_scanned;
   int ready = 0;
   for (PollFd& pfd : fds) {
     ++stats.poll_fds_scanned;
@@ -26,23 +27,28 @@ int PollSyscall::ScanOnce(std::span<PollFd> fds) {
     // Stock poll() has no hints: the driver poll callback runs for every
     // descriptor on every scan, no matter how idle it is.
     ++stats.poll_driver_calls;
-    kernel_->Charge(cost.poll_driver_poll_per_fd);
+    kernel_->Charge(cost.poll_driver_poll_per_fd, ChargeCat::kDriverPoll);
     pfd.revents = file->PollMask() & (pfd.events | kPollAlwaysReported);
     if (pfd.revents != 0) {
       ++ready;
     }
   }
+  kernel_->TraceInstant(TraceEventType::kScan, "poll_scan",
+                        static_cast<int32_t>(stats.poll_fds_scanned - scanned_before),
+                        ready);
   return ready;
 }
 
 int PollSyscall::Poll(std::span<PollFd> fds, int timeout_ms) {
+  SyscallTraceScope trace(kernel_, "poll", static_cast<int32_t>(fds.size()));
   KernelStats& stats = kernel_->stats();
   const CostModel& cost = kernel_->cost();
   ++stats.syscalls;
   ++stats.poll_calls;
   // Copy the entire interest set into the kernel (§3.1's first complaint).
-  kernel_->Charge(cost.syscall_entry +
-                  cost.poll_copyin_per_fd * static_cast<SimDuration>(fds.size()));
+  kernel_->Charge({{ChargeCat::kSyscallEntry, cost.syscall_entry},
+                   {ChargeCat::kPollfdCopyin,
+                    cost.poll_copyin_per_fd * static_cast<SimDuration>(fds.size())}});
 
   const SimTime deadline =
       timeout_ms < 0 ? kSimTimeNever : kernel_->now() + Millis(timeout_ms);
@@ -50,7 +56,9 @@ int PollSyscall::Poll(std::span<PollFd> fds, int timeout_ms) {
     const int ready = ScanOnce(fds);
     if (ready > 0 || timeout_ms == 0 || kernel_->stopped()) {
       stats.poll_results_copied += static_cast<uint64_t>(ready);
-      kernel_->Charge(cost.poll_copyout_per_ready * static_cast<SimDuration>(ready));
+      kernel_->Charge(cost.poll_copyout_per_ready * static_cast<SimDuration>(ready),
+                      ChargeCat::kResultCopyout);
+      trace.set_result(ready);
       return ready;
     }
     if (kernel_->now() >= deadline) {
@@ -76,20 +84,22 @@ int PollSyscall::Poll(std::span<PollFd> fds, int timeout_ms) {
       file->poll_wait().Add(waiter_pool_[used++].get());
       ++stats.poll_waitqueue_adds;
       if (options_.charge_waitqueue) {
-        kernel_->Charge(cost.poll_waitqueue_add_per_fd);
+        kernel_->Charge(cost.poll_waitqueue_add_per_fd, ChargeCat::kWaitqueue);
       }
     }
     kernel_->BlockProcess(*proc_, deadline);
     stats.poll_waitqueue_removes += used;
     if (options_.charge_waitqueue) {
       kernel_->Charge(cost.poll_waitqueue_remove_per_fd *
-                      static_cast<SimDuration>(used));
+                          static_cast<SimDuration>(used),
+                      ChargeCat::kWaitqueue);
     }
     for (size_t i = 0; i < used; ++i) {
       waiter_pool_[i]->Detach();
     }
     if (FaultPlane* fault = kernel_->fault();
         fault != nullptr && fault->InjectEintr()) {
+      trace.set_result(kErrIntr);
       return kErrIntr;  // a signal interrupted the sleep; caller must retry
     }
   }

@@ -3,10 +3,12 @@
 namespace scio {
 
 int RtIo::ArmAsync(int fd, int signo) {
+  SyscallTraceScope trace(kernel_, "fcntl_setsig", fd);
   KernelStats& stats = kernel_->stats();
   stats.syscalls += 2;
   stats.fcntls += 2;
-  kernel_->Charge(2 * (kernel_->cost().syscall_entry + kernel_->cost().fcntl_extra));
+  kernel_->Charge(2 * (kernel_->cost().syscall_entry + kernel_->cost().fcntl_extra),
+                  ChargeCat::kSyscallEntry);
   std::shared_ptr<File> file = proc_->fds().Get(fd);
   if (file == nullptr) {
     return -1;
@@ -34,16 +36,20 @@ bool RtIo::WaitForSignal(int timeout_ms) {
 }
 
 std::optional<SigInfo> RtIo::SigWaitInfo(int timeout_ms) {
+  SyscallTraceScope trace(kernel_, "sigwaitinfo");
   KernelStats& stats = kernel_->stats();
   ++stats.syscalls;
-  kernel_->Charge(kernel_->cost().syscall_entry + kernel_->cost().rt_sigwaitinfo_extra);
+  kernel_->Charge({{ChargeCat::kSyscallEntry, kernel_->cost().syscall_entry},
+                   {ChargeCat::kSignalDequeue, kernel_->cost().rt_sigwaitinfo_extra}});
   if (!WaitForSignal(timeout_ms)) {
     return std::nullopt;
   }
   std::optional<SigInfo> si = proc_->DequeueSignal();
   if (si.has_value()) {
+    trace.set_result(si->fd);
     if (si->signo == kSigIo) {
       ++stats.sigio_deliveries;
+      kernel_->TraceInstant(TraceEventType::kSignal, "sigio_delivered", si->fd);
     } else {
       ++stats.rt_signals_delivered;
     }
@@ -52,9 +58,11 @@ std::optional<SigInfo> RtIo::SigWaitInfo(int timeout_ms) {
 }
 
 int RtIo::SigTimedWait4(std::span<SigInfo> out, int timeout_ms) {
+  SyscallTraceScope trace(kernel_, "sigtimedwait4");
   KernelStats& stats = kernel_->stats();
   ++stats.syscalls;
-  kernel_->Charge(kernel_->cost().syscall_entry + kernel_->cost().rt_sigwaitinfo_extra);
+  kernel_->Charge({{ChargeCat::kSyscallEntry, kernel_->cost().syscall_entry},
+                   {ChargeCat::kSignalDequeue, kernel_->cost().rt_sigwaitinfo_extra}});
   if (out.empty() || !WaitForSignal(timeout_ms)) {
     return 0;
   }
@@ -66,24 +74,32 @@ int RtIo::SigTimedWait4(std::span<SigInfo> out, int timeout_ms) {
     }
     if (si->signo == kSigIo) {
       ++stats.sigio_deliveries;
+      kernel_->TraceInstant(TraceEventType::kSignal, "sigio_delivered", si->fd);
     } else {
       ++stats.rt_signals_delivered;
     }
     out[n++] = *si;
     if (n > 1) {
-      kernel_->Charge(kernel_->cost().rt_sigwait_per_extra_sig);
+      kernel_->Charge(kernel_->cost().rt_sigwait_per_extra_sig,
+                      ChargeCat::kSignalDequeue);
     }
   }
+  trace.set_result(n);
   return n;
 }
 
 size_t RtIo::FlushRtSignals() {
+  SyscallTraceScope trace(kernel_, "sig_flush");
   ++kernel_->stats().syscalls;
   const size_t flushed = proc_->FlushRtSignals();
   // The kernel walks the pending queue freeing each siginfo.
-  kernel_->Charge(kernel_->cost().syscall_entry +
-                  kernel_->cost().rt_signal_flush_per_sig *
-                      static_cast<SimDuration>(flushed));
+  kernel_->Charge({{ChargeCat::kSyscallEntry, kernel_->cost().syscall_entry},
+                   {ChargeCat::kSignalFlush,
+                    kernel_->cost().rt_signal_flush_per_sig *
+                        static_cast<SimDuration>(flushed)}});
+  kernel_->TraceInstant(TraceEventType::kSignal, "rt_flush",
+                        static_cast<int32_t>(flushed));
+  trace.set_result(static_cast<int32_t>(flushed));
   return flushed;
 }
 

@@ -5,100 +5,129 @@
 namespace scio {
 
 int Sys::Listen(int backlog) {
+  SyscallTraceScope trace(kernel_, "listen");
   KernelStats& stats = kernel_->stats();
   // socket() + bind() + listen().
   stats.syscalls += 3;
-  kernel_->Charge(3 * kernel_->cost().syscall_entry);
+  kernel_->Charge(3 * kernel_->cost().syscall_entry, ChargeCat::kSyscallEntry);
   if (FaultPlane* fault = kernel_->fault(); fault != nullptr && fault->InjectOpenEmfile()) {
+    trace.set_result(kErrMFile);
     return kErrMFile;
   }
   auto listener = std::make_shared<SimListener>(kernel_, net_, backlog);
-  return proc_->fds().Allocate(std::move(listener));
+  const int fd = proc_->fds().Allocate(std::move(listener));
+  trace.set_result(fd);
+  return fd;
 }
 
 int Sys::Accept(int listener_fd) {
+  SyscallTraceScope trace(kernel_, "accept", listener_fd);
   KernelStats& stats = kernel_->stats();
   ++stats.syscalls;
   ++stats.accepts;
-  kernel_->Charge(kernel_->cost().syscall_entry);
+  kernel_->Charge(kernel_->cost().syscall_entry, ChargeCat::kSyscallEntry);
   auto listener = std::dynamic_pointer_cast<SimListener>(proc_->fds().Get(listener_fd));
   if (listener == nullptr) {
+    trace.set_result(kErrBadF);
     return kErrBadF;
   }
   if (FaultPlane* fault = kernel_->fault(); fault != nullptr && fault->InjectAcceptEmfile()) {
     // Injected descriptor exhaustion: unlike the natural EMFILE below, the
     // connection stays queued in the backlog so the server can retry once it
     // has shed descriptors.
+    trace.set_result(kErrMFile);
     return kErrMFile;
   }
   std::shared_ptr<SimSocket> conn = listener->Accept();
   if (conn == nullptr) {
+    trace.set_result(-1);
     return -1;
   }
-  kernel_->Charge(kernel_->cost().accept_extra);
+  kernel_->Charge(kernel_->cost().accept_extra, ChargeCat::kAccept);
   const int fd = proc_->fds().Allocate(conn);
   if (fd < 0) {
     // EMFILE: the kernel tears the connection down.
     conn->Close();
+    trace.set_result(-3);
     return -3;
   }
+  trace.set_result(fd);
   return fd;
 }
 
 ReadResult Sys::Read(int fd, size_t max_bytes) {
+  SyscallTraceScope trace(kernel_, "read", fd);
   KernelStats& stats = kernel_->stats();
   ++stats.syscalls;
   ++stats.reads;
-  kernel_->Charge(kernel_->cost().syscall_entry + kernel_->cost().read_extra);
+  kernel_->Charge({{ChargeCat::kSyscallEntry, kernel_->cost().syscall_entry},
+                   {ChargeCat::kReadCopy, kernel_->cost().read_extra}});
   auto socket = std::dynamic_pointer_cast<SimSocket>(proc_->fds().Get(fd));
   if (socket == nullptr) {
     ReadResult bad;
     bad.err = kErrBadF;
+    trace.set_result(kErrBadF);
     return bad;
   }
   ReadResult result = socket->Read(max_bytes);
   stats.bytes_read += result.n;
-  kernel_->Charge(kernel_->cost().read_per_byte * static_cast<SimDuration>(result.n));
+  kernel_->Charge(kernel_->cost().read_per_byte * static_cast<SimDuration>(result.n),
+                  ChargeCat::kReadCopy);
+  trace.set_result(static_cast<int32_t>(result.n));
   return result;
 }
 
 long Sys::Write(int fd, Chunk chunk) {
+  SyscallTraceScope trace(kernel_, "write", fd);
   KernelStats& stats = kernel_->stats();
   ++stats.syscalls;
   ++stats.writes;
-  kernel_->Charge(kernel_->cost().syscall_entry + kernel_->cost().write_extra);
+  kernel_->Charge({{ChargeCat::kSyscallEntry, kernel_->cost().syscall_entry},
+                   {ChargeCat::kSendBytes, kernel_->cost().write_extra}});
   auto socket = std::dynamic_pointer_cast<SimSocket>(proc_->fds().Get(fd));
   if (socket == nullptr) {
+    trace.set_result(-1);
     return -1;
   }
   const SimSocket::State state = socket->state();
   if (state != SimSocket::State::kEstablished && state != SimSocket::State::kPeerClosed) {
+    trace.set_result(kErrPipe);
     return kErrPipe;  // the connection can never carry these bytes
   }
   const size_t accepted = socket->Write(std::move(chunk));
   stats.bytes_written += accepted;
-  kernel_->Charge(kernel_->cost().write_per_byte * static_cast<SimDuration>(accepted));
+  kernel_->Charge(kernel_->cost().write_per_byte * static_cast<SimDuration>(accepted),
+                  ChargeCat::kSendBytes);
+  trace.set_result(static_cast<int32_t>(accepted));
   return static_cast<long>(accepted);
 }
 
 int Sys::Close(int fd) {
+  SyscallTraceScope trace(kernel_, "close", fd);
   KernelStats& stats = kernel_->stats();
   ++stats.syscalls;
   ++stats.closes;
-  kernel_->Charge(kernel_->cost().syscall_entry + kernel_->cost().close_extra);
-  return proc_->fds().Close(fd);
+  kernel_->Charge({{ChargeCat::kSyscallEntry, kernel_->cost().syscall_entry},
+                   {ChargeCat::kClose, kernel_->cost().close_extra}});
+  const int rc = proc_->fds().Close(fd);
+  trace.set_result(rc);
+  return rc;
 }
 
 int Sys::Poll(std::span<PollFd> fds, int timeout_ms) { return poll_.Poll(fds, timeout_ms); }
 
 int Sys::OpenDevPoll(DevPollOptions options) {
+  SyscallTraceScope trace(kernel_, "open_devpoll");
   ++kernel_->stats().syscalls;
-  kernel_->Charge(kernel_->cost().syscall_entry);
+  kernel_->Charge(kernel_->cost().syscall_entry, ChargeCat::kSyscallEntry);
   if (FaultPlane* fault = kernel_->fault(); fault != nullptr && fault->InjectOpenEmfile()) {
+    trace.set_result(kErrMFile);
     return kErrMFile;
   }
   auto device = std::make_shared<DevPollDevice>(kernel_, proc_, options);
-  return proc_->fds().Allocate(std::move(device));
+  const int fd = proc_->fds().Allocate(std::move(device));
+  trace.set_result(fd);
+  return fd;
 }
 
 std::shared_ptr<DevPollDevice> Sys::devpoll(int dpfd) {

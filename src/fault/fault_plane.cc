@@ -69,6 +69,7 @@ bool FaultPlane::Roll(const FaultWindow* window) {
 bool FaultPlane::InjectAcceptEmfile() {
   if (Roll(ActiveWindow(FaultKind::kAcceptEmfile))) {
     ++stats_.accept_emfile_injected;
+    RecordInjection("fault_accept_emfile");
     return true;
   }
   return false;
@@ -77,6 +78,7 @@ bool FaultPlane::InjectAcceptEmfile() {
 bool FaultPlane::InjectOpenEmfile() {
   if (Roll(ActiveWindow(FaultKind::kOpenEmfile))) {
     ++stats_.open_emfile_injected;
+    RecordInjection("fault_open_emfile");
     return true;
   }
   return false;
@@ -85,6 +87,7 @@ bool FaultPlane::InjectOpenEmfile() {
 bool FaultPlane::InjectInterestEnomem() {
   if (Roll(ActiveWindow(FaultKind::kInterestEnomem))) {
     ++stats_.interest_enomem_injected;
+    RecordInjection("fault_interest_enomem");
     return true;
   }
   return false;
@@ -93,6 +96,7 @@ bool FaultPlane::InjectInterestEnomem() {
 bool FaultPlane::InjectEintr() {
   if (Roll(ActiveWindow(FaultKind::kEintr))) {
     ++stats_.eintr_injected;
+    RecordInjection("fault_eintr");
     return true;
   }
   return false;
@@ -114,6 +118,8 @@ FaultPlane::TransmitFault FaultPlane::OnTransmit(bool toward_server) {
       Roll(spike)) {
     fault.extra_delay += static_cast<SimDuration>(spike->magnitude);
     ++stats_.packets_spiked;
+    RecordInjection("fault_latency_spike",
+                    static_cast<int32_t>(spike->magnitude));
   }
   if (const FaultWindow* loss = ActiveWindow(FaultKind::kPacketLoss, dir);
       Roll(loss)) {
@@ -122,11 +128,13 @@ FaultPlane::TransmitFault FaultPlane::OnTransmit(bool toward_server) {
     // byte stream intact, which is exactly TCP's contract under loss.
     fault.extra_delay += static_cast<SimDuration>(loss->magnitude);
     ++stats_.packets_lost;
+    RecordInjection("fault_packet_loss");
   }
   if (const FaultWindow* flap = ActiveWindow(FaultKind::kLinkFlap, dir)) {
     // Link down: traffic is queued and released when the window closes.
     fault.hold_until = flap->end;
     ++stats_.packets_flap_held;
+    RecordInjection("fault_link_flap_hold");
   }
   return fault;
 }

@@ -29,6 +29,7 @@
 
 #include "src/sim/rng.h"
 #include "src/sim/simulator.h"
+#include "src/trace/flight_recorder.h"
 
 namespace scio {
 
@@ -124,16 +125,30 @@ class FaultPlane {
   // True while any window of `kind` is active at the current sim time.
   bool Active(FaultKind kind) const { return ActiveWindow(kind) != nullptr; }
 
+  // Optional flight recorder: every injection logs a kFault instant. Pure
+  // observer — attaching one cannot change what gets injected.
+  void set_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
+
  private:
   const FaultWindow* ActiveWindow(FaultKind kind,
                                   LinkDir dir = LinkDir::kBoth) const;
   // One probabilistic draw against an active window (nullptr = no window).
   bool Roll(const FaultWindow* window);
 
+  void RecordInjection(const char* name, int32_t arg0 = 0) {
+    if constexpr (kFlightRecorderCompiledIn) {
+      if (recorder_ != nullptr) {
+        recorder_->Record(
+            {sim_->now(), 0, 0, arg0, 0, TraceEventType::kFault, name});
+      }
+    }
+  }
+
   Simulator* sim_;
   FaultSchedule schedule_;
   Rng rng_;
   FaultStats stats_;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace scio

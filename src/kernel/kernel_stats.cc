@@ -3,44 +3,12 @@
 namespace scio {
 
 std::vector<std::pair<std::string, uint64_t>> KernelStats::ToRows() const {
-  return {
-      {"syscalls", syscalls},
-      {"accepts", accepts},
-      {"reads", reads},
-      {"writes", writes},
-      {"closes", closes},
-      {"fcntls", fcntls},
-      {"bytes_read", bytes_read},
-      {"bytes_written", bytes_written},
-      {"poll.calls", poll_calls},
-      {"poll.fds_scanned", poll_fds_scanned},
-      {"poll.driver_calls", poll_driver_calls},
-      {"poll.waitqueue_adds", poll_waitqueue_adds},
-      {"poll.waitqueue_removes", poll_waitqueue_removes},
-      {"poll.results_copied", poll_results_copied},
-      {"devpoll.writes", devpoll_writes},
-      {"devpoll.interests_written", devpoll_interests_written},
-      {"devpoll.polls", devpoll_polls},
-      {"devpoll.interests_scanned", devpoll_interests_scanned},
-      {"devpoll.driver_calls", devpoll_driver_calls},
-      {"devpoll.driver_calls_avoided", devpoll_driver_calls_avoided},
-      {"devpoll.scan_stale_fd", devpoll_scan_stale_fd},
-      {"devpoll.hints_set", devpoll_hints_set},
-      {"devpoll.cached_ready_rechecks", devpoll_cached_ready_rechecks},
-      {"devpoll.results_copied", devpoll_results_copied},
-      {"devpoll.results_mapped", devpoll_results_mapped},
-      {"devpoll.lock_read_acquires", devpoll_lock_read_acquires},
-      {"devpoll.lock_write_acquires", devpoll_lock_write_acquires},
-      {"devpoll.table_resizes", devpoll_table_resizes},
-      {"rt.signals_queued", rt_signals_queued},
-      {"rt.signals_dropped", rt_signals_dropped},
-      {"rt.queue_overflows", rt_queue_overflows},
-      {"rt.signals_delivered", rt_signals_delivered},
-      {"rt.sigio_deliveries", sigio_deliveries},
-      {"net.packets_delivered", packets_delivered},
-      {"net.interrupts", interrupts},
-      {"net.connections_refused", connections_refused},
-  };
+  std::vector<std::pair<std::string, uint64_t>> rows;
+  rows.reserve(kFieldCount);
+#define SCIO_X(field, row_name) rows.emplace_back(row_name, field);
+  SCIO_KERNEL_STATS_FIELDS(SCIO_X)
+#undef SCIO_X
+  return rows;
 }
 
 }  // namespace scio

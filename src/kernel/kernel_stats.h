@@ -4,6 +4,12 @@
 // how benchmarks and the ablation studies attribute costs (driver poll calls
 // avoided by hints, result copies eliminated by the mmap area, signal queue
 // overflows, ...). Plain fields, not a map: counters are on hot paths.
+//
+// The field list is a single X-macro: the struct members and the ToRows()
+// export are generated from it, so a new counter cannot be added to one
+// without the other (the old hand-maintained row list silently drifted).
+// A static_assert below additionally pins sizeof(KernelStats) to the field
+// count, so a member added outside the macro fails to compile.
 
 #ifndef SRC_KERNEL_KERNEL_STATS_H_
 #define SRC_KERNEL_KERNEL_STATS_H_
@@ -15,59 +21,76 @@
 
 namespace scio {
 
+// X(field, row_name)
+#define SCIO_KERNEL_STATS_FIELDS(X)                                            \
+  /* Syscall surface. */                                                       \
+  X(syscalls, "syscalls")                                                      \
+  X(accepts, "accepts")                                                        \
+  X(reads, "reads")                                                            \
+  X(writes, "writes")                                                          \
+  X(closes, "closes")                                                          \
+  X(fcntls, "fcntls")                                                          \
+  X(bytes_read, "bytes_read")                                                  \
+  X(bytes_written, "bytes_written")                                            \
+  /* Classic poll(). */                                                        \
+  X(poll_calls, "poll.calls")                                                  \
+  X(poll_fds_scanned, "poll.fds_scanned")                                      \
+  X(poll_driver_calls, "poll.driver_calls")                                    \
+  X(poll_waitqueue_adds, "poll.waitqueue_adds")                                \
+  X(poll_waitqueue_removes, "poll.waitqueue_removes")                          \
+  X(poll_results_copied, "poll.results_copied")                                \
+  /* /dev/poll. */                                                             \
+  X(devpoll_writes, "devpoll.writes")                                          \
+  X(devpoll_interests_written, "devpoll.interests_written")                    \
+  X(devpoll_polls, "devpoll.polls")                                            \
+  X(devpoll_interests_scanned, "devpoll.interests_scanned")                    \
+  X(devpoll_driver_calls, "devpoll.driver_calls")                              \
+  X(devpoll_driver_calls_avoided, "devpoll.driver_calls_avoided")              \
+  /* Scanned interests whose fd was closed (POLLNVAL): no driver call          \
+     happens. Invariant: interests_scanned == driver_calls + avoided +         \
+     scan_stale_fd (pinned by DevPollTest). */                                 \
+  X(devpoll_scan_stale_fd, "devpoll.scan_stale_fd")                            \
+  X(devpoll_hints_set, "devpoll.hints_set")                                    \
+  X(devpoll_cached_ready_rechecks, "devpoll.cached_ready_rechecks")            \
+  X(devpoll_results_copied, "devpoll.results_copied")                          \
+  X(devpoll_results_mapped, "devpoll.results_mapped")                          \
+  X(devpoll_lock_read_acquires, "devpoll.lock_read_acquires")                  \
+  X(devpoll_lock_write_acquires, "devpoll.lock_write_acquires")                \
+  X(devpoll_table_resizes, "devpoll.table_resizes")                            \
+  /* RT signals. */                                                            \
+  X(rt_signals_queued, "rt.signals_queued")                                    \
+  X(rt_signals_dropped, "rt.signals_dropped")                                  \
+  X(rt_queue_overflows, "rt.queue_overflows")                                  \
+  X(rt_signals_delivered, "rt.signals_delivered")                              \
+  X(sigio_deliveries, "rt.sigio_deliveries")                                   \
+  /* Network / interrupts. */                                                  \
+  X(packets_delivered, "net.packets_delivered")                                \
+  X(interrupts, "net.interrupts")                                              \
+  X(connections_refused, "net.connections_refused")
+
 struct KernelStats {
-  // Syscall surface.
-  uint64_t syscalls = 0;
-  uint64_t accepts = 0;
-  uint64_t reads = 0;
-  uint64_t writes = 0;
-  uint64_t closes = 0;
-  uint64_t fcntls = 0;
-  uint64_t bytes_read = 0;
-  uint64_t bytes_written = 0;
+#define SCIO_X(field, row_name) uint64_t field = 0;
+  SCIO_KERNEL_STATS_FIELDS(SCIO_X)
+#undef SCIO_X
 
-  // Classic poll().
-  uint64_t poll_calls = 0;
-  uint64_t poll_fds_scanned = 0;
-  uint64_t poll_driver_calls = 0;
-  uint64_t poll_waitqueue_adds = 0;
-  uint64_t poll_waitqueue_removes = 0;
-  uint64_t poll_results_copied = 0;
-
-  // /dev/poll.
-  uint64_t devpoll_writes = 0;
-  uint64_t devpoll_interests_written = 0;
-  uint64_t devpoll_polls = 0;
-  uint64_t devpoll_interests_scanned = 0;
-  uint64_t devpoll_driver_calls = 0;
-  uint64_t devpoll_driver_calls_avoided = 0;
-  // Scanned interests whose fd was closed (POLLNVAL): no driver call happens.
-  // Invariant: interests_scanned == driver_calls + driver_calls_avoided +
-  // scan_stale_fd (pinned by DevPollTest).
-  uint64_t devpoll_scan_stale_fd = 0;
-  uint64_t devpoll_hints_set = 0;
-  uint64_t devpoll_cached_ready_rechecks = 0;
-  uint64_t devpoll_results_copied = 0;
-  uint64_t devpoll_results_mapped = 0;
-  uint64_t devpoll_lock_read_acquires = 0;
-  uint64_t devpoll_lock_write_acquires = 0;
-  uint64_t devpoll_table_resizes = 0;
-
-  // RT signals.
-  uint64_t rt_signals_queued = 0;
-  uint64_t rt_signals_dropped = 0;
-  uint64_t rt_queue_overflows = 0;
-  uint64_t rt_signals_delivered = 0;
-  uint64_t sigio_deliveries = 0;
-
-  // Network / interrupts.
-  uint64_t packets_delivered = 0;
-  uint64_t interrupts = 0;
-  uint64_t connections_refused = 0;
+  // Number of counters (== ToRows().size()).
+  static constexpr size_t kFieldCount = []() constexpr {
+    size_t n = 0;
+#define SCIO_X(field, row_name) ++n;
+    SCIO_KERNEL_STATS_FIELDS(SCIO_X)
+#undef SCIO_X
+    return n;
+  }();
 
   // Export all counters as (name, value) pairs, for table printers.
   std::vector<std::pair<std::string, uint64_t>> ToRows() const;
 };
+
+// Drift guard: a counter added as a plain member (outside the X-macro) would
+// grow the struct without growing the row export — refuse to compile.
+static_assert(sizeof(KernelStats) == KernelStats::kFieldCount * sizeof(uint64_t),
+              "add KernelStats counters via SCIO_KERNEL_STATS_FIELDS, not as "
+              "plain members");
 
 }  // namespace scio
 

@@ -7,9 +7,42 @@ Process& SimKernel::CreateProcess(std::string name, int max_fds) {
   return *processes_.back();
 }
 
-void SimKernel::Charge(SimDuration d) {
-  SimDuration total = Scaled(d) + interrupt_debt_;
+void SimKernel::Charge(std::initializer_list<ChargeItem> items) {
+  SimDuration raw = 0;
+  for (const ChargeItem& item : items) {
+    raw += item.d;
+  }
+  // One charge of the summed duration — the clock motion is identical to the
+  // pre-attribution implementation, so seeded runs stay bit-identical.
+  const SimDuration scaled = Scaled(raw);
+  const SimDuration total = scaled + interrupt_debt_;
+
+  // Attribute the process-context part per item. Each item is scaled
+  // individually; the rounding remainder (only possible with a fractional
+  // cpu_scale) lands on the last item so the ledger sums to exactly `scaled`.
+  SimDuration attributed = 0;
+  const ChargeItem* last = nullptr;
+  for (const ChargeItem& item : items) {
+    const SimDuration part = Scaled(item.d);
+    attribution_.Add(item.cat, part);
+    attributed += part;
+    last = &item;
+  }
+  if (last != nullptr) {
+    attribution_.Add(last->cat, scaled - attributed);
+  }
+
+  // Pay the interrupt debt: move its per-category breakdown into the ledger.
+  if (interrupt_debt_ > 0) {
+    for (size_t i = 0; i < kChargeCatCount; ++i) {
+      if (debt_by_cat_[i] != 0) {
+        attribution_.Add(static_cast<ChargeCat>(i), debt_by_cat_[i]);
+        debt_by_cat_[i] = 0;
+      }
+    }
+  }
   interrupt_debt_ = 0;
+
   if (total <= 0) {
     return;
   }
@@ -23,13 +56,18 @@ bool SimKernel::BlockProcess(Process& proc, SimTime deadline) {
       proc.woken();
   proc.ClearWake();
   // Interrupt work performed while we were idle was absorbed by idle CPU; it
-  // must not be billed to the next busy period.
+  // must not be billed to the next busy period (nor attributed).
+  if (interrupt_debt_ != 0) {
+    for (SimDuration& d : debt_by_cat_) {
+      d = 0;
+    }
+  }
   interrupt_debt_ = 0;
   return woken;
 }
 
 void SimKernel::QueueRtSignal(Process& proc, const SigInfo& si) {
-  ChargeDebt(cost_.rt_signal_enqueue);
+  ChargeDebt(cost_.rt_signal_enqueue, ChargeCat::kSignalEnqueue);
   if (fault_ != nullptr) {
     // A fault window may shrink the effective queue: signals beyond the
     // forced cap are shed exactly as a real overflow would shed them, which
@@ -40,14 +78,20 @@ void SimKernel::QueueRtSignal(Process& proc, const SigInfo& si) {
       ++stats_.rt_signals_dropped;
       ++stats_.rt_queue_overflows;
       proc.RaiseSigIo();
+      TraceInstant(TraceEventType::kSignal, "rt_shed", si.fd,
+                   static_cast<int32_t>(proc.rt_queue_length()));
       return;
     }
   }
   if (proc.QueueSignal(si)) {
     ++stats_.rt_signals_queued;
+    TraceInstant(TraceEventType::kSignal, "rt_queued", si.fd,
+                 static_cast<int32_t>(proc.rt_queue_length()));
   } else {
     ++stats_.rt_signals_dropped;
     ++stats_.rt_queue_overflows;
+    TraceInstant(TraceEventType::kSignal, "rt_overflow", si.fd,
+                 static_cast<int32_t>(proc.rt_queue_length()));
   }
 }
 

@@ -14,6 +14,13 @@
 //                  the next Charge() pays. While the server is blocked, debt
 //                  is absorbed by idle time instead (see BlockProcess).
 //
+// Every charge names a ChargeCat, and the TimeAttribution ledger keeps the
+// hard invariant  attribution().Sum() == busy_time()  at every instant: a
+// multi-part charge (one syscall trap plus per-byte copy work, say) passes
+// one ChargeItem per category but is applied as a single charge, so the
+// clock motion — and therefore every seeded run — is bit-identical to an
+// untagged charge of the same total.
+//
 // BlockProcess() implements blocking syscalls: it runs simulation events
 // until the process is woken (by a wait-queue wakeup or a signal) or a
 // deadline passes.
@@ -21,6 +28,7 @@
 #ifndef SRC_KERNEL_SIM_KERNEL_H_
 #define SRC_KERNEL_SIM_KERNEL_H_
 
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,8 +38,16 @@
 #include "src/kernel/kernel_stats.h"
 #include "src/kernel/process.h"
 #include "src/sim/simulator.h"
+#include "src/trace/flight_recorder.h"
+#include "src/trace/time_attribution.h"
 
 namespace scio {
+
+// One component of a (possibly multi-category) charge.
+struct ChargeItem {
+  ChargeCat cat;
+  SimDuration d;
+};
 
 class SimKernel {
  public:
@@ -53,11 +69,22 @@ class SimKernel {
     return static_cast<SimDuration>(static_cast<double>(d) * cost_.cpu_scale);
   }
 
-  // Consume virtual CPU in process context (see file comment).
-  void Charge(SimDuration d);
+  // Consume virtual CPU in process context (see file comment), attributed to
+  // `cat` in the ledger.
+  void Charge(SimDuration d, ChargeCat cat) { Charge({{cat, d}}); }
+
+  // Multi-category variant: applied as ONE charge of the summed duration
+  // (identical clock motion), attributed per item. The scaled total is
+  // attributed exactly; any cpu_scale rounding remainder lands on the last
+  // item so the ledger invariant never drifts.
+  void Charge(std::initializer_list<ChargeItem> items);
 
   // Record interrupt-context work to be paid by the next Charge().
-  void ChargeDebt(SimDuration d) { interrupt_debt_ += Scaled(d); }
+  void ChargeDebt(SimDuration d, ChargeCat cat) {
+    const SimDuration scaled = Scaled(d);
+    interrupt_debt_ += scaled;
+    debt_by_cat_[static_cast<size_t>(cat)] += scaled;
+  }
 
   // Block `proc` until Wake() or `deadline`. Returns true if woken, false on
   // timeout or simulation stop. The process's wake flag is cleared on return.
@@ -82,15 +109,81 @@ class SimKernel {
   // server CPU utilization.
   SimDuration busy_time() const { return busy_time_; }
 
+  // Where every charged nanosecond went. Invariant (pinned by tests):
+  // attribution().Sum() == busy_time() at all times.
+  const TimeAttribution& attribution() const { return attribution_; }
+
+  // --- flight recorder ---------------------------------------------------
+  // Optional and borrowed; null (the default) records nothing. The recorder
+  // is a pure observer — attaching one cannot perturb a seeded run.
+  void set_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
+  FlightRecorder* recorder() { return recorder_; }
+
+  // Record an instant event (no-op when no recorder is attached; compiled
+  // out entirely under SCIO_NO_TRACE).
+  void TraceInstant(TraceEventType type, const char* name, int32_t arg0 = 0,
+                    int32_t arg1 = 0) {
+    if constexpr (kFlightRecorderCompiledIn) {
+      if (recorder_ != nullptr) {
+        recorder_->Record({now(), 0, 0, arg0, arg1, type, name});
+      }
+    }
+  }
+
  private:
   Simulator* sim_;
   CostModel cost_;
   KernelStats stats_;
   std::vector<std::unique_ptr<Process>> processes_;
   SimDuration interrupt_debt_ = 0;
+  // Per-category breakdown of interrupt_debt_ (same scalar, attributed when
+  // the debt is paid; discarded with it when idle time absorbs the debt).
+  SimDuration debt_by_cat_[kChargeCatCount] = {};
   SimDuration busy_time_ = 0;
+  TimeAttribution attribution_;
   bool stopped_ = false;
   FaultPlane* fault_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
+};
+
+// RAII scope that records one syscall as a complete trace slice: wall
+// duration (including blocked time) plus the virtual CPU charged inside.
+// `name` must have static lifetime. Costs one branch when no recorder is
+// attached; compiles to nothing under SCIO_NO_TRACE.
+class SyscallTraceScope {
+ public:
+  SyscallTraceScope(SimKernel* kernel, const char* name, int32_t arg0 = -1) {
+    if constexpr (kFlightRecorderCompiledIn) {
+      if (kernel->recorder() != nullptr) {
+        kernel_ = kernel;
+        name_ = name;
+        arg0_ = arg0;
+        begin_ = kernel->now();
+        busy_begin_ = kernel->busy_time();
+      }
+    }
+  }
+  ~SyscallTraceScope() {
+    if constexpr (kFlightRecorderCompiledIn) {
+      if (kernel_ != nullptr) {
+        kernel_->recorder()->Record({begin_, kernel_->now() - begin_,
+                                     kernel_->busy_time() - busy_begin_, arg0_,
+                                     result_, TraceEventType::kSyscall, name_});
+      }
+    }
+  }
+  SyscallTraceScope(const SyscallTraceScope&) = delete;
+  SyscallTraceScope& operator=(const SyscallTraceScope&) = delete;
+
+  void set_result(int32_t result) { result_ = result; }
+
+ private:
+  SimKernel* kernel_ = nullptr;  // null = inactive scope
+  const char* name_ = "";
+  SimTime begin_ = 0;
+  SimDuration busy_begin_ = 0;
+  int32_t arg0_ = -1;
+  int32_t result_ = 0;
 };
 
 }  // namespace scio

@@ -29,6 +29,13 @@ BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config) {
   SimKernel kernel(&sim, config.cost);
   FaultPlane fault_plane(&sim, config.faults);
   kernel.set_fault_plane(&fault_plane);
+  if (config.recorder != nullptr) {
+    kernel.set_recorder(config.recorder);
+    fault_plane.set_recorder(config.recorder);
+    config.recorder->MarkPhase("warmup", 0);
+    config.recorder->MarkPhase("generate", config.warmup);
+    config.recorder->MarkPhase("drain", config.warmup + config.active.duration);
+  }
   NetStack net(&kernel, config.net);
   net.InstallFaultPlane(&fault_plane);
   Process& proc = kernel.CreateProcess("server", config.server_max_fds);
@@ -150,6 +157,8 @@ BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config) {
 
   result.kernel_stats = kernel.stats();
   result.server_stats = server->stats();
+  result.attribution = kernel.attribution();
+  result.busy_time = kernel.busy_time();
   result.cpu_utilization =
       kernel.now() == 0 ? 0.0
                         : static_cast<double>(kernel.busy_time()) / static_cast<double>(kernel.now());

@@ -21,6 +21,8 @@
 #include "src/servers/phhttpd.h"
 #include "src/servers/thttpd_devpoll.h"
 #include "src/servers/thttpd_poll.h"
+#include "src/trace/flight_recorder.h"
+#include "src/trace/time_attribution.h"
 
 namespace scio {
 
@@ -59,6 +61,12 @@ struct BenchmarkRunConfig {
   PhhttpdConfig phhttpd_config;
   HybridServerConfig hybrid_config;
   size_t rt_queue_max = kDefaultRtQueueMax;
+
+  // Optional flight recorder (borrowed; must outlive the run). When set it
+  // is attached to the kernel and fault plane and receives phase marks at
+  // the warmup/generate/drain boundaries. Pure observer: attaching one
+  // leaves every seeded run bit-identical.
+  FlightRecorder* recorder = nullptr;
 };
 
 struct BenchmarkResult {
@@ -86,6 +94,10 @@ struct BenchmarkResult {
   // Observability.
   KernelStats kernel_stats;
   ServerStats server_stats;
+  // Where every charged nanosecond of virtual CPU went, by category.
+  // Invariant: attribution.Sum() == total time charged (busy time).
+  TimeAttribution attribution;
+  SimDuration busy_time = 0;
   uint64_t inactive_reconnects = 0;
   uint64_t trickle_bytes = 0;
   bool phhttpd_fell_back_to_poll = false;

@@ -18,14 +18,19 @@ namespace scio {
 
 class RateSeries {
  public:
-  // Events within [0, window) are counted in window/bucket_width buckets.
+  // Events within [0, window) are counted in ceil(window/bucket_width)
+  // buckets; when the window is not a multiple of the bucket width the final
+  // bucket is partial and its rate is scaled by its true width. (The old
+  // truncating bucket count silently dropped every event past the last full
+  // bucket, biasing the min/avg of non-divisible windows.)
   RateSeries(SimDuration bucket_width, SimDuration window)
       : bucket_width_(bucket_width),
-        buckets_(static_cast<size_t>(window / bucket_width), 0) {}
+        window_(window),
+        buckets_(static_cast<size_t>((window + bucket_width - 1) / bucket_width), 0) {}
 
-  // Record one event at time t; events outside the window are ignored.
+  // Record one event at time t; events outside [0, window) are ignored.
   void Add(SimTime t) {
-    if (t < 0) {
+    if (t < 0 || t >= window_) {
       return;
     }
     const auto idx = static_cast<size_t>(t / bucket_width_);
@@ -34,13 +39,20 @@ class RateSeries {
     }
   }
 
-  // Per-bucket rates in events/second.
+  // Per-bucket rates in events/second. The last bucket may be partial; it is
+  // divided by the width it actually covers, not the nominal bucket width.
   std::vector<double> Rates() const {
     std::vector<double> rates;
     rates.reserve(buckets_.size());
     const double seconds = ToSeconds(bucket_width_);
-    for (uint64_t count : buckets_) {
-      rates.push_back(static_cast<double>(count) / seconds);
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      double width = seconds;
+      if (i + 1 == buckets_.size()) {
+        const SimDuration last_width =
+            window_ - static_cast<SimDuration>(i) * bucket_width_;
+        width = ToSeconds(last_width);
+      }
+      rates.push_back(static_cast<double>(buckets_[i]) / width);
     }
     return rates;
   }
@@ -65,6 +77,7 @@ class RateSeries {
 
  private:
   SimDuration bucket_width_;
+  SimDuration window_;
   std::vector<uint64_t> buckets_;
 };
 

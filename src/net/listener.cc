@@ -14,7 +14,7 @@ void SimListener::HandleSyn(const std::shared_ptr<SimSocket>& client) {
   // SYN processing happens in interrupt context on the server.
   ++kernel()->stats().packets_delivered;
   ++kernel()->stats().interrupts;
-  kernel()->ChargeDebt(kernel()->cost().interrupt_per_packet);
+  kernel()->ChargeDebt(kernel()->cost().interrupt_per_packet, ChargeCat::kInterrupt);
 
   if (closed_ || backlog_.size() >= static_cast<size_t>(backlog_max_)) {
     ++kernel()->stats().connections_refused;

@@ -85,7 +85,7 @@ void SimSocket::DeliverChunk(Chunk chunk) {
   if (server_side_) {
     ++kernel()->stats().packets_delivered;
     ++kernel()->stats().interrupts;
-    kernel()->ChargeDebt(kernel()->cost().interrupt_per_packet);
+    kernel()->ChargeDebt(kernel()->cost().interrupt_per_packet, ChargeCat::kInterrupt);
   }
   NotifyStatus(kPollIn);
   if (on_data) {
@@ -104,7 +104,7 @@ void SimSocket::DeliverEof() {
   if (server_side_) {
     ++kernel()->stats().packets_delivered;
     ++kernel()->stats().interrupts;
-    kernel()->ChargeDebt(kernel()->cost().interrupt_per_packet);
+    kernel()->ChargeDebt(kernel()->cost().interrupt_per_packet, ChargeCat::kInterrupt);
   }
   NotifyStatus(kPollIn | kPollHup);
   if (on_eof) {

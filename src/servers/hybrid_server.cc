@@ -30,6 +30,12 @@ void HybridServer::UpdatePolicy(bool overflowed) {
   policy_->Update(sys().proc().rt_queue_length(), overflowed, kernel().now());
   if (policy_->mode() != before) {
     ++stats_.mode_switches;
+    kernel().TraceInstant(
+        TraceEventType::kModeSwitch,
+        policy_->mode() == EventMode::kSignals ? "hybrid_to_signals"
+                                               : "hybrid_to_polling",
+        static_cast<int32_t>(sys().proc().rt_queue_length()),
+        overflowed ? 1 : 0);
   }
 }
 
@@ -76,7 +82,7 @@ void HybridServer::Run(SimTime until) {
     // Polling mode: signals still accrue (connections stay armed) — discard
     // them cheaply and let the level-triggered scan find the work. Their
     // queue length still drives the switch-back decision.
-    kernel().Charge(kernel().cost().server_loop_overhead);
+    kernel().Charge(kernel().cost().server_loop_overhead, ChargeCat::kServerLoop);
     UpdatePolicy(/*overflowed=*/sys().proc().sigio_pending());
     if (sys().proc().rt_queue_length() > 0 || sys().proc().sigio_pending()) {
       sys().FlushRtSignals();

@@ -17,7 +17,8 @@ void Phhttpd::OnConnOpened(int fd) {
   // F_SETOWN/F_SETSIG inside ArmAsync.
   ++kernel().stats().syscalls;
   ++kernel().stats().fcntls;
-  kernel().Charge(kernel().cost().syscall_entry + kernel().cost().fcntl_extra);
+  kernel().Charge(kernel().cost().syscall_entry + kernel().cost().fcntl_extra,
+                  ChargeCat::kSyscallEntry);
   sys().ArmAsync(fd, ph_config_.rt_signo);
   // Classic edge-notification race: bytes that arrived between the SYN and
   // the fcntl() raised no signal (nothing was armed yet), so a signal-driven
@@ -44,6 +45,8 @@ bool Phhttpd::HandleSignal(const SigInfo& si) {
 void Phhttpd::EnterPollFallback() {
   poll_fallback_ = true;
   ++stats_.mode_switches;
+  kernel().TraceInstant(TraceEventType::kModeSwitch, "phhttpd_poll_fallback",
+                        static_cast<int32_t>(conns_.size()));
   // Flush pending RT signals by resetting handlers to SIG_DFL (§2); a full
   // poll() pass afterwards discovers any activity the flush discarded.
   sys().FlushRtSignals();
@@ -51,7 +54,8 @@ void Phhttpd::EnterPollFallback() {
   // connections, including its listener socket, to its poll sibling, via a
   // special UNIX domain socket ... one at a time."
   kernel().Charge(kernel().cost().rt_overflow_handoff_per_conn *
-                  static_cast<SimDuration>(conns_.size() + 1));
+                      static_cast<SimDuration>(conns_.size() + 1),
+                  ChargeCat::kOverflowHandoff);
   // phhttpd's recovery "completely rebuilds its poll interest set ...
   // negating any benefit of maintaining interest set state" (§6); from here
   // on every loop iteration pays the rebuild. The sockets stay armed for RT
@@ -69,7 +73,8 @@ void Phhttpd::RunPollIteration(SimTime until, int timeout_override_ms) {
     pollfds_.push_back(PollFd{fd, conn.phase == Phase::kWriting ? kPollOut : kPollIn, 0});
   }
   kernel().Charge(kernel().cost().poll_userspace_rebuild_per_fd *
-                  static_cast<SimDuration>(pollfds_.size()));
+                      static_cast<SimDuration>(pollfds_.size()),
+                  ChargeCat::kPollfdRebuild);
   int timeout_ms = timeout_override_ms;
   if (timeout_ms < 0) {
     const SimTime wake_at = std::min(until, next_sweep_);
@@ -99,7 +104,7 @@ void Phhttpd::Run(SimTime until) {
     MaybeSweep();
 
     if (poll_fallback_) {
-      kernel().Charge(kernel().cost().server_loop_overhead);
+      kernel().Charge(kernel().cost().server_loop_overhead, ChargeCat::kServerLoop);
       // Every socket is still armed, so queued (and overflowing) signals
       // keep accumulating; drain them or SIGIO fires forever.
       if (sys().proc().HasPendingSignals()) {

@@ -55,7 +55,7 @@ int HttpServerBase::DrainAccepts() {
       accept_stalled_ = true;
       break;
     }
-    kernel().Charge(kernel().cost().server_conn_setup);
+    kernel().Charge(kernel().cost().server_conn_setup, ChargeCat::kConnMgmt);
     Conn& conn = conns_[fd];
     conn.last_activity = kernel().now();
     ++stats_.connections_accepted;
@@ -66,7 +66,7 @@ int HttpServerBase::DrainAccepts() {
 }
 
 void HttpServerBase::StartResponse(int fd, Conn& conn) {
-  kernel().Charge(kernel().cost().http_build_response);
+  kernel().Charge(kernel().cost().http_build_response, ChargeCat::kHttpRespond);
   std::optional<size_t> size = content_->Lookup(conn.parser.path());
   if (size.has_value()) {
     conn.pending_write = BuildHttpOkResponse(*size);
@@ -107,7 +107,8 @@ bool HttpServerBase::HandleReadable(int fd) {
     return true;  // pipelined bytes after the request; ignore
   }
   kernel().Charge(kernel().cost().http_parse_base +
-                  kernel().cost().http_parse_per_byte * static_cast<SimDuration>(r.n));
+                      kernel().cost().http_parse_per_byte * static_cast<SimDuration>(r.n),
+                  ChargeCat::kHttpParse);
   const RequestParser::State state = conn.parser.Feed(r.data);
   switch (state) {
     case RequestParser::State::kIncomplete:
@@ -196,7 +197,7 @@ void HttpServerBase::CloseConn(int fd) {
     return;
   }
   OnConnClosing(fd);
-  kernel().Charge(kernel().cost().server_conn_teardown);
+  kernel().Charge(kernel().cost().server_conn_teardown, ChargeCat::kConnMgmt);
   conns_.erase(it);
   sys_->Close(fd);
 }
@@ -204,7 +205,8 @@ void HttpServerBase::CloseConn(int fd) {
 int HttpServerBase::ReapIdle(SimDuration timeout, bool pressure) {
   const SimTime now = kernel().now();
   kernel().Charge(kernel().cost().server_timer_sweep_per_conn *
-                  static_cast<SimDuration>(conns_.size()));
+                      static_cast<SimDuration>(conns_.size()),
+                  ChargeCat::kTimerSweep);
   std::vector<int> expired;
   for (const auto& [fd, conn] : conns_) {
     if (now - conn.last_activity > timeout) {

@@ -122,7 +122,7 @@ int ThttpdDevPoll::PollAndDispatch(SimTime until) {
 void ThttpdDevPoll::Run(SimTime until) {
   while (kernel().now() < until && !kernel().stopped()) {
     ++stats_.loop_iterations;
-    kernel().Charge(kernel().cost().server_loop_overhead);
+    kernel().Charge(kernel().cost().server_loop_overhead, ChargeCat::kServerLoop);
     MaybeSweep();
     PollAndDispatch(until);
   }

@@ -22,13 +22,14 @@ void ThttpdPoll::RebuildPollSet() {
         PollFd{fd, conn.phase == Phase::kWriting ? kPollOut : kPollIn, 0});
   }
   kernel().Charge(kernel().cost().poll_userspace_rebuild_per_fd *
-                  static_cast<SimDuration>(pollfds_.size()));
+                      static_cast<SimDuration>(pollfds_.size()),
+                  ChargeCat::kPollfdRebuild);
 }
 
 void ThttpdPoll::Run(SimTime until) {
   while (kernel().now() < until && !kernel().stopped()) {
     ++stats_.loop_iterations;
-    kernel().Charge(kernel().cost().server_loop_overhead);
+    kernel().Charge(kernel().cost().server_loop_overhead, ChargeCat::kServerLoop);
     MaybeSweep();
 
     RebuildPollSet();

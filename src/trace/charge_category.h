@@ -1,0 +1,82 @@
+// Charge categories: the taxonomy of virtual-CPU time attribution.
+//
+// The paper's scalability argument is entirely about *where CPU time goes*
+// as interest sets grow (O(n) copies and driver scans vs hinted scans vs
+// per-event signal overhead). KernelStats counts operations; this file names
+// the buckets that the nanoseconds themselves are attributed to. Every
+// SimKernel::Charge()/ChargeDebt() call site names one of these categories,
+// and the TimeAttribution ledger maintains the hard invariant that the
+// per-category sum equals the total charged time.
+//
+// The list is a single X-macro so the enum, the name table and the count can
+// never drift apart. CI additionally diffs this list against the charge
+// sites (tools/check_attribution_coverage.sh).
+
+#ifndef SRC_TRACE_CHARGE_CATEGORY_H_
+#define SRC_TRACE_CHARGE_CATEGORY_H_
+
+#include <cstddef>
+
+namespace scio {
+
+// X(enumerator, snake_case_name)
+#define SCIO_CHARGE_CATEGORIES(X)                                              \
+  /* --- syscall surface ---------------------------------------------------*/ \
+  X(kSyscallEntry, syscall_entry)   /* traps, fcntl/ioctl entry overhead */    \
+  X(kAccept, accept)                /* socket + file allocation */             \
+  X(kReadCopy, read_copy)           /* read fixed + per-byte copyin */         \
+  X(kSendBytes, send_bytes)         /* write fixed + copy/checksum/queue */    \
+  X(kClose, close)                  /* descriptor teardown */                  \
+  /* --- classic poll() ----------------------------------------------------*/ \
+  X(kPollfdCopyin, pollfd_copyin)   /* whole interest set copied in */         \
+  X(kDriverPoll, driver_poll)       /* per-fd driver poll callbacks */         \
+  X(kWaitqueue, waitqueue)          /* wait-queue add/remove churn */          \
+  X(kResultCopyout, result_copyout) /* ready results copied to userspace */    \
+  /* --- /dev/poll ---------------------------------------------------------*/ \
+  X(kInterestUpdate, interest_update) /* write(): copyin + hash update */      \
+  X(kDevpollScan, devpoll_scan)       /* per-interest scan + scan lock */      \
+  X(kHintMark, hint_mark)             /* driver-side backmap hint marking */   \
+  /* --- RT signals --------------------------------------------------------*/ \
+  X(kSignalEnqueue, signal_enqueue)  /* kernel-side siginfo enqueue (debt) */  \
+  X(kSignalDequeue, signal_dequeue)  /* sigwaitinfo dequeue + copyout */       \
+  X(kSignalFlush, signal_flush)      /* SIG_DFL overflow flush */              \
+  X(kOverflowHandoff, overflow_handoff) /* phhttpd conn handoff to sibling */  \
+  /* --- interrupt / network -----------------------------------------------*/ \
+  X(kInterrupt, interrupt) /* per-packet interrupt processing (debt) */        \
+  /* --- application-level work --------------------------------------------*/ \
+  X(kHttpParse, http_parse)         /* request parsing */                      \
+  X(kHttpRespond, http_respond)     /* response construction */               \
+  X(kServerLoop, server_loop)       /* per-iteration event-loop overhead */    \
+  X(kPollfdRebuild, pollfd_rebuild) /* legacy userspace pollfd rebuild */      \
+  X(kConnMgmt, conn_mgmt)           /* connection state setup/teardown */      \
+  X(kTimerSweep, timer_sweep)       /* periodic timeout scans */               \
+  /* --- fallback ----------------------------------------------------------*/ \
+  X(kOther, other) /* tests and uncategorized charges */
+
+enum class ChargeCat : unsigned char {
+#define SCIO_X(enumerator, name) enumerator,
+  SCIO_CHARGE_CATEGORIES(SCIO_X)
+#undef SCIO_X
+};
+
+inline constexpr size_t kChargeCatCount = []() constexpr {
+  size_t n = 0;
+#define SCIO_X(enumerator, name) ++n;
+  SCIO_CHARGE_CATEGORIES(SCIO_X)
+#undef SCIO_X
+  return n;
+}();
+
+inline const char* ChargeCatName(ChargeCat cat) {
+  static constexpr const char* kNames[kChargeCatCount] = {
+#define SCIO_X(enumerator, name) #name,
+      SCIO_CHARGE_CATEGORIES(SCIO_X)
+#undef SCIO_X
+  };
+  const auto idx = static_cast<size_t>(cat);
+  return idx < kChargeCatCount ? kNames[idx] : "invalid";
+}
+
+}  // namespace scio
+
+#endif  // SRC_TRACE_CHARGE_CATEGORY_H_

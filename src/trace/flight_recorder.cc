@@ -1,0 +1,181 @@
+#include "src/trace/flight_recorder.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace scio {
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kSyscall:
+      return "syscall";
+    case TraceEventType::kScan:
+      return "scan";
+    case TraceEventType::kSignal:
+      return "signal";
+    case TraceEventType::kModeSwitch:
+      return "mode";
+    case TraceEventType::kFault:
+      return "fault";
+    case TraceEventType::kPhase:
+      return "phase";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : buffer_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::MarkPhase(const char* name, SimTime at) {
+  phases_.push_back({name, at});
+  Record({at, 0, 0, 0, 0, TraceEventType::kPhase, name});
+}
+
+std::vector<TraceEvent> FlightRecorder::Snapshot() const {
+  std::vector<TraceEvent> events;
+  events.reserve(count_);
+  const size_t start = count_ < buffer_.size() ? 0 : next_;
+  for (size_t i = 0; i < count_; ++i) {
+    events.push_back(buffer_[(start + i) % buffer_.size()]);
+  }
+  return events;
+}
+
+void FlightRecorder::Clear() {
+  next_ = 0;
+  count_ = 0;
+  total_recorded_ = 0;
+  phases_.clear();
+}
+
+namespace {
+
+// Times in the JSON are microseconds (the trace-event convention).
+void WriteJsonEvent(std::ostream& out, const TraceEvent& event, bool* first) {
+  if (!*first) {
+    out << ",\n";
+  }
+  *first = false;
+  out << R"(  {"name":")" << event.name << R"(","cat":")"
+      << TraceEventTypeName(event.type) << R"(","pid":1,"tid":1,"ts":)"
+      << ToMicros(event.ts);
+  if (event.wall > 0) {
+    out << R"(,"ph":"X","dur":)" << ToMicros(event.wall);
+  } else {
+    out << R"(,"ph":"i","s":"t")";
+  }
+  out << R"(,"args":{"charged_us":)" << ToMicros(event.charged) << R"(,"arg0":)"
+      << event.arg0 << R"(,"arg1":)" << event.arg1 << "}}";
+}
+
+}  // namespace
+
+void FlightRecorder::WriteChromeTrace(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  // Phase slices on their own track (tid 0), spanning mark → next mark.
+  for (size_t i = 0; i < phases_.size(); ++i) {
+    const SimTime begin = phases_[i].at;
+    const SimTime end = i + 1 < phases_.size()
+                            ? phases_[i + 1].at
+                            : std::max(begin, buffer_[(next_ + buffer_.size() - 1) %
+                                                      buffer_.size()]
+                                                  .ts);
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    out << R"(  {"name":")" << phases_[i].name
+        << R"(","cat":"phase","ph":"X","pid":1,"tid":0,"ts":)" << ToMicros(begin)
+        << R"(,"dur":)" << ToMicros(end - begin) << "}";
+  }
+  for (const TraceEvent& event : Snapshot()) {
+    if (event.type == TraceEventType::kPhase) {
+      continue;  // already emitted as slices
+    }
+    WriteJsonEvent(out, event, &first);
+  }
+  out << "\n]}\n";
+}
+
+bool FlightRecorder::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  WriteChromeTrace(out);
+  return static_cast<bool>(out);
+}
+
+Table FlightRecorder::PhaseBreakdown() const {
+  struct Bin {
+    std::string name;
+    SimTime begin;
+    uint64_t events = 0;
+    uint64_t syscalls = 0;
+    uint64_t scans = 0;
+    uint64_t signals = 0;
+    uint64_t mode_switches = 0;
+    uint64_t faults = 0;
+    SimDuration charged = 0;
+  };
+  std::vector<Bin> bins;
+  bins.push_back({"(pre)", INT64_MIN});
+  for (const PhaseMark& mark : phases_) {
+    bins.push_back({mark.name, mark.at});
+  }
+
+  for (const TraceEvent& event : Snapshot()) {
+    if (event.type == TraceEventType::kPhase) {
+      continue;
+    }
+    size_t bin = 0;
+    for (size_t i = bins.size(); i-- > 0;) {
+      if (event.ts >= bins[i].begin) {
+        bin = i;
+        break;
+      }
+    }
+    Bin& b = bins[bin];
+    ++b.events;
+    b.charged += event.charged;
+    switch (event.type) {
+      case TraceEventType::kSyscall:
+        ++b.syscalls;
+        break;
+      case TraceEventType::kScan:
+        ++b.scans;
+        break;
+      case TraceEventType::kSignal:
+        ++b.signals;
+        break;
+      case TraceEventType::kModeSwitch:
+        ++b.mode_switches;
+        break;
+      case TraceEventType::kFault:
+        ++b.faults;
+        break;
+      case TraceEventType::kPhase:
+        break;
+    }
+  }
+
+  Table table({"phase", "events", "syscalls", "scans", "signals", "mode_switches",
+               "faults", "charged_ms"});
+  for (const Bin& b : bins) {
+    if (b.begin == INT64_MIN && b.events == 0) {
+      continue;  // nothing before the first mark
+    }
+    std::ostringstream charged;
+    charged.precision(3);
+    charged << std::fixed << ToMillis(b.charged);
+    table.AddRow({b.name, std::to_string(b.events), std::to_string(b.syscalls),
+                  std::to_string(b.scans), std::to_string(b.signals),
+                  std::to_string(b.mode_switches), std::to_string(b.faults),
+                  charged.str()});
+  }
+  return table;
+}
+
+}  // namespace scio

@@ -1,0 +1,24 @@
+#include "src/trace/time_attribution.h"
+
+#include <sstream>
+
+namespace scio {
+
+std::vector<std::pair<std::string, SimDuration>> TimeAttribution::ToRows() const {
+  std::vector<std::pair<std::string, SimDuration>> rows;
+  rows.reserve(kChargeCatCount);
+  for (size_t i = 0; i < kChargeCatCount; ++i) {
+    rows.emplace_back(ChargeCatName(static_cast<ChargeCat>(i)), ns_[i]);
+  }
+  return rows;
+}
+
+std::string TimeAttribution::Signature() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < kChargeCatCount; ++i) {
+    out << ChargeCatName(static_cast<ChargeCat>(i)) << '=' << ns_[i] << ';';
+  }
+  return out.str();
+}
+
+}  // namespace scio

@@ -1,0 +1,55 @@
+// TimeAttribution: the per-category virtual-CPU time ledger.
+//
+// SimKernel adds every nanosecond it charges (process-context work and paid
+// interrupt debt alike) to exactly one category, so the hard invariant
+//
+//     Sum() == SimKernel::busy_time()
+//
+// holds at every instant of a run. Debt absorbed by idle time while the
+// process is blocked is never attributed, exactly as it is never added to
+// busy_time(). The ledger is plain array arithmetic — it is always on and
+// costs one add per charge, so enabling tracing cannot perturb determinism.
+
+#ifndef SRC_TRACE_TIME_ATTRIBUTION_H_
+#define SRC_TRACE_TIME_ATTRIBUTION_H_
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/trace/charge_category.h"
+
+namespace scio {
+
+class TimeAttribution {
+ public:
+  void Add(ChargeCat cat, SimDuration d) { ns_[static_cast<size_t>(cat)] += d; }
+
+  SimDuration operator[](ChargeCat cat) const { return ns_[static_cast<size_t>(cat)]; }
+
+  // Total attributed time; equals SimKernel::busy_time() by construction.
+  SimDuration Sum() const {
+    SimDuration sum = 0;
+    for (SimDuration d : ns_) {
+      sum += d;
+    }
+    return sum;
+  }
+
+  bool operator==(const TimeAttribution&) const = default;
+
+  // All categories in declaration order, as (name, nanoseconds) pairs.
+  std::vector<std::pair<std::string, SimDuration>> ToRows() const;
+
+  // Stable machine-readable digest (name=ns;...) for determinism signatures.
+  std::string Signature() const;
+
+ private:
+  std::array<SimDuration, kChargeCatCount> ns_{};
+};
+
+}  // namespace scio
+
+#endif  // SRC_TRACE_TIME_ATTRIBUTION_H_

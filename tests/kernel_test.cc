@@ -244,7 +244,7 @@ TEST_F(KernelFixture, PeekDoesNotConsume) {
 // --- time accounting -------------------------------------------------------------
 
 TEST_F(KernelFixture, ChargeAdvancesClockAndBusyTime) {
-  kernel.Charge(Micros(100));
+  kernel.Charge(Micros(100), ChargeCat::kOther);
   EXPECT_EQ(kernel.now(), Micros(100));
   EXPECT_EQ(kernel.busy_time(), Micros(100));
 }
@@ -252,14 +252,14 @@ TEST_F(KernelFixture, ChargeAdvancesClockAndBusyTime) {
 TEST_F(KernelFixture, ChargeRunsEventsInsideBusyWindow) {
   bool delivered = false;
   sim.ScheduleAt(Micros(50), [&] { delivered = true; });
-  kernel.Charge(Micros(100));
+  kernel.Charge(Micros(100), ChargeCat::kOther);
   EXPECT_TRUE(delivered) << "packets arrive while the server computes";
 }
 
 TEST_F(KernelFixture, DebtFoldsIntoNextCharge) {
-  kernel.ChargeDebt(Micros(30));
+  kernel.ChargeDebt(Micros(30), ChargeCat::kOther);
   EXPECT_EQ(kernel.pending_interrupt_debt(), Micros(30));
-  kernel.Charge(Micros(10));
+  kernel.Charge(Micros(10), ChargeCat::kOther);
   EXPECT_EQ(kernel.now(), Micros(40));
   EXPECT_EQ(kernel.pending_interrupt_debt(), 0);
 }
@@ -268,7 +268,7 @@ TEST_F(KernelFixture, CpuScaleMultipliesCharges) {
   CostModel cost;
   cost.cpu_scale = 2.0;
   SimKernel scaled(&sim, cost);
-  scaled.Charge(Micros(10));
+  scaled.Charge(Micros(10), ChargeCat::kOther);
   EXPECT_EQ(scaled.now(), sim.now());
   EXPECT_EQ(scaled.busy_time(), Micros(20));
 }
@@ -289,7 +289,7 @@ TEST_F(KernelFixture, BlockProcessTimesOut) {
 
 TEST_F(KernelFixture, BlockProcessAbsorbsIdleDebt) {
   Process& proc = kernel.CreateProcess("p");
-  sim.ScheduleAt(Micros(10), [&] { kernel.ChargeDebt(Micros(500)); });
+  sim.ScheduleAt(Micros(10), [&] { kernel.ChargeDebt(Micros(500), ChargeCat::kOther); });
   kernel.BlockProcess(proc, Micros(100));
   EXPECT_EQ(kernel.pending_interrupt_debt(), 0) << "idle CPU absorbed the interrupt";
 }

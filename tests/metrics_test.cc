@@ -126,6 +126,32 @@ TEST(RateSeriesTest, SubSecondBucketsScaleToPerSecondRates) {
   EXPECT_DOUBLE_EQ(series.Rates()[0], 4.0) << "2 events in 0.5s = 4/s";
 }
 
+TEST(RateSeriesTest, NonDivisibleWindowKeepsThePartialBucket) {
+  // Regression: a 2.5s window with 1s buckets used to truncate to 2 buckets,
+  // silently dropping every event in [2s, 2.5s).
+  RateSeries series(Seconds(1), Millis(2500));
+  series.Add(Millis(100));
+  series.Add(Millis(2100));
+  series.Add(Millis(2400));
+  EXPECT_EQ(series.bucket_count(), 3u);
+  EXPECT_EQ(series.total(), 3u);
+  const std::vector<double> rates = series.Rates();
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+  EXPECT_DOUBLE_EQ(rates[2], 4.0) << "2 events over the true 0.5s width = 4/s";
+}
+
+TEST(RateSeriesTest, NonDivisibleWindowStillIgnoresEventsPastTheWindow) {
+  // Events inside the rounded-up final bucket but past the window itself
+  // must not inflate the partial bucket.
+  RateSeries series(Seconds(1), Millis(2500));
+  series.Add(Millis(2600));
+  series.Add(Seconds(3));
+  EXPECT_EQ(series.total(), 0u);
+  EXPECT_DOUBLE_EQ(series.Rates()[2], 0.0);
+}
+
 TEST(TableTest, PrintAligns) {
   Table table({"a", "longer"});
   table.AddRow({1.0, 2.5});

@@ -118,7 +118,7 @@ TEST_F(RtIoTest, SigTimedWait4BatchCostsLessThanSingles) {
     client->Write(Chunk{"x", 0});
   }
   RunFor(Millis(20));
-  kernel_.Charge(Nanos(1));  // flush accumulated interrupt debt
+  kernel_.Charge(Nanos(1), ChargeCat::kOther);  // flush accumulated interrupt debt
   const SimDuration busy0 = kernel_.busy_time();
   SigInfo batch[8];
   sys_.SigTimedWait4(batch, 0);
@@ -296,6 +296,43 @@ TEST(HybridPolicyTest, WatermarksScaleWithQueueMax) {
   HybridPolicy policy(HybridPolicyConfig{0.25, 0.1, Millis(1)}, 1024);
   EXPECT_EQ(policy.high_watermark(), 256u);
   EXPECT_EQ(policy.low_watermark(), 102u);
+}
+
+TEST(HybridPolicyTest, QueueMaxOneDoesNotDegenerateToAlwaysPolling) {
+  // Regression: high_ = size_t(0.5 * 1) truncated to 0, so `queue_len >= 0`
+  // was always true and the policy left signal mode on its first update —
+  // even with an empty queue — and the 0/0 watermark pair had no hysteresis
+  // gap to ever dwell back through.
+  HybridPolicy policy(HybridPolicyConfig{0.5, 0.05, Millis(100)}, 1);
+  EXPECT_EQ(policy.high_watermark(), 1u);
+  EXPECT_EQ(policy.low_watermark(), 0u);
+  EXPECT_EQ(policy.Update(0, false, 0), EventMode::kSignals)
+      << "an empty queue must not trigger the polling switch";
+  EXPECT_EQ(policy.Update(1, false, 0), EventMode::kPolling);
+  EXPECT_EQ(policy.Update(0, false, Millis(10)), EventMode::kPolling) << "dwell";
+  EXPECT_EQ(policy.Update(0, false, Millis(120)), EventMode::kSignals);
+  EXPECT_EQ(policy.switches_to_signals(), 1u);
+}
+
+TEST(HybridPolicyTest, SmallQueueMaxKeepsWatermarkGap) {
+  HybridPolicy policy(HybridPolicyConfig{0.5, 0.05, Millis(100)}, 8);
+  EXPECT_EQ(policy.high_watermark(), 4u);
+  EXPECT_EQ(policy.low_watermark(), 1u)
+      << "0.05*8 truncates to 0 = calm means perfectly empty; clamped to 1";
+  EXPECT_LT(policy.low_watermark(), policy.high_watermark());
+  EXPECT_EQ(policy.Update(3, false, 0), EventMode::kSignals);
+  EXPECT_EQ(policy.Update(4, false, 0), EventMode::kPolling);
+  // Calm (at most one queued signal) sustained for the dwell returns to
+  // signals even if background traffic keeps the queue from ever emptying.
+  EXPECT_EQ(policy.Update(1, false, Millis(10)), EventMode::kPolling);
+  EXPECT_EQ(policy.Update(1, false, Millis(150)), EventMode::kSignals);
+}
+
+TEST(HybridPolicyTest, LargeQueueMaxClampIsANoOp) {
+  // The clamp must not disturb the common configuration.
+  HybridPolicy policy(HybridPolicyConfig{0.5, 0.05, Millis(100)}, 1024);
+  EXPECT_EQ(policy.high_watermark(), 512u);
+  EXPECT_EQ(policy.low_watermark(), 51u);
 }
 
 }  // namespace

@@ -61,7 +61,7 @@ TEST_F(SysTest, ByteCountersTrackTraffic) {
 
 TEST_F(SysTest, WriteCostScalesWithBytes) {
   auto [client, fd] = EstablishedPair();
-  kernel_.Charge(Nanos(1));  // flush interrupt debt
+  kernel_.Charge(Nanos(1), ChargeCat::kOther);  // flush interrupt debt
   const SimDuration busy0 = kernel_.busy_time();
   sys_.Write(fd, Chunk{"", 100});
   const SimDuration small = kernel_.busy_time() - busy0;
@@ -88,7 +88,7 @@ TEST_F(SysTest, FlushRtSignalsChargesPerSignal) {
     client->Write(Chunk{"x", 0});
   }
   RunFor(Millis(10));
-  kernel_.Charge(Nanos(1));
+  kernel_.Charge(Nanos(1), ChargeCat::kOther);
   const SimDuration busy0 = kernel_.busy_time();
   EXPECT_EQ(sys_.FlushRtSignals(), 10u);
   EXPECT_GE(kernel_.busy_time() - busy0,

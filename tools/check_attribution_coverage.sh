@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Report-only drift check between the charge-category taxonomy and the
+# actual Charge()/ChargeDebt() call sites.
+#
+# Two drifts are detected:
+#   1. A category declared in SCIO_CHARGE_CATEGORIES that no charge site in
+#      src/ references — dead taxonomy, or a charge site that lost its tag.
+#   2. A Charge()/ChargeDebt() call site with no ChargeCat token nearby —
+#      a new charge that silently lands in whatever the default is.
+#
+# Exits 1 when drift is found so CI can surface it; the CI step runs with
+# continue-on-error because the nearby-token heuristic is textual, not
+# compiled.
+
+set -u
+cd "$(dirname "$0")/.."
+
+header=src/trace/charge_category.h
+fail=0
+
+declared=$(grep -oE '^  X\(k[A-Za-z0-9]+' "$header" | sed 's/^  X(//' | sort)
+if [ -z "$declared" ]; then
+  echo "error: could not parse SCIO_CHARGE_CATEGORIES from $header" >&2
+  exit 2
+fi
+
+used=$(grep -rhoE 'ChargeCat::k[A-Za-z0-9]+' src bench tests --include='*.cc' --include='*.h' \
+  | grep -v "^$header" | sed 's/ChargeCat:://' | sort -u)
+
+unused=$(comm -23 <(echo "$declared") <(echo "$used"))
+if [ -n "$unused" ]; then
+  echo "categories declared but never referenced at any charge site:"
+  echo "$unused" | sed 's/^/  /'
+  fail=1
+fi
+
+# Call sites whose statement (this line + the next two, for wrapped
+# multi-item charges) never mentions a ChargeCat.
+untagged=$(grep -rn -A2 -E '(->|\.)Charge(Debt)?\(' src --include='*.cc' \
+  | awk -v RS='--\n' '!/ChargeCat/ {print}' | grep -E '(->|\.)Charge(Debt)?\(' || true)
+if [ -n "$untagged" ]; then
+  echo "charge sites with no ChargeCat within 3 lines (check by hand):"
+  echo "$untagged" | sed -E 's/-[0-9]+-.*$//' | sed 's/^/  /'
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  count=$(echo "$declared" | wc -l)
+  echo "attribution coverage OK: all $count categories referenced, no untagged charge sites"
+fi
+exit "$fail"
