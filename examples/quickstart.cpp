@@ -6,6 +6,7 @@
 //   -> ioctl(DP_POLL) -> handle events -> POLLREMOVE -> close.
 
 #include <cassert>
+#include <cstdlib>
 #include <iostream>
 
 #include "src/core/sys.h"
@@ -13,6 +14,14 @@
 
 int main() {
   using namespace scio;
+
+  // Syscall wrappers are [[nodiscard]]; an example should model checking them.
+  auto must = [](long rc, const char* what) {
+    if (rc < 0) {
+      std::cerr << what << " failed: " << rc << "\n";
+      std::exit(1);
+    }
+  };
 
   Simulator sim;
   SimKernel kernel(&sim);
@@ -27,10 +36,10 @@ int main() {
 
   // Interest set lives in the kernel: one write() registers the listener.
   PollFd add{listen_fd, kPollIn, 0};
-  sys.DevPollWrite(dp, {&add, 1});
+  must(sys.DevPollWrite(dp, {&add, 1}), "DP write(listener)");
 
   // Shared result area: no copy-out on DP_POLL (§3.3).
-  sys.DevPollAlloc(dp, 64);
+  must(sys.DevPollAlloc(dp, 64), "DP_ALLOC");
   PollFd* results = sys.DevPollMmap(dp);
   assert(results != nullptr);
 
@@ -63,15 +72,15 @@ int main() {
         conn_fd = sys.Accept(listen_fd);
         std::cout << "accepted connection as fd " << conn_fd << "\n";
         PollFd conn_interest{conn_fd, kPollIn, 0};
-        sys.DevPollWrite(dp, {&conn_interest, 1});
+        must(sys.DevPollWrite(dp, {&conn_interest, 1}), "DP write(conn)");
       } else if (results[i].fd == conn_fd) {
         const ReadResult r = sys.Read(conn_fd, 4096);
         std::cout << "request: " << r.data.substr(0, r.data.find('\r')) << "\n";
-        sys.Write(conn_fd, BuildHttpOkResponse(6 * 1024));
+        must(sys.Write(conn_fd, BuildHttpOkResponse(6 * 1024)), "write(conn)");
         // Retire the interest with POLLREMOVE before closing (§3.1).
         PollFd remove{conn_fd, kPollRemove, 0};
-        sys.DevPollWrite(dp, {&remove, 1});
-        sys.Close(conn_fd);
+        must(sys.DevPollWrite(dp, {&remove, 1}), "DP write(remove)");
+        must(sys.Close(conn_fd), "close(conn)");
         served = true;
       }
     }
@@ -81,8 +90,8 @@ int main() {
   sim.RunAll();
   std::cout << "[client] received " << client_received << " bytes of response\n";
 
-  sys.DevPollMunmap(dp);
-  sys.Close(dp);
+  must(sys.DevPollMunmap(dp), "munmap");
+  must(sys.Close(dp), "close(dp)");
   std::cout << "done: " << kernel.stats().syscalls << " simulated syscalls, "
             << kernel.stats().devpoll_driver_calls << " driver polls, "
             << kernel.stats().devpoll_driver_calls_avoided << " avoided by hints\n";

@@ -337,7 +337,8 @@ int DevPollDevice::PollInternal(DvPoll* args) {
         kernel()->Charge(cost.poll_waitqueue_add_per_fd, ChargeCat::kWaitqueue);
       }
     });
-    kernel()->BlockProcess(*owner_, deadline);
+    // sciolint: allow(E1) -- woken-vs-timeout is re-derived from the rescan
+    (void)kernel()->BlockProcess(*owner_, deadline);
     if (used > 0) {
       stats.poll_waitqueue_removes += used;
       kernel()->Charge(cost.poll_waitqueue_remove_per_fd *

@@ -87,7 +87,8 @@ int PollSyscall::Poll(std::span<PollFd> fds, int timeout_ms) {
         kernel_->Charge(cost.poll_waitqueue_add_per_fd, ChargeCat::kWaitqueue);
       }
     }
-    kernel_->BlockProcess(*proc_, deadline);
+    // sciolint: allow(E1) -- woken-vs-timeout is re-derived from the rescan
+    (void)kernel_->BlockProcess(*proc_, deadline);
     stats.poll_waitqueue_removes += used;
     if (options_.charge_waitqueue) {
       kernel_->Charge(cost.poll_waitqueue_remove_per_fd *

@@ -33,7 +33,7 @@ class PollSyscall {
   // poll(2): fills revents for each entry; returns the number of entries
   // with non-zero revents (POLLNVAL counts, as in Linux), or 0 on timeout.
   // timeout_ms < 0 waits forever.
-  int Poll(std::span<PollFd> fds, int timeout_ms);
+  [[nodiscard]] int Poll(std::span<PollFd> fds, int timeout_ms);
 
  private:
   // One scan over the set; returns the ready count.

@@ -24,7 +24,8 @@ bool RtIo::WaitForSignal(int timeout_ms) {
     if (kernel_->stopped() || kernel_->now() >= deadline) {
       return false;
     }
-    kernel_->BlockProcess(*proc_, deadline);
+    // sciolint: allow(E1) -- loop re-checks HasPendingSignals and the deadline
+    (void)kernel_->BlockProcess(*proc_, deadline);
     if (FaultPlane* fault = kernel_->fault();
         fault != nullptr && fault->InjectEintr()) {
       // A non-queued signal interrupted the wait: surfaces to the caller as

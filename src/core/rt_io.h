@@ -25,21 +25,21 @@ class RtIo {
 
   // fcntl(fd, F_SETOWN, pid) + fcntl(fd, F_SETSIG, signo), charged as two
   // syscalls. signo == 0 disarms. Returns 0, or -1 on a bad fd.
-  int ArmAsync(int fd, int signo);
+  [[nodiscard]] int ArmAsync(int fd, int signo);
 
   // sigwaitinfo(): block until a signal is pending, dequeue the lowest-
   // numbered one. Returns nullopt on timeout (timeout_ms >= 0) or stop.
   // timeout_ms < 0 blocks forever (the real call always blocks; the timeout
   // exists so benchmark loops can wind down).
-  std::optional<SigInfo> SigWaitInfo(int timeout_ms = -1);
+  [[nodiscard]] std::optional<SigInfo> SigWaitInfo(int timeout_ms = -1);
 
   // sigtimedwait4() extension: dequeue up to out.size() pending signals in
   // one call. Returns the count (>= 1 unless timeout/stop).
-  int SigTimedWait4(std::span<SigInfo> out, int timeout_ms = -1);
+  [[nodiscard]] int SigTimedWait4(std::span<SigInfo> out, int timeout_ms = -1);
 
   // Overflow recovery step (paper §2): reset handlers to SIG_DFL, flushing
   // every queued RT signal. Returns the number flushed. One syscall.
-  size_t FlushRtSignals();
+  [[nodiscard]] size_t FlushRtSignals();
 
  private:
   bool WaitForSignal(int timeout_ms);

@@ -38,47 +38,49 @@ class Sys {
 
   // --- sockets ---------------------------------------------------------------
   // socket() + bind() + listen(): returns the listening fd, or -1 (EMFILE).
-  int Listen(int backlog = 128);
+  [[nodiscard]] int Listen(int backlog = 128);
 
   // accept(): pops one established connection. Returns the new fd, -1 when
   // the backlog is empty (EAGAIN), -2 on a bad/closed listener fd (EBADF),
   // -3 when the fd table is full (EMFILE — the connection is dropped).
-  int Accept(int listener_fd);
+  [[nodiscard]] int Accept(int listener_fd);
 
   // read(): ReadResult.n == 0 with eof=false means EAGAIN; a bad fd sets
   // result.err = kErrBadF instead of asserting.
-  ReadResult Read(int fd, size_t max_bytes);
+  [[nodiscard]] ReadResult Read(int fd, size_t max_bytes);
 
   // write(): returns bytes accepted (0 = would block), -1 on a bad fd, or
   // kErrPipe when the connection can no longer carry data.
-  long Write(int fd, Chunk chunk);
+  [[nodiscard]] long Write(int fd, Chunk chunk);
 
   // close(): returns 0 or -1 (EBADF).
-  int Close(int fd);
+  [[nodiscard]] int Close(int fd);
 
   // --- classic poll() -----------------------------------------------------------
-  int Poll(std::span<PollFd> fds, int timeout_ms);
+  [[nodiscard]] int Poll(std::span<PollFd> fds, int timeout_ms);
   PollSyscall& poll_syscall() { return poll_; }
 
   // --- /dev/poll -----------------------------------------------------------------
   // open("/dev/poll"): returns the device fd, or -1.
-  int OpenDevPoll(DevPollOptions options = DevPollOptions{});
-  long DevPollWrite(int dpfd, std::span<const PollFd> updates);
-  int DevPollAlloc(int dpfd, int nfds);
-  PollFd* DevPollMmap(int dpfd);
-  int DevPollMunmap(int dpfd);
-  int DevPollPoll(int dpfd, DvPoll* args);
-  int DevPollWritePoll(int dpfd, std::span<const PollFd> updates, DvPoll* args);
+  [[nodiscard]] int OpenDevPoll(DevPollOptions options = DevPollOptions{});
+  [[nodiscard]] long DevPollWrite(int dpfd, std::span<const PollFd> updates);
+  [[nodiscard]] int DevPollAlloc(int dpfd, int nfds);
+  [[nodiscard]] PollFd* DevPollMmap(int dpfd);
+  [[nodiscard]] int DevPollMunmap(int dpfd);
+  [[nodiscard]] int DevPollPoll(int dpfd, DvPoll* args);
+  [[nodiscard]] int DevPollWritePoll(int dpfd, std::span<const PollFd> updates, DvPoll* args);
   // Direct handle, for tests and introspection.
   std::shared_ptr<DevPollDevice> devpoll(int dpfd);
 
   // --- RT signals -----------------------------------------------------------------
-  int ArmAsync(int fd, int signo) { return rt_.ArmAsync(fd, signo); }
-  std::optional<SigInfo> SigWaitInfo(int timeout_ms = -1) { return rt_.SigWaitInfo(timeout_ms); }
-  int SigTimedWait4(std::span<SigInfo> out, int timeout_ms = -1) {
+  [[nodiscard]] int ArmAsync(int fd, int signo) { return rt_.ArmAsync(fd, signo); }
+  [[nodiscard]] std::optional<SigInfo> SigWaitInfo(int timeout_ms = -1) {
+    return rt_.SigWaitInfo(timeout_ms);
+  }
+  [[nodiscard]] int SigTimedWait4(std::span<SigInfo> out, int timeout_ms = -1) {
     return rt_.SigTimedWait4(out, timeout_ms);
   }
-  size_t FlushRtSignals() { return rt_.FlushRtSignals(); }
+  [[nodiscard]] size_t FlushRtSignals() { return rt_.FlushRtSignals(); }
 
   // --- helpers for harnesses --------------------------------------------------------
   std::shared_ptr<SimListener> listener(int fd);

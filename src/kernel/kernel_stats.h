@@ -23,15 +23,16 @@ namespace scio {
 
 // X(field, row_name)
 #define SCIO_KERNEL_STATS_FIELDS(X)                                            \
-  /* Syscall surface. */                                                       \
-  X(syscalls, "syscalls")                                                      \
-  X(accepts, "accepts")                                                        \
-  X(reads, "reads")                                                            \
-  X(writes, "writes")                                                          \
-  X(closes, "closes")                                                          \
-  X(fcntls, "fcntls")                                                          \
-  X(bytes_read, "bytes_read")                                                  \
-  X(bytes_written, "bytes_written")                                            \
+  /* Syscall surface. Row names follow the subsystem.metric convention        \
+     (sciolint M1), same as every other group below. */                        \
+  X(syscalls, "sys.syscalls")                                                  \
+  X(accepts, "sys.accepts")                                                    \
+  X(reads, "sys.reads")                                                        \
+  X(writes, "sys.writes")                                                      \
+  X(closes, "sys.closes")                                                      \
+  X(fcntls, "sys.fcntls")                                                      \
+  X(bytes_read, "sys.bytes_read")                                              \
+  X(bytes_written, "sys.bytes_written")                                        \
   /* Classic poll(). */                                                        \
   X(poll_calls, "poll.calls")                                                  \
   X(poll_fds_scanned, "poll.fds_scanned")                                      \

@@ -88,7 +88,7 @@ class SimKernel {
 
   // Block `proc` until Wake() or `deadline`. Returns true if woken, false on
   // timeout or simulation stop. The process's wake flag is cleared on return.
-  bool BlockProcess(Process& proc, SimTime deadline);
+  [[nodiscard]] bool BlockProcess(Process& proc, SimTime deadline);
 
   // Queue an RT signal on `proc`, charging interrupt-side costs and updating
   // overflow statistics.

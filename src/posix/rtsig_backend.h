@@ -9,7 +9,7 @@
 
 #include <csignal>
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 
 #include "src/posix/event_backend.h"
 
@@ -38,7 +38,9 @@ class RtSigBackend : public EventBackend {
   int signo_;
   sigset_t waitset_;
   sigset_t oldmask_;
-  std::unordered_map<int, uint32_t> interests_;
+  // Ordered so the overflow-recovery poll() pass visits fds (and emits its
+  // events) in a deterministic order (sciolint D2).
+  std::map<int, uint32_t> interests_;
   uint64_t overflow_recoveries_ = 0;
 };
 

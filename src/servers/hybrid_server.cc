@@ -13,12 +13,14 @@ HybridServer::HybridServer(Sys* sys, const StaticContent* content, ServerConfig 
 
 void HybridServer::SetupHybrid() {
   policy_.emplace(hybrid_config_.policy, sys().proc().rt_queue_max());
-  sys().ArmAsync(listener_fd_, hybrid_config_.rt_signo);
+  // sciolint: allow(E1) -- Setup() has already validated listener_fd_
+  (void)sys().ArmAsync(listener_fd_, hybrid_config_.rt_signo);
 }
 
 void HybridServer::OnConnOpened(int fd) {
   ThttpdDevPoll::OnConnOpened(fd);  // maintain the interest set concurrently
-  sys().ArmAsync(fd, hybrid_config_.rt_signo);
+  // sciolint: allow(E1) -- fd was accepted this iteration; arming cannot fail
+  (void)sys().ArmAsync(fd, hybrid_config_.rt_signo);
   // Same post-arm probe as phhttpd: data that raced ahead of the fcntl()
   // raised no signal (in polling mode the level-triggered scan would catch
   // it, but signal mode would starve the connection).
@@ -61,7 +63,8 @@ void HybridServer::RunSignalIteration(SimTime until) {
     DispatchEvent(si.fd, si.band == 0 ? kPollIn : si.band);
   }
   if (overflowed) {
-    sys().FlushRtSignals();
+    // sciolint: allow(E1) -- the flushed-signal count is irrelevant by design
+    (void)sys().FlushRtSignals();
     UpdatePolicy(/*overflowed=*/true);
     PollAndDispatch(until);  // pick up everything the flush discarded
     return;
@@ -85,7 +88,8 @@ void HybridServer::Run(SimTime until) {
     kernel().Charge(kernel().cost().server_loop_overhead, ChargeCat::kServerLoop);
     UpdatePolicy(/*overflowed=*/sys().proc().sigio_pending());
     if (sys().proc().rt_queue_length() > 0 || sys().proc().sigio_pending()) {
-      sys().FlushRtSignals();
+      // sciolint: allow(E1) -- discarding is the point; the scan finds the work
+      (void)sys().FlushRtSignals();
     }
     PollAndDispatch(until);
   }

@@ -10,7 +10,10 @@ Phhttpd::Phhttpd(Sys* sys, const StaticContent* content, ServerConfig config,
   name_ = "phhttpd";
 }
 
-void Phhttpd::SetupSignals() { sys().ArmAsync(listener_fd_, ph_config_.rt_signo); }
+void Phhttpd::SetupSignals() {
+  // sciolint: allow(E1) -- Setup() has already validated listener_fd_
+  (void)sys().ArmAsync(listener_fd_, ph_config_.rt_signo);
+}
 
 void Phhttpd::OnConnOpened(int fd) {
   // fcntl(F_SETFL, O_NONBLOCK) — charged as one extra fcntl — plus
@@ -19,7 +22,8 @@ void Phhttpd::OnConnOpened(int fd) {
   ++kernel().stats().fcntls;
   kernel().Charge(kernel().cost().syscall_entry + kernel().cost().fcntl_extra,
                   ChargeCat::kSyscallEntry);
-  sys().ArmAsync(fd, ph_config_.rt_signo);
+  // sciolint: allow(E1) -- fd was accepted this iteration; arming cannot fail
+  (void)sys().ArmAsync(fd, ph_config_.rt_signo);
   // Classic edge-notification race: bytes that arrived between the SYN and
   // the fcntl() raised no signal (nothing was armed yet), so a signal-driven
   // server must probe the socket once right after arming or those
@@ -49,7 +53,8 @@ void Phhttpd::EnterPollFallback() {
                         static_cast<int32_t>(conns_.size()));
   // Flush pending RT signals by resetting handlers to SIG_DFL (§2); a full
   // poll() pass afterwards discovers any activity the flush discarded.
-  sys().FlushRtSignals();
+  // sciolint: allow(E1) -- the flushed-signal count is irrelevant by design
+  (void)sys().FlushRtSignals();
   // §6: "the thread managing the RT signal queue passes all of its current
   // connections, including its listener socket, to its poll sibling, via a
   // special UNIX domain socket ... one at a time."
@@ -108,7 +113,8 @@ void Phhttpd::Run(SimTime until) {
       // Every socket is still armed, so queued (and overflowing) signals
       // keep accumulating; drain them or SIGIO fires forever.
       if (sys().proc().HasPendingSignals()) {
-        sys().FlushRtSignals();
+        // sciolint: allow(E1) -- discarding is the point; poll() finds the work
+        (void)sys().FlushRtSignals();
       }
       RunPollIteration(until);
       continue;
@@ -135,7 +141,8 @@ void Phhttpd::Run(SimTime until) {
     // queue), then one full poll() pass to discover everything the flush
     // discarded, then back to sigwaitinfo(). Under sustained overload this
     // whole cycle repeats.
-    sys().FlushRtSignals();
+    // sciolint: allow(E1) -- the flushed-signal count is irrelevant by design
+    (void)sys().FlushRtSignals();
     RunPollIteration(until, /*timeout_override_ms=*/0);
   }
 }

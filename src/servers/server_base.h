@@ -9,8 +9,8 @@
 #define SRC_SERVERS_SERVER_BASE_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 
 #include "src/core/sys.h"
 #include "src/http/request_parser.h"
@@ -124,7 +124,10 @@ class HttpServerBase {
   const StaticContent* content_;
   ServerConfig config_;
   int listener_fd_ = -1;
-  std::unordered_map<int, Conn> conns_;
+  // Ordered by fd: the timer sweep and the poll-set rebuilds iterate this
+  // map, and simulation state must not depend on implementation-defined
+  // hash-bucket order (sciolint D2). Seeded runs stay bit-identical.
+  std::map<int, Conn> conns_;
   ServerStats stats_;
   SimTime next_sweep_ = 0;
   bool fd_pressure_ = false;

@@ -101,7 +101,7 @@ TEST_F(FaultWorldTest, RtQueueShrinkShedsSignalsAndRaisesSigIo) {
   FaultPlane plane(&sim_, schedule);
   kernel_.set_fault_plane(&plane);
   auto [client, fd] = EstablishedPair();
-  sys_.ArmAsync(fd, kSigRtMin + 1);
+  ASSERT_EQ(sys_.ArmAsync(fd, kSigRtMin + 1), 0);
   for (int i = 0; i < 5; ++i) {
     client->Write(Chunk{"x", 0});
   }

@@ -290,7 +290,7 @@ TEST_F(KernelFixture, BlockProcessTimesOut) {
 TEST_F(KernelFixture, BlockProcessAbsorbsIdleDebt) {
   Process& proc = kernel.CreateProcess("p");
   sim.ScheduleAt(Micros(10), [&] { kernel.ChargeDebt(Micros(500), ChargeCat::kOther); });
-  kernel.BlockProcess(proc, Micros(100));
+  EXPECT_FALSE(kernel.BlockProcess(proc, Micros(100))) << "nothing wakes it";
   EXPECT_EQ(kernel.pending_interrupt_debt(), 0) << "idle CPU absorbed the interrupt";
 }
 

@@ -39,7 +39,7 @@ TEST_F(LoadTest, PoissonArrivalCountConcentratesAroundTarget) {
 }
 
 TEST_F(LoadTest, RefusedConnectionsRecorded) {
-  sys_.Close(listen_fd_);  // every SYN refused
+  ASSERT_EQ(sys_.Close(listen_fd_), 0);  // every SYN refused
   ActiveWorkload workload;
   workload.request_rate = 100;
   workload.duration = Millis(100);

@@ -151,7 +151,7 @@ TEST_F(SimWorldTest, BytesFlowBothWays) {
   EXPECT_EQ(r.n, 5u);
   EXPECT_EQ(r.data, "hello");
 
-  sys_.Write(fd, Chunk{"world!", 0});
+  ASSERT_EQ(sys_.Write(fd, Chunk{"world!", 0}), 6);
   size_t got = 0;
   client->on_data = [&](size_t n) { got += n; };
   RunFor(Millis(5));
@@ -161,7 +161,7 @@ TEST_F(SimWorldTest, BytesFlowBothWays) {
 
 TEST_F(SimWorldTest, SyntheticBytesCountButCarryNoData) {
   auto [client, fd] = EstablishedPair();
-  sys_.Write(fd, Chunk{"hdr:", 1000});
+  ASSERT_EQ(sys_.Write(fd, Chunk{"hdr:", 1000}), 1004);
   RunFor(Millis(10));
   ReadResult r = client->Read(SIZE_MAX);
   EXPECT_EQ(r.n, 1004u);
@@ -209,7 +209,7 @@ TEST_F(SimWorldTest, ServerCloseReachesClient) {
   auto [client, fd] = EstablishedPair();
   bool eof = false;
   client->on_eof = [&] { eof = true; };
-  sys_.Close(fd);
+  ASSERT_EQ(sys_.Close(fd), 0);
   RunFor(Millis(5));
   EXPECT_TRUE(eof);
   EXPECT_EQ(client->state(), SimSocket::State::kPeerClosed);
@@ -217,7 +217,7 @@ TEST_F(SimWorldTest, ServerCloseReachesClient) {
 
 TEST_F(SimWorldTest, WriteAfterCloseFails) {
   auto [client, fd] = EstablishedPair();
-  sys_.Close(fd);
+  ASSERT_EQ(sys_.Close(fd), 0);
   EXPECT_EQ(sys_.Write(fd, Chunk{"x", 0}), -1) << "EBADF";
 }
 
@@ -228,12 +228,12 @@ TEST_F(SimWorldTest, ClientPortEntersTimeWaitOnClose) {
   RunFor(Millis(5));
   EXPECT_EQ(net_.ports().in_use(), 0);
   EXPECT_EQ(net_.ports().in_time_wait(kernel_.now()), 1);
-  sys_.Close(fd);
+  ASSERT_EQ(sys_.Close(fd), 0);
 }
 
 TEST_F(SimWorldTest, RefusedConnectionReleasesPortImmediately) {
   // Close the listener: every SYN is refused.
-  sys_.Close(listen_fd_);
+  ASSERT_EQ(sys_.Close(listen_fd_), 0);
   auto client = net_.Connect(listener_);
   sim_.RunAll();
   EXPECT_EQ(client->state(), SimSocket::State::kRefused);
@@ -248,7 +248,7 @@ TEST_F(SimWorldTest, PacketsChargeInterruptDebtOnServerSideOnly) {
   RunFor(Millis(5));
   EXPECT_EQ(kernel_.stats().interrupts, before + 1);
   const uint64_t after_client_rx = kernel_.stats().interrupts;
-  sys_.Write(fd, Chunk{"pong", 0});
+  ASSERT_EQ(sys_.Write(fd, Chunk{"pong", 0}), 4);
   RunFor(Millis(5));
   EXPECT_EQ(kernel_.stats().interrupts, after_client_rx)
       << "client-side delivery is free (client machine not modelled)";

@@ -69,7 +69,7 @@ TEST_F(PollSyscallTest, EveryScanCallsEveryDriver) {
   const uint64_t before = kernel_.stats().poll_driver_calls;
   conns[0].first->Write(Chunk{"x", 0});
   RunFor(Millis(5));
-  sys_.Poll(pfds, 0);
+  EXPECT_EQ(sys_.Poll(pfds, 0), 1);
   EXPECT_EQ(kernel_.stats().poll_driver_calls, before + 10)
       << "stock poll has no hints: all 10 drivers polled";
 }
@@ -83,7 +83,7 @@ TEST_F(PollSyscallTest, WaitQueueChurnAccountedWhenBlocking) {
   }
   const uint64_t adds_before = kernel_.stats().poll_waitqueue_adds;
   sim_.ScheduleAt(kernel_.now() + Millis(10), [&] { net_.Connect(listener_); });
-  sys_.Poll(pfds, 1000);
+  EXPECT_EQ(sys_.Poll(pfds, 1000), 1) << "the scheduled connect wakes the poll";
   EXPECT_EQ(kernel_.stats().poll_waitqueue_adds, adds_before + 5)
       << "one waiter per polled fd per sleep";
   EXPECT_EQ(kernel_.stats().poll_waitqueue_removes, adds_before + 5);
@@ -93,7 +93,7 @@ TEST_F(PollSyscallTest, NoWaitQueueChurnWhenImmediatelyReady) {
   ClientConnect();
   PollFd pfd{listen_fd_, kPollIn, 0};
   const uint64_t before = kernel_.stats().poll_waitqueue_adds;
-  sys_.Poll({&pfd, 1}, 1000);
+  EXPECT_EQ(sys_.Poll({&pfd, 1}, 1000), 1);
   EXPECT_EQ(kernel_.stats().poll_waitqueue_adds, before)
       << "ready on first scan: never slept";
 }
@@ -104,11 +104,11 @@ TEST_F(PollSyscallTest, WaitQueueChargesCanBeDisabled) {
   PollSyscall cheap(&kernel_, &proc_, options);
   PollFd pfd{listen_fd_, kPollIn, 0};
   const SimDuration busy_before = kernel_.busy_time();
-  cheap.Poll({&pfd, 1}, 10);  // sleeps, times out
+  EXPECT_EQ(cheap.Poll({&pfd, 1}, 10), 0);  // sleeps, times out
   PollSyscall normal(&kernel_, &proc_, PollSyscallOptions{});
   const SimDuration cheap_cost = kernel_.busy_time() - busy_before;
   const SimDuration busy_mid = kernel_.busy_time();
-  normal.Poll({&pfd, 1}, 10);
+  EXPECT_EQ(normal.Poll({&pfd, 1}, 10), 0);
   const SimDuration normal_cost = kernel_.busy_time() - busy_mid;
   EXPECT_GT(normal_cost, cheap_cost) << "ABL-6 knob changes the charge";
   // The waiters are still real either way (correctness unchanged).

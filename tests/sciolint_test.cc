@@ -1,0 +1,417 @@
+// Fixture tests for sciolint (tools/sciolint): every rule is exercised with
+// at least one firing case, one clean case, and one annotation-suppression
+// case, all through the Analysis library API with in-memory sources. The
+// fake paths matter: D1 is scoped to src/, and the taxonomy rules key off
+// charge_category.h / kernel_stats.h basenames.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/sciolint/analysis.h"
+
+namespace scio::lint {
+namespace {
+
+std::vector<Finding> RunOn(const std::string& path, const std::string& source) {
+  Analysis analysis;
+  analysis.AddFile(path, source);
+  return analysis.Run();
+}
+
+// Counts active findings (neither annotation-suppressed nor baselined);
+// `include_suppressed` counts every finding of the rule regardless.
+int CountRule(const std::vector<Finding>& findings, const std::string& rule,
+              bool include_suppressed = false) {
+  int n = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule && (include_suppressed || (!f.suppressed && !f.baselined))) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+const Finding* FindRule(const std::vector<Finding>& findings, const std::string& rule) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+// A minimal ChargeCat + KernelStats universe so single-fixture tests don't
+// trip the taxonomy rules by accident.
+constexpr char kCleanTaxonomy[] = R"(
+#define SCIO_CHARGE_CATEGORIES(X) \
+  X(kOther, other)
+)";
+
+// --- D1: nondeterminism sources in src/ -------------------------------------------
+
+TEST(SciolintD1, FlagsWallClockAndRandInSrc) {
+  const auto findings = RunOn("src/core/engine.cc", R"(
+    #include <cstdlib>
+    int Jitter() { return std::rand(); }
+    long Now() { return time(nullptr); }
+  )");
+  EXPECT_EQ(CountRule(findings, "D1"), 2);
+}
+
+TEST(SciolintD1, IgnoresFilesOutsideSrc) {
+  const auto findings = RunOn("bench/bench_setup.cc", R"(
+    long Now() { return time(nullptr); }
+  )");
+  EXPECT_EQ(CountRule(findings, "D1"), 0)
+      << "bench/ and tests/ may read the wall clock";
+}
+
+TEST(SciolintD1, CleanSimTimeCodeDoesNotFire) {
+  const auto findings = RunOn("src/core/engine.cc", R"(
+    long Now(const Kernel& kernel) { return kernel.now(); }
+  )");
+  EXPECT_EQ(CountRule(findings, "D1"), 0);
+}
+
+TEST(SciolintD1, MemberNamedTimeDoesNotFire) {
+  const auto findings = RunOn("src/core/engine.cc", R"(
+    long Now(const Trace& t) { return t.time(); }
+  )");
+  EXPECT_EQ(CountRule(findings, "D1"), 0) << "member access is not ::time()";
+}
+
+TEST(SciolintD1, AnnotationSuppresses) {
+  const auto findings = RunOn("src/core/engine.cc", R"(
+    // sciolint: allow(D1) -- one-time startup stamp, never enters sim state
+    long Stamp() { return time(nullptr); }
+  )");
+  EXPECT_EQ(CountRule(findings, "D1"), 0);
+  EXPECT_EQ(CountRule(findings, "D1", /*include_suppressed=*/true), 1)
+      << "suppressed findings stay visible for auditing";
+}
+
+// --- D2: iteration over unordered containers --------------------------------------
+
+constexpr char kUnorderedMember[] = R"(
+    #include <unordered_map>
+    class Table {
+      std::unordered_map<int, int> entries_;
+)";
+
+TEST(SciolintD2, FlagsRangeForOverUnorderedMember) {
+  const auto findings =
+      RunOn("src/core/table.h", std::string(kUnorderedMember) + R"(
+      int Sum() {
+        int total = 0;
+        for (const auto& [k, v] : entries_) { total += v; }
+        return total;
+      }
+    };
+  )");
+  ASSERT_EQ(CountRule(findings, "D2"), 1);
+  EXPECT_NE(FindRule(findings, "D2")->message.find("entries_"), std::string::npos);
+}
+
+TEST(SciolintD2, FlagsExplicitBeginIteration) {
+  const auto findings =
+      RunOn("src/core/table.h", std::string(kUnorderedMember) + R"(
+      auto First() { return entries_.begin(); }
+    };
+  )");
+  EXPECT_EQ(CountRule(findings, "D2"), 1);
+}
+
+TEST(SciolintD2, OrderedMapIterationIsClean) {
+  const auto findings = RunOn("src/core/table.h", R"(
+    #include <map>
+    class Table {
+      std::map<int, int> entries_;
+      int Sum() {
+        int total = 0;
+        for (const auto& [k, v] : entries_) { total += v; }
+        return total;
+      }
+    };
+  )");
+  EXPECT_EQ(CountRule(findings, "D2"), 0);
+}
+
+TEST(SciolintD2, LookupWithoutIterationIsClean) {
+  const auto findings =
+      RunOn("src/core/table.h", std::string(kUnorderedMember) + R"(
+      bool Has(int k) const { return entries_.find(k) != entries_.end(); }
+    };
+  )");
+  EXPECT_EQ(CountRule(findings, "D2"), 0)
+      << "point lookups are order-independent; only iteration is flagged";
+}
+
+TEST(SciolintD2, AnnotationSuppresses) {
+  const auto findings =
+      RunOn("src/core/table.h", std::string(kUnorderedMember) + R"(
+      size_t Count() {
+        size_t n = 0;
+        // sciolint: allow(D2) -- order-insensitive fold (count only)
+        for (const auto& [k, v] : entries_) { ++n; }
+        return n;
+      }
+    };
+  )");
+  EXPECT_EQ(CountRule(findings, "D2"), 0);
+  EXPECT_EQ(CountRule(findings, "D2", /*include_suppressed=*/true), 1);
+}
+
+// --- E1: discarded [[nodiscard]] syscall-wrapper returns --------------------------
+
+constexpr char kSysDecl[] = R"(
+    class Sys {
+     public:
+      [[nodiscard]] int Close(int fd);
+      [[nodiscard]] long Write(int fd, Chunk chunk);
+    };
+)";
+
+TEST(SciolintE1, FlagsDiscardedWrapperReturn) {
+  Analysis analysis;
+  analysis.AddFile("src/core/sys.h", kSysDecl);
+  analysis.AddFile("src/servers/server.cc", R"(
+    void Teardown(Sys* sys_, int fd) {
+      sys_->Close(fd);
+    }
+  )");
+  const auto findings = analysis.Run();
+  ASSERT_EQ(CountRule(findings, "E1"), 1);
+  EXPECT_NE(FindRule(findings, "E1")->message.find("Close"), std::string::npos);
+}
+
+TEST(SciolintE1, CheckedReturnIsClean) {
+  Analysis analysis;
+  analysis.AddFile("src/core/sys.h", kSysDecl);
+  analysis.AddFile("src/servers/server.cc", R"(
+    bool Teardown(Sys* sys_, int fd) {
+      return sys_->Close(fd) == 0;
+    }
+  )");
+  EXPECT_EQ(CountRule(analysis.Run(), "E1"), 0);
+}
+
+TEST(SciolintE1, UnrelatedClassWithSameMethodNameIsClean) {
+  Analysis analysis;
+  analysis.AddFile("src/core/sys.h", kSysDecl);
+  analysis.AddFile("src/net/socket.cc", R"(
+    void Drop(Socket* socket, int fd) {
+      socket->Close(fd);
+    }
+  )");
+  EXPECT_EQ(CountRule(analysis.Run(), "E1"), 0)
+      << "receiver `socket` does not name the wrapper class Sys";
+}
+
+TEST(SciolintE1, VoidCastAloneDoesNotSuppress) {
+  Analysis analysis;
+  analysis.AddFile("src/core/sys.h", kSysDecl);
+  analysis.AddFile("src/servers/server.cc", R"(
+    void Teardown(Sys* sys_, int fd) {
+      (void)sys_->Close(fd);
+    }
+  )");
+  EXPECT_EQ(CountRule(analysis.Run(), "E1"), 1)
+      << "a bare (void) silences the compiler but still needs a reason";
+}
+
+TEST(SciolintE1, AnnotationSuppresses) {
+  Analysis analysis;
+  analysis.AddFile("src/core/sys.h", kSysDecl);
+  analysis.AddFile("src/servers/server.cc", R"(
+    void Teardown(Sys* sys_, int fd) {
+      // sciolint: allow(E1) -- EBADF tolerated during teardown
+      (void)sys_->Close(fd);
+    }
+  )");
+  const auto findings = analysis.Run();
+  EXPECT_EQ(CountRule(findings, "E1"), 0);
+  EXPECT_EQ(CountRule(findings, "E1", /*include_suppressed=*/true), 1);
+}
+
+// --- C1: attribution coverage -----------------------------------------------------
+
+TEST(SciolintC1, FlagsUntaggedCharge) {
+  const auto findings = RunOn("src/core/engine.cc", R"(
+    void Tick(Kernel& kernel) {
+      kernel.Charge(cost);
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "C1"), 1);
+}
+
+TEST(SciolintC1, TaggedChargeAndChargeDebtAreClean) {
+  const auto findings = RunOn("src/core/engine.cc", R"(
+    void Tick(Kernel& kernel) {
+      kernel.Charge(cost, ChargeCat::kSyscallEntry);
+      kernel.ChargeDebt(cost, ChargeCat::kInterrupt);
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "C1"), 0);
+}
+
+TEST(SciolintC1, FlagsOrphanCategory) {
+  Analysis analysis;
+  analysis.AddFile("src/trace/charge_category.h", R"(
+#define SCIO_CHARGE_CATEGORIES(X) \
+  X(kSyscallEntry, syscall_entry) \
+  X(kNeverCharged, never_charged)
+  )");
+  analysis.AddFile("src/core/engine.cc", R"(
+    void Tick(Kernel& kernel) {
+      kernel.Charge(cost, ChargeCat::kSyscallEntry);
+    }
+  )");
+  const auto findings = analysis.Run();
+  ASSERT_EQ(CountRule(findings, "C1"), 1);
+  const Finding* f = FindRule(findings, "C1");
+  EXPECT_NE(f->message.find("kNeverCharged"), std::string::npos);
+  EXPECT_EQ(f->path, "src/trace/charge_category.h")
+      << "orphans are reported at the taxonomy declaration";
+}
+
+TEST(SciolintC1, FullyReferencedTaxonomyIsClean) {
+  Analysis analysis;
+  analysis.AddFile("src/trace/charge_category.h", R"(
+#define SCIO_CHARGE_CATEGORIES(X) \
+  X(kSyscallEntry, syscall_entry)
+  )");
+  analysis.AddFile("src/core/engine.cc", R"(
+    void Tick(Kernel& kernel) {
+      kernel.Charge(cost, ChargeCat::kSyscallEntry);
+    }
+  )");
+  EXPECT_EQ(CountRule(analysis.Run(), "C1"), 0);
+}
+
+TEST(SciolintC1, AnnotationSuppressesUntaggedCharge) {
+  const auto findings = RunOn("src/core/engine.cc", R"(
+    void Tick(Kernel& kernel) {
+      // sciolint: allow(C1) -- category threaded through the charge vector
+      kernel.Charge(items);
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "C1"), 0);
+  EXPECT_EQ(CountRule(findings, "C1", /*include_suppressed=*/true), 1);
+}
+
+// --- M1: KernelStats counter naming -----------------------------------------------
+
+TEST(SciolintM1, FlagsBareRowName) {
+  const auto findings = RunOn("src/kernel/kernel_stats.h", R"(
+#define SCIO_KERNEL_STATS_FIELDS(X) \
+  X(syscalls, "syscalls") \
+  X(poll_calls, "poll.calls")
+  )");
+  ASSERT_EQ(CountRule(findings, "M1"), 1);
+  EXPECT_NE(FindRule(findings, "M1")->message.find("syscalls"), std::string::npos);
+}
+
+TEST(SciolintM1, FlagsDuplicateRowName) {
+  const auto findings = RunOn("src/kernel/kernel_stats.h", R"(
+#define SCIO_KERNEL_STATS_FIELDS(X) \
+  X(poll_calls, "poll.calls") \
+  X(poll_calls_again, "poll.calls")
+  )");
+  EXPECT_GE(CountRule(findings, "M1"), 1);
+}
+
+TEST(SciolintM1, ConventionalRowsAreClean) {
+  const auto findings = RunOn("src/kernel/kernel_stats.h", R"(
+#define SCIO_KERNEL_STATS_FIELDS(X) \
+  X(syscalls, "sys.syscalls") \
+  X(poll_calls, "poll.calls") \
+  X(devpoll_scan_stale_fd, "devpoll.scan_stale_fd")
+  )");
+  EXPECT_EQ(CountRule(findings, "M1"), 0);
+}
+
+TEST(SciolintM1, AnnotationSuppresses) {
+  const auto findings = RunOn("src/kernel/kernel_stats.h", R"(
+#define SCIO_KERNEL_STATS_FIELDS(X) \
+  // sciolint: allow(M1) -- legacy row name pinned by external dashboards
+  X(syscalls, "syscalls")
+  )");
+  EXPECT_EQ(CountRule(findings, "M1"), 0);
+  EXPECT_EQ(CountRule(findings, "M1", /*include_suppressed=*/true), 1);
+}
+
+// --- ANN: annotation hygiene ------------------------------------------------------
+
+TEST(SciolintAnn, MalformedAnnotationIsItselfAFinding) {
+  const auto findings = RunOn("src/core/engine.cc", R"(
+    // sciolint: allow(D1)
+    long Stamp() { return time(nullptr); }
+  )");
+  EXPECT_EQ(CountRule(findings, "ANN"), 1) << "missing `-- reason`";
+  EXPECT_EQ(CountRule(findings, "D1"), 1)
+      << "a malformed annotation must not suppress anything";
+}
+
+TEST(SciolintAnn, UnknownRuleIdIsFlagged) {
+  const auto findings = RunOn("src/core/engine.cc", R"(
+    // sciolint: allow(Z9) -- no such rule
+    int x = 0;
+  )");
+  EXPECT_EQ(CountRule(findings, "ANN"), 1);
+}
+
+TEST(SciolintAnn, WellFormedAnnotationIsClean) {
+  const auto findings = RunOn("src/core/engine.cc", R"(
+    // sciolint: allow(D1) -- startup stamp only
+    long Stamp() { return time(nullptr); }
+  )");
+  EXPECT_EQ(CountRule(findings, "ANN"), 0);
+}
+
+// --- baseline suppression ---------------------------------------------------------
+
+TEST(SciolintBaseline, FingerprintSuppressesButKeepsFindingVisible) {
+  const std::string source = R"(
+    long Stamp() { return time(nullptr); }
+  )";
+  Analysis first;
+  first.AddFile("src/core/engine.cc", source);
+  const auto initial = first.Run();
+  ASSERT_EQ(CountRule(initial, "D1"), 1);
+  const std::string fingerprint = Fingerprint(*FindRule(initial, "D1"));
+
+  Analysis second;
+  second.AddFile("src/core/engine.cc", source);
+  second.LoadBaseline("# comment line\n" + fingerprint + "\n");
+  const auto baselined = second.Run();
+  EXPECT_EQ(CountRule(baselined, "D1"), 0);
+  ASSERT_EQ(baselined.size(), 1u);
+  EXPECT_TRUE(baselined[0].baselined);
+}
+
+TEST(SciolintBaseline, FingerprintSurvivesLineDrift) {
+  Analysis first;
+  first.AddFile("src/core/engine.cc", "long Stamp() { return time(nullptr); }\n");
+  Analysis second;
+  second.AddFile("src/core/engine.cc",
+                 "// new leading comment\n\nlong Stamp() { return time(nullptr); }\n");
+  const auto a = first.Run();
+  const auto b = second.Run();
+  ASSERT_EQ(CountRule(a, "D1"), 1);
+  ASSERT_EQ(CountRule(b, "D1"), 1);
+  EXPECT_EQ(Fingerprint(*FindRule(a, "D1")), Fingerprint(*FindRule(b, "D1")))
+      << "the fingerprint keys on content, not line numbers";
+}
+
+// The clean-taxonomy helper is referenced so the fixture stays honest if a
+// future test needs it.
+TEST(SciolintFixture, CleanTaxonomyParses) {
+  const auto findings = RunOn("src/trace/other_header.h", kCleanTaxonomy);
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace
+}  // namespace scio::lint

@@ -12,7 +12,7 @@ class SysTest : public SimWorldTest {};
 
 TEST_F(SysTest, EverySyscallCharges) {
   const SimDuration busy0 = kernel_.busy_time();
-  sys_.Poll({static_cast<PollFd*>(nullptr), 0}, 0);
+  EXPECT_EQ(sys_.Poll({static_cast<PollFd*>(nullptr), 0}, 0), 0);
   const SimDuration busy1 = kernel_.busy_time();
   EXPECT_GE(busy1 - busy0, kernel_.cost().syscall_entry);
 }
@@ -53,8 +53,8 @@ TEST_F(SysTest, ByteCountersTrackTraffic) {
   auto [client, fd] = EstablishedPair();
   client->Write(Chunk{"12345", 0});
   RunFor(Millis(5));
-  sys_.Read(fd, 100);
-  sys_.Write(fd, Chunk{"abc", 1000});
+  EXPECT_EQ(sys_.Read(fd, 100).n, 5u);
+  EXPECT_EQ(sys_.Write(fd, Chunk{"abc", 1000}), 1003);
   EXPECT_EQ(kernel_.stats().bytes_read, 5u);
   EXPECT_EQ(kernel_.stats().bytes_written, 1003u);
 }
@@ -63,10 +63,10 @@ TEST_F(SysTest, WriteCostScalesWithBytes) {
   auto [client, fd] = EstablishedPair();
   kernel_.Charge(Nanos(1), ChargeCat::kOther);  // flush interrupt debt
   const SimDuration busy0 = kernel_.busy_time();
-  sys_.Write(fd, Chunk{"", 100});
+  EXPECT_EQ(sys_.Write(fd, Chunk{"", 100}), 100);
   const SimDuration small = kernel_.busy_time() - busy0;
   const SimDuration busy1 = kernel_.busy_time();
-  sys_.Write(fd, Chunk{"", 10000});
+  EXPECT_EQ(sys_.Write(fd, Chunk{"", 10000}), 10000);
   const SimDuration large = kernel_.busy_time() - busy1;
   EXPECT_GT(large, small + kernel_.cost().write_per_byte * 9000);
 }
@@ -83,7 +83,7 @@ TEST_F(SysTest, ListenExhaustionReturnsError) {
 
 TEST_F(SysTest, FlushRtSignalsChargesPerSignal) {
   auto [client, fd] = EstablishedPair();
-  sys_.ArmAsync(fd, kSigRtMin + 1);
+  ASSERT_EQ(sys_.ArmAsync(fd, kSigRtMin + 1), 0);
   for (int i = 0; i < 10; ++i) {
     client->Write(Chunk{"x", 0});
   }

@@ -84,7 +84,7 @@ TEST(AttributionInvariantTest, DebtAbsorbedByIdleIsNeverAttributed) {
   SimKernel kernel(&sim);
   Process& proc = kernel.CreateProcess("p");
   kernel.ChargeDebt(Micros(5), ChargeCat::kInterrupt);
-  kernel.BlockProcess(proc, Micros(100));  // times out; debt absorbed by idle
+  EXPECT_FALSE(kernel.BlockProcess(proc, Micros(100)));  // debt absorbed by idle
   kernel.Charge(Micros(1), ChargeCat::kOther);
   EXPECT_EQ(kernel.busy_time(), Micros(1));
   EXPECT_EQ(kernel.attribution()[ChargeCat::kInterrupt], 0);

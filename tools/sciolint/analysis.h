@@ -1,0 +1,98 @@
+// sciolint analysis: the repo's invariants as executable rules.
+//
+// The analyzer runs two passes over every file handed to it. Pass 1 builds a
+// cross-file index (members declared with unordered containers, methods
+// marked [[nodiscard]] and the classes declaring them, the ChargeCat and
+// KernelStats X-macro taxonomies, every ChargeCat reference). Pass 2 walks
+// each token stream and reports findings:
+//
+//   D1  nondeterminism source in src/ (std::rand, random_device, wall
+//       clocks, getenv, ...) — seeded runs must be bit-identical.
+//   D2  range-for / begin() iteration over a std::unordered_map/set
+//       variable — iteration order is implementation-defined, and
+//       simulation state must never depend on it.
+//   E1  discarded return value of a [[nodiscard]] syscall wrapper
+//       (Sys::/RtIo::/PollSyscall::/SimKernel:: surface).
+//   C1  Charge()/ChargeDebt() call without a ChargeCat, or a taxonomy
+//       category no charge site references (attribution coverage).
+//   M1  KernelStats counter name duplicated or not of the
+//       `subsystem.metric` shape.
+//   ANN malformed `sciolint:` control comment (allow() needs at least one
+//       rule id, a known rule id, and a `-- reason`).
+//
+// Escape hatch: `// sciolint: allow(<rule>) -- <reason>` on the finding's
+// line or the line above suppresses it; the finding is still reported as
+// suppressed in the JSON output so escapes stay auditable.
+
+#ifndef TOOLS_SCIOLINT_ANALYSIS_H_
+#define TOOLS_SCIOLINT_ANALYSIS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/sciolint/lexer.h"
+
+namespace scio::lint {
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  int col = 0;
+  std::string message;
+  std::string snippet;      // the source line, trimmed
+  bool suppressed = false;  // an allow() annotation covers it
+  bool baselined = false;   // listed in the --baseline file
+};
+
+// Stable fingerprint used by baseline files: rule + file basename + the
+// trimmed source line, FNV-1a hashed. Robust to the file moving between
+// directories and to unrelated edits shifting line numbers.
+std::string Fingerprint(const Finding& f);
+
+class Analysis {
+ public:
+  // Register one source file. `source` is the full file content.
+  void AddFile(const std::string& path, std::string_view source);
+
+  // Run all rules over the registered files. Returns all findings, sorted by
+  // (path, line); suppressed/baselined ones are included but flagged.
+  std::vector<Finding> Run();
+
+  // Load baseline fingerprints (one per line, '#' comments allowed).
+  void LoadBaseline(std::string_view baseline_text);
+
+ private:
+  void CollectIndex(const LexedFile& file);
+  void CheckFile(const LexedFile& file, std::vector<Finding>* out);
+  void CheckTaxonomies(std::vector<Finding>* out);
+  void AddFinding(const LexedFile& file, const std::string& rule, int line, int col,
+                  std::string message, std::vector<Finding>* out);
+
+  std::vector<LexedFile> files_;
+  std::set<std::string> baseline_;
+
+  // --- cross-file index (pass 1) ---
+  // Variable names declared with std::unordered_map/unordered_set type.
+  std::set<std::string> unordered_vars_;
+  // [[nodiscard]] method name -> classes declaring it.
+  std::map<std::string, std::set<std::string>> nodiscard_methods_;
+  // Charge categories: enumerator -> (path, line) of declaration.
+  std::map<std::string, std::pair<std::string, int>> charge_cats_;
+  // ChargeCat::k* enumerators referenced anywhere outside the taxonomy.
+  std::set<std::string> charge_cat_refs_;
+  // KernelStats counters: (field, row_name, path, line).
+  struct StatField {
+    std::string field;
+    std::string row;
+    std::string path;
+    int line;
+  };
+  std::vector<StatField> stat_fields_;
+};
+
+}  // namespace scio::lint
+
+#endif  // TOOLS_SCIOLINT_ANALYSIS_H_

@@ -1,0 +1,200 @@
+#include "tools/sciolint/lexer.h"
+
+#include <cctype>
+
+namespace scio::lint {
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+// Parse the text of one comment; if it carries a `sciolint:` directive,
+// append the structured annotation.
+void ParseAnnotation(std::string_view comment, int line, std::vector<Annotation>* out) {
+  const size_t tag = comment.find("sciolint:");
+  if (tag == std::string_view::npos) {
+    return;
+  }
+  Annotation ann;
+  ann.line = line;
+  ann.raw = std::string(comment.substr(tag));
+  std::string_view rest = comment.substr(tag + 9);  // after "sciolint:"
+  while (!rest.empty() && rest.front() == ' ') {
+    rest.remove_prefix(1);
+  }
+  if (rest.rfind("allow(", 0) != 0) {
+    ann.malformed = true;
+    out->push_back(std::move(ann));
+    return;
+  }
+  rest.remove_prefix(6);
+  const size_t close = rest.find(')');
+  if (close == std::string_view::npos) {
+    ann.malformed = true;
+    out->push_back(std::move(ann));
+    return;
+  }
+  std::string_view rule_list = rest.substr(0, close);
+  std::string current;
+  for (char c : rule_list) {
+    if (c == ',' || c == ' ') {
+      if (!current.empty()) {
+        ann.rules.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    ann.rules.push_back(current);
+  }
+  std::string_view after = rest.substr(close + 1);
+  const size_t dash = after.find("--");
+  if (dash != std::string_view::npos) {
+    std::string_view reason = after.substr(dash + 2);
+    while (!reason.empty() && reason.front() == ' ') {
+      reason.remove_prefix(1);
+    }
+    while (!reason.empty() && (reason.back() == '\n' || reason.back() == ' ')) {
+      reason.remove_suffix(1);
+    }
+    ann.reason = std::string(reason);
+  }
+  // An allow with no rules or no reason is itself a defect: the escape hatch
+  // must say what it allows and why.
+  if (ann.rules.empty() || ann.reason.empty()) {
+    ann.malformed = true;
+  }
+  out->push_back(std::move(ann));
+}
+
+}  // namespace
+
+LexedFile Lex(std::string path, std::string_view src) {
+  LexedFile out;
+  out.path = std::move(path);
+
+  // Split raw lines for snippet reporting.
+  {
+    size_t start = 0;
+    while (start <= src.size()) {
+      size_t end = src.find('\n', start);
+      if (end == std::string_view::npos) {
+        out.lines.emplace_back(src.substr(start));
+        break;
+      }
+      out.lines.emplace_back(src.substr(start, end - start));
+      start = end + 1;
+    }
+  }
+
+  size_t i = 0;
+  int line = 1;
+  int col = 1;
+  const auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n && i < src.size(); ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\\') {
+      advance(1);
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      const size_t end = src.find('\n', i);
+      const size_t len = (end == std::string_view::npos ? src.size() : end) - i;
+      ParseAnnotation(src.substr(i, len), line, &out.annotations);
+      advance(len);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      const size_t end = src.find("*/", i + 2);
+      const size_t stop = end == std::string_view::npos ? src.size() : end + 2;
+      ParseAnnotation(src.substr(i, stop - i), line, &out.annotations);
+      advance(stop - i);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < src.size() && src[j] != '(') {
+        delim.push_back(src[j]);
+        ++j;
+      }
+      const std::string closer = ")" + delim + "\"";
+      const size_t end = src.find(closer, j);
+      const size_t stop = end == std::string_view::npos ? src.size() : end + closer.size();
+      out.tokens.push_back({Tok::kString, "R\"...\"", line, col});
+      advance(stop - i);
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < src.size() && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < src.size()) {
+          ++j;
+        }
+        ++j;
+      }
+      const size_t stop = j < src.size() ? j + 1 : src.size();
+      out.tokens.push_back(
+          {Tok::kString, std::string(src.substr(i, stop - i)), line, col});
+      advance(stop - i);
+      continue;
+    }
+    // Identifier.
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < src.size() && IsIdentChar(src[j])) {
+        ++j;
+      }
+      out.tokens.push_back({Tok::kIdent, std::string(src.substr(i, j - i)), line, col});
+      advance(j - i);
+      continue;
+    }
+    // Number (loose: digits plus the usual suffix/float characters).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t j = i;
+      while (j < src.size() &&
+             (IsIdentChar(src[j]) || src[j] == '.' ||
+              ((src[j] == '+' || src[j] == '-') && j > i &&
+               (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        ++j;
+      }
+      out.tokens.push_back({Tok::kNumber, std::string(src.substr(i, j - i)), line, col});
+      advance(j - i);
+      continue;
+    }
+    // Two-char punctuation the rules care about.
+    if (c == ':' && i + 1 < src.size() && src[i + 1] == ':') {
+      out.tokens.push_back({Tok::kPunct, "::", line, col});
+      advance(2);
+      continue;
+    }
+    if (c == '-' && i + 1 < src.size() && src[i + 1] == '>') {
+      out.tokens.push_back({Tok::kPunct, "->", line, col});
+      advance(2);
+      continue;
+    }
+    out.tokens.push_back({Tok::kPunct, std::string(1, c), line, col});
+    advance(1);
+  }
+  return out;
+}
+
+}  // namespace scio::lint

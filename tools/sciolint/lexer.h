@@ -1,0 +1,53 @@
+// sciolint lexer: a minimal C++ tokenizer, just rich enough for the rule
+// passes. It distinguishes identifiers, literals and punctuation, skips
+// comments and string/char literal *contents* (so a rule never fires on text
+// inside a string), and extracts `sciolint:` control comments as structured
+// annotations. Preprocessor lines are tokenized like ordinary code — the
+// X-macro taxonomies the C1/M1 rules parse live inside #defines.
+
+#ifndef TOOLS_SCIOLINT_LEXER_H_
+#define TOOLS_SCIOLINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scio::lint {
+
+enum class Tok {
+  kIdent,
+  kNumber,
+  kString,  // ordinary, raw and char literals; text() is the literal spelling
+  kPunct,   // single char, except the two-char tokens "::" and "->"
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line = 0;  // 1-based
+  int col = 0;   // 1-based
+};
+
+// One `// sciolint: allow(R1,R2) -- reason` control comment. A finding of
+// rule R on line L is suppressed when an annotation allowing R sits on line
+// L or on line L-1 (trailing comment or the dedicated line above).
+struct Annotation {
+  int line = 0;
+  std::vector<std::string> rules;
+  std::string reason;
+  bool malformed = false;  // not of the allow(<rules>) -- <reason> shape
+  std::string raw;         // comment text, for diagnostics
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<Annotation> annotations;
+  std::vector<std::string> lines;  // raw source lines, for snippets
+};
+
+LexedFile Lex(std::string path, std::string_view source);
+
+}  // namespace scio::lint
+
+#endif  // TOOLS_SCIOLINT_LEXER_H_

@@ -1,0 +1,227 @@
+// sciolint: repo-native static analysis for the scio tree.
+//
+//   sciolint [options] <path>...
+//
+// Paths are files or directories (walked recursively for .cc/.h/.cpp/.hpp;
+// build trees and dot-directories are skipped). Exit code 0 when every
+// finding is suppressed or baselined, 1 when unbaselined findings remain,
+// 2 on usage or I/O errors.
+//
+// Options:
+//   --baseline=FILE        suppress findings whose fingerprint is listed
+//   --write-baseline=FILE  write the current findings' fingerprints and exit 0
+//   --json[=FILE]          machine-readable report (stdout, or FILE)
+//   --quiet                suppress the human-readable report
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/sciolint/analysis.h"
+
+namespace scio::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasSourceExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool SkippedDir(const std::string& name) {
+  return name.empty() || name[0] == '.' || name.rfind("build", 0) == 0;
+}
+
+std::vector<std::string> CollectFiles(const std::vector<std::string>& roots,
+                                      std::string* error) {
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+      continue;
+    }
+    if (!fs::is_directory(root, ec)) {
+      *error = "path does not exist: " + root;
+      return {};
+    }
+    fs::recursive_directory_iterator it(root, fs::directory_options::skip_permission_denied, ec);
+    const fs::recursive_directory_iterator end;
+    for (; it != end; it.increment(ec)) {
+      if (ec) {
+        break;
+      }
+      if (it->is_directory() && SkippedDir(it->path().filename().string())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && HasSourceExtension(it->path())) {
+        files.push_back(it->path().generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n  \"findings\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out << "    {\"rule\": \"" << f.rule << "\", \"path\": \"" << JsonEscape(f.path)
+        << "\", \"line\": " << f.line << ", \"col\": " << f.col
+        << ", \"message\": \"" << JsonEscape(f.message) << "\", \"snippet\": \""
+        << JsonEscape(f.snippet) << "\", \"fingerprint\": \"" << Fingerprint(f)
+        << "\", \"suppressed\": " << (f.suppressed ? "true" : "false")
+        << ", \"baselined\": " << (f.baselined ? "true" : "false") << "}"
+        << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+int Main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string json_path;
+  bool want_json = false;
+  bool quiet = false;
+  std::vector<std::string> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = arg.substr(17);
+    } else if (arg == "--json") {
+      want_json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      want_json = true;
+      json_path = arg.substr(7);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "sciolint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: sciolint [--baseline=FILE] [--write-baseline=FILE] "
+                 "[--json[=FILE]] [--quiet] <path>...\n";
+    return 2;
+  }
+
+  std::string error;
+  const std::vector<std::string> files = CollectFiles(roots, &error);
+  if (!error.empty()) {
+    std::cerr << "sciolint: " << error << "\n";
+    return 2;
+  }
+
+  Analysis analysis;
+  for (const std::string& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "sciolint: cannot read " << path << "\n";
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    analysis.AddFile(path, content.str());
+  }
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "sciolint: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    analysis.LoadBaseline(content.str());
+  }
+
+  const std::vector<Finding> findings = analysis.Run();
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    out << "# sciolint baseline: one fingerprint per line. Regenerate with\n"
+           "#   sciolint --write-baseline=" << write_baseline_path << " <paths>\n";
+    for (const Finding& f : findings) {
+      if (!f.suppressed) {
+        out << Fingerprint(f) << "  # " << f.rule << " " << f.path << ":" << f.line
+            << "\n";
+      }
+    }
+  }
+
+  int active = 0;
+  int suppressed = 0;
+  int baselined = 0;
+  for (const Finding& f : findings) {
+    if (f.suppressed) {
+      ++suppressed;
+    } else if (f.baselined) {
+      ++baselined;
+    } else {
+      ++active;
+      if (!quiet) {
+        std::cout << f.path << ":" << f.line << ":" << f.col << ": [" << f.rule
+                  << "] " << f.message << "\n    " << f.snippet << "\n";
+      }
+    }
+  }
+  if (!quiet) {
+    std::cout << "sciolint: " << files.size() << " files, " << active
+              << " finding(s), " << suppressed << " suppressed, " << baselined
+              << " baselined\n";
+  }
+
+  if (want_json) {
+    const std::string json = ToJson(findings);
+    if (json_path.empty()) {
+      std::cout << json;
+    } else {
+      std::ofstream out(json_path, std::ios::binary);
+      out << json;
+    }
+  }
+  if (!write_baseline_path.empty()) {
+    return 0;
+  }
+  return active == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace scio::lint
+
+int main(int argc, char** argv) { return scio::lint::Main(argc, argv); }
