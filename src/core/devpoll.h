@@ -39,6 +39,12 @@ struct DevPollOptions {
   bool solaris_or_semantics = false;
   // §6 future work: scan only hinted / cached-ready interests.
   bool hinted_first_scan = false;
+  // Wake-one sleep (WQ_FLAG_EXCLUSIVE, the 2.3 herd fix): DP_POLL sleeps as
+  // an exclusive waiter on EVERY interest's wait queue — hintable ones too,
+  // since the hint path's broadcast Wake() would otherwise rouse all sharers
+  // of a file. The extra wait-queue churn is charged honestly; sharding is
+  // the mode that avoids both the herd and the churn.
+  bool exclusive_wait = false;
 };
 
 class DevPollDevice : public File {

@@ -164,6 +164,15 @@ int Sys::DevPollWritePoll(int dpfd, std::span<const PollFd> updates, DvPoll* arg
   return device == nullptr ? -1 : device->IoctlDpWritePoll(updates, args);
 }
 
+int Sys::InstallFile(std::shared_ptr<File> file) {
+  SyscallTraceScope trace(kernel_, "install_fd");
+  ++kernel_->stats().syscalls;
+  kernel_->Charge(kernel_->cost().syscall_entry, ChargeCat::kSyscallEntry);
+  const int fd = proc_->fds().Allocate(std::move(file));
+  trace.set_result(fd);
+  return fd;
+}
+
 std::shared_ptr<SimListener> Sys::listener(int fd) {
   return std::dynamic_pointer_cast<SimListener>(proc_->fds().Get(fd));
 }

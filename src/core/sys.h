@@ -82,6 +82,12 @@ class Sys {
   }
   [[nodiscard]] size_t FlushRtSignals() { return rt_.FlushRtSignals(); }
 
+  // --- descriptor passing -----------------------------------------------------------
+  // Install an existing kernel file object into this process's descriptor
+  // table — how a worker inherits a shared listener (fork or SCM_RIGHTS
+  // passing; one syscall either way). Returns the new fd, or -1 (EMFILE).
+  [[nodiscard]] int InstallFile(std::shared_ptr<File> file);
+
   // --- helpers for harnesses --------------------------------------------------------
   std::shared_ptr<SimListener> listener(int fd);
   std::shared_ptr<SimSocket> socket(int fd);

@@ -76,6 +76,11 @@ struct CostModel {
   // --- interrupt / network processing (charged as debt while busy) -------------
   SimDuration interrupt_per_packet = Micros(9);
 
+  // --- SMP scheduling ------------------------------------------------------------
+  // Charged when a virtual CPU switches which worker it runs: register/TLB
+  // state plus the cold caches the incoming worker finds (2.2-era x86).
+  SimDuration smp_context_switch = Micros(5);
+
   // --- application-level work ----------------------------------------------------
   SimDuration http_parse_base = Micros(25);     // per parser invocation
   SimDuration http_parse_per_byte = Nanos(600);  // per request byte fed

@@ -17,11 +17,24 @@ void File::NotifyStatus(PollEvents mask) {
   }
   // 2. Queue the RT signal, if armed (paper §2: the kernel raises the
   //    assigned signal whenever a read/write/close operation completes).
-  if (async_owner_ != nullptr && async_signo_ != 0) {
-    kernel_->QueueRtSignal(*async_owner_, SigInfo{async_signo_, fd_number_, mask});
+  //    kAll fans the event out to every subscriber (herd); kRoundRobin
+  //    delivers it to exactly one, rotating in registration order.
+  if (!async_subs_.empty()) {
+    if (async_mode_ == AsyncDeliveryMode::kAll) {
+      for (const AsyncSub& sub : async_subs_) {
+        kernel_->QueueRtSignal(*sub.proc, SigInfo{sub.signo, fd_number_, mask});
+      }
+    } else {
+      const AsyncSub& sub = async_subs_[async_rr_next_ % async_subs_.size()];
+      async_rr_next_ = (async_rr_next_ + 1) % async_subs_.size();
+      kernel_->QueueRtSignal(*sub.proc, SigInfo{sub.signo, fd_number_, mask});
+    }
   }
-  // 3. Wake blocked poll()/DP_POLL/sigwaitinfo sleepers.
-  poll_wait_.WakeAll();
+  // 3. Wake blocked poll()/DP_POLL/sigwaitinfo sleepers. wake_up(), not
+  //    wake_up_all(): with no exclusive waiters registered (every pre-SMP
+  //    configuration) the two are identical; with exclusive waiters this is
+  //    where the 2.3 wake-one fix takes effect.
+  poll_wait_.WakeOne();
 }
 
 void File::AddStatusListener(StatusListener* listener) { listeners_.push_back(listener); }
@@ -32,8 +45,26 @@ void File::RemoveStatusListener(StatusListener* listener) {
 }
 
 void File::SetAsyncSignal(Process* owner, int signo) {
-  async_owner_ = owner;
-  async_signo_ = signo;
+  if (owner == nullptr) {
+    // Legacy disarm: drop every subscription.
+    async_subs_.clear();
+    async_rr_next_ = 0;
+    return;
+  }
+  for (auto it = async_subs_.begin(); it != async_subs_.end(); ++it) {
+    if (it->proc == owner) {
+      if (signo == 0) {
+        async_subs_.erase(it);
+        async_rr_next_ = 0;
+      } else {
+        it->signo = signo;
+      }
+      return;
+    }
+  }
+  if (signo != 0) {
+    async_subs_.push_back(AsyncSub{owner, signo});
+  }
 }
 
 }  // namespace scio

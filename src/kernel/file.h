@@ -31,6 +31,14 @@ class StatusListener {
   virtual void OnFileStatus(File& file, PollEvents mask) = 0;
 };
 
+// How NotifyStatus distributes the RT signal when several processes have
+// armed async signals on the same file (N workers sharing one listener fd):
+//  - kAll mirrors 2.2 SIGIO fan-out: every subscriber gets the signal — the
+//    thundering herd, reproduced on purpose;
+//  - kRoundRobin delivers each event to exactly one subscriber, rotating —
+//    the signal-plane analogue of the wake-one wait-queue fix.
+enum class AsyncDeliveryMode { kAll, kRoundRobin };
+
 class File {
  public:
   explicit File(SimKernel* kernel) : kernel_(kernel) {}
@@ -60,11 +68,20 @@ class File {
   void RemoveStatusListener(StatusListener* listener);
   size_t status_listener_count() const { return listeners_.size(); }
 
-  // fcntl(F_SETOWN)/fcntl(F_SETSIG): arm async event signals. signo == 0
-  // disarms. The signal payload carries this file's fd number.
+  // fcntl(F_SETOWN)/fcntl(F_SETSIG): arm async event signals. The owner list
+  // supports one subscription per process so N workers can share a listener.
+  // signo != 0 adds/updates `owner`'s subscription; signo == 0 with a non-null
+  // owner removes only that process's subscription; a null owner disarms all
+  // (the legacy single-owner disarm path).
   void SetAsyncSignal(Process* owner, int signo);
-  Process* async_owner() const { return async_owner_; }
-  int async_signo() const { return async_signo_; }
+  Process* async_owner() const {
+    return async_subs_.empty() ? nullptr : async_subs_.front().proc;
+  }
+  int async_signo() const { return async_subs_.empty() ? 0 : async_subs_.front().signo; }
+  size_t async_sub_count() const { return async_subs_.size(); }
+
+  void SetAsyncDeliveryMode(AsyncDeliveryMode mode) { async_mode_ = mode; }
+  AsyncDeliveryMode async_delivery_mode() const { return async_mode_; }
 
   // The fd number this file is installed under (for signal payloads and
   // result reporting). Maintained by FdTable.
@@ -72,11 +89,17 @@ class File {
   int fd_number() const { return fd_number_; }
 
  private:
+  struct AsyncSub {
+    Process* proc = nullptr;
+    int signo = 0;
+  };
+
   SimKernel* kernel_;
   WaitQueue poll_wait_;
   std::vector<StatusListener*> listeners_;
-  Process* async_owner_ = nullptr;
-  int async_signo_ = 0;
+  std::vector<AsyncSub> async_subs_;  // registration order
+  AsyncDeliveryMode async_mode_ = AsyncDeliveryMode::kAll;
+  size_t async_rr_next_ = 0;
   int fd_number_ = -1;
 };
 

@@ -67,7 +67,11 @@ namespace scio {
   /* Network / interrupts. */                                                  \
   X(packets_delivered, "net.packets_delivered")                                \
   X(interrupts, "net.interrupts")                                              \
-  X(connections_refused, "net.connections_refused")
+  X(connections_refused, "net.connections_refused")                            \
+  /* Wait queues / SMP scheduling. */                                          \
+  X(wait_listener_syn_wakeups, "wait.listener_syn_wakeups")                    \
+  X(wait_exclusive_adds, "wait.exclusive_adds")                                \
+  X(smp_context_switches, "smp.context_switches")
 
 struct KernelStats {
 #define SCIO_X(field, row_name) uint64_t field = 0;

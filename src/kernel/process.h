@@ -15,6 +15,7 @@
 #define SRC_KERNEL_PROCESS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <optional>
@@ -57,9 +58,16 @@ class Process {
   const FdTable& fds() const { return fds_; }
 
   // -- scheduling ------------------------------------------------------------
-  void Wake() { woken_ = true; }
+  void Wake() {
+    woken_ = true;
+    ++wake_calls_;
+  }
   bool woken() const { return woken_; }
   void ClearWake() { woken_ = false; }
+  // Lifetime count of Wake() calls, including redundant ones on an
+  // already-woken process. The SMP benches use the sum across processes to
+  // measure thundering-herd cost (wakeups per accepted connection).
+  uint64_t wake_calls() const { return wake_calls_; }
 
   // -- RT signal queue ---------------------------------------------------------
   // Returns false when the queue is full: the signal is dropped and SIGIO is
@@ -93,6 +101,7 @@ class Process {
   std::string name_;
   FdTable fds_;
   bool woken_ = false;
+  uint64_t wake_calls_ = 0;
 
   std::map<int, std::deque<SigInfo>> rt_queues_;  // keyed by signo, ascending
   size_t rt_queue_len_ = 0;

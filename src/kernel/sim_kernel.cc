@@ -24,19 +24,19 @@ void SimKernel::Charge(std::initializer_list<ChargeItem> items) {
   const ChargeItem* last = nullptr;
   for (const ChargeItem& item : items) {
     const SimDuration part = Scaled(item.d);
-    attribution_.Add(item.cat, part);
+    Attribute(item.cat, part);
     attributed += part;
     last = &item;
   }
   if (last != nullptr) {
-    attribution_.Add(last->cat, scaled - attributed);
+    Attribute(last->cat, scaled - attributed);
   }
 
   // Pay the interrupt debt: move its per-category breakdown into the ledger.
   if (interrupt_debt_ > 0) {
     for (size_t i = 0; i < kChargeCatCount; ++i) {
       if (debt_by_cat_[i] != 0) {
-        attribution_.Add(static_cast<ChargeCat>(i), debt_by_cat_[i]);
+        Attribute(static_cast<ChargeCat>(i), debt_by_cat_[i]);
         debt_by_cat_[i] = 0;
       }
     }
@@ -47,13 +47,26 @@ void SimKernel::Charge(std::initializer_list<ChargeItem> items) {
     return;
   }
   busy_time_ += total;
+  if (smp_ != nullptr && smp_->InWorkerContext()) {
+    // A worker's charge moves its local CPU clock; the scheduler decides when
+    // the global clock catches up (and which events run in between).
+    smp_->OnCharge(total);
+    return;
+  }
   sim_->AdvanceTo(sim_->now() + total);
 }
 
 bool SimKernel::BlockProcess(Process& proc, SimTime deadline) {
-  const bool woken =
-      sim_->StepUntil([this, &proc] { return proc.woken() || stopped_; }, deadline) &&
-      proc.woken();
+  bool woken;
+  if (smp_ != nullptr && smp_->InWorkerContext()) {
+    // Yield this worker's CPU; the scheduler runs other workers (and the
+    // simulator) until the process is woken or the deadline passes.
+    woken = smp_->OnBlock(proc, deadline);
+  } else {
+    woken =
+        sim_->StepUntil([this, &proc] { return proc.woken() || stopped_; }, deadline) &&
+        proc.woken();
+  }
   proc.ClearWake();
   // Interrupt work performed while we were idle was absorbed by idle CPU; it
   // must not be billed to the next busy period (nor attributed).

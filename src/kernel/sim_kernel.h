@@ -49,6 +49,30 @@ struct ChargeItem {
   SimDuration d;
 };
 
+// Hook interface for the SMP scheduling plane (src/smp). When a plane is
+// attached and the calling code runs in a worker's context, Charge() and
+// BlockProcess() delegate clock motion to the plane: a worker's charge moves
+// its *local* CPU clock (the global clock advances only when the scheduler
+// runs simulation events up to the next runnable worker), and a blocked
+// worker yields its CPU instead of stepping the simulator inline. With no
+// plane attached — every pre-SMP configuration — both paths are untouched,
+// so single-CPU runs stay bit-identical. Declared here (not in src/smp) so
+// scio_kernel does not depend on the scheduler library.
+class SmpPlane {
+ public:
+  virtual ~SmpPlane() = default;
+  // True when called from a scheduled worker (as opposed to the main thread
+  // assembling the world or an event callback).
+  virtual bool InWorkerContext() const = 0;
+  // The running worker consumed `total` ns of virtual CPU (debt included).
+  virtual void OnCharge(SimDuration total) = 0;
+  // Block the running worker until proc.Wake() or `deadline`. Returns the
+  // wake flag's state on resume (false = timeout / simulation stop).
+  virtual bool OnBlock(Process& proc, SimTime deadline) = 0;
+  // Mirror of TimeAttribution::Add for the running worker's CPU ledger.
+  virtual void OnAttribute(ChargeCat cat, SimDuration d) = 0;
+};
+
 class SimKernel {
  public:
   explicit SimKernel(Simulator* sim, CostModel cost = CostModel{})
@@ -103,6 +127,29 @@ class SimKernel {
   void RequestStop() { stopped_ = true; }
   bool stopped() const { return stopped_; }
 
+  // --- SMP scheduling plane ----------------------------------------------
+  // Optional and borrowed; null (the default) means single-CPU semantics.
+  void set_smp(SmpPlane* smp) { smp_ = smp; }
+  SmpPlane* smp() { return smp_; }
+
+  // Scheduler-side accounting for already-scaled charges applied to a
+  // worker's local clock (context switches): the global ledger and busy time
+  // must still cover them or the attribution invariant would break.
+  void AccountSmp(ChargeCat cat, SimDuration scaled) {
+    attribution_.Add(cat, scaled);
+    busy_time_ += scaled;
+  }
+
+  // Lifetime sum of Process::Wake() calls across every process — the herd
+  // metric's raw material (wakeups per accepted connection).
+  uint64_t TotalProcessWakes() const {
+    uint64_t total = 0;
+    for (const auto& p : processes_) {
+      total += p->wake_calls();
+    }
+    return total;
+  }
+
   SimDuration pending_interrupt_debt() const { return interrupt_debt_; }
 
   // Total virtual CPU consumed via Charge() — busy_time()/now() is the
@@ -131,6 +178,15 @@ class SimKernel {
   }
 
  private:
+  // Ledger write that also feeds the running worker's per-CPU ledger when an
+  // SMP plane is attached and we are in worker context.
+  void Attribute(ChargeCat cat, SimDuration d) {
+    attribution_.Add(cat, d);
+    if (smp_ != nullptr && smp_->InWorkerContext()) {
+      smp_->OnAttribute(cat, d);
+    }
+  }
+
   Simulator* sim_;
   CostModel cost_;
   KernelStats stats_;
@@ -144,6 +200,7 @@ class SimKernel {
   bool stopped_ = false;
   FaultPlane* fault_ = nullptr;
   FlightRecorder* recorder_ = nullptr;
+  SmpPlane* smp_ = nullptr;
 };
 
 // RAII scope that records one syscall as a complete trace slice: wall

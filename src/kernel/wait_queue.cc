@@ -21,13 +21,23 @@ WaitQueue::~WaitQueue() {
   // Orphan any still-registered waiters so their destructors don't touch us.
   for (Waiter* w : waiters_) {
     w->queue_ = nullptr;
+    w->exclusive_ = false;
   }
 }
 
 void WaitQueue::Add(Waiter* w) {
   assert(w->queue_ == nullptr && "waiter already registered");
   w->queue_ = this;
+  w->exclusive_ = false;
   waiters_.push_back(w);
+}
+
+void WaitQueue::AddExclusive(Waiter* w) {
+  assert(w->queue_ == nullptr && "waiter already registered");
+  w->queue_ = this;
+  w->exclusive_ = true;
+  waiters_.push_back(w);
+  ++exclusive_count_;
 }
 
 void WaitQueue::Remove(Waiter* w) {
@@ -35,17 +45,45 @@ void WaitQueue::Remove(Waiter* w) {
     return;
   }
   w->queue_ = nullptr;
+  if (w->exclusive_) {
+    w->exclusive_ = false;
+    --exclusive_count_;
+  }
   waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), w), waiters_.end());
 }
 
-void WaitQueue::WakeAll() {
+size_t WaitQueue::WakeOne() {
   // Copy: a wake callback may (indirectly) destroy a waiter.
   std::vector<Waiter*> snapshot = waiters_;
+  size_t woken = 0;
+  bool exclusive_woken = false;
+  for (Waiter* w : snapshot) {
+    if (w->queue_ != this) {
+      continue;  // removed by an earlier callback in this pass
+    }
+    if (w->exclusive_) {
+      if (exclusive_woken) {
+        continue;  // one exclusive waiter per wake_up()
+      }
+      exclusive_woken = true;
+    }
+    w->on_wake_();
+    ++woken;
+  }
+  return woken;
+}
+
+size_t WaitQueue::WakeAll() {
+  // Copy: a wake callback may (indirectly) destroy a waiter.
+  std::vector<Waiter*> snapshot = waiters_;
+  size_t woken = 0;
   for (Waiter* w : snapshot) {
     if (w->queue_ == this) {
       w->on_wake_();
+      ++woken;
     }
   }
+  return woken;
 }
 
 }  // namespace scio

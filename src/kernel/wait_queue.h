@@ -5,12 +5,23 @@
 // removal has a cost (Brown postulated this churn is where RT signals gain
 // their advantage; ABL-6 measures it). Waiters are intrusive and must outlive
 // their registration; Remove() is idempotent.
+//
+// Waiters come in two flavours, mirroring the 2.3-era WQ_FLAG_EXCLUSIVE fix
+// for the thundering-herd accept problem:
+//  - normal waiters (Add) are woken by every wake-up;
+//  - exclusive waiters (AddExclusive) are woken one per WakeOne() call, in
+//    FIFO registration order.
+// WakeOne() is Linux's wake_up(): all normal waiters plus the first
+// exclusive one. WakeAll() (wake_up_all) ignores exclusivity and wakes
+// everyone — this is the 2.2 herd behaviour the SMP benches reproduce.
 
 #ifndef SRC_KERNEL_WAIT_QUEUE_H_
 #define SRC_KERNEL_WAIT_QUEUE_H_
 
-#include <functional>
+#include <cstddef>
 #include <vector>
+
+#include "src/sim/event_callback.h"
 
 namespace scio {
 
@@ -18,7 +29,7 @@ class WaitQueue;
 
 class Waiter {
  public:
-  explicit Waiter(std::function<void()> on_wake) : on_wake_(std::move(on_wake)) {}
+  explicit Waiter(EventCallback on_wake) : on_wake_(std::move(on_wake)) {}
   Waiter(const Waiter&) = delete;
   Waiter& operator=(const Waiter&) = delete;
   ~Waiter();
@@ -28,10 +39,13 @@ class Waiter {
   // objects across sleep/wake cycles instead of reallocating them.
   void Detach();
 
+  bool exclusive() const { return exclusive_; }
+
  private:
   friend class WaitQueue;
-  std::function<void()> on_wake_;
+  EventCallback on_wake_;
   WaitQueue* queue_ = nullptr;  // non-null while registered
+  bool exclusive_ = false;      // set by AddExclusive, cleared on removal
 };
 
 class WaitQueue {
@@ -42,16 +56,27 @@ class WaitQueue {
   ~WaitQueue();
 
   void Add(Waiter* w);
+  // Register as an exclusive waiter (WQ_FLAG_EXCLUSIVE): woken one-at-a-time
+  // by WakeOne(), in FIFO registration order.
+  void AddExclusive(Waiter* w);
   void Remove(Waiter* w);
 
-  // Invoke every registered waiter's callback. Callbacks must not add or
-  // remove waiters on this queue re-entrantly (ours only set wake flags).
-  void WakeAll();
+  // wake_up(): invoke every non-exclusive waiter's callback plus the first
+  // exclusive waiter's (FIFO). Returns the number of callbacks invoked.
+  // Callbacks must not add or remove waiters on this queue re-entrantly
+  // (ours only set wake flags).
+  size_t WakeOne();
+
+  // wake_up_all(): invoke every registered waiter's callback, exclusive or
+  // not. Returns the number of callbacks invoked.
+  size_t WakeAll();
 
   size_t size() const { return waiters_.size(); }
+  size_t exclusive_count() const { return exclusive_count_; }
 
  private:
   std::vector<Waiter*> waiters_;
+  size_t exclusive_count_ = 0;
 };
 
 }  // namespace scio

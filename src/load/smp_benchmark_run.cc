@@ -1,0 +1,173 @@
+#include "src/load/smp_benchmark_run.h"
+
+#include <memory>
+#include <sstream>
+
+#include "src/load/httperf.h"
+#include "src/load/inactive_pool.h"
+#include "src/metrics/percentile.h"
+#include "src/metrics/rate_series.h"
+
+namespace scio {
+namespace {
+
+// Builds the per-worker server. Wake-one semantics are baked into the event
+// plane options here: exclusive /dev/poll waiters for thttpd, exclusive
+// poll() waiters for phhttpd's fallback path (its signal-mode wake-one is
+// the listener's round-robin delivery, set by the WorkerPool).
+ServerFactory MakeFactory(const SmpBenchmarkConfig& config, const StaticContent* content) {
+  return [&config, content](Sys* sys, int worker_index) -> std::unique_ptr<HttpServerBase> {
+    (void)worker_index;
+    const bool wake_one = config.mode == ListenerMode::kSharedWakeOne;
+    switch (config.server) {
+      case ServerKind::kPhhttpd: {
+        if (wake_one) {
+          PollSyscallOptions opts;
+          opts.exclusive_wait = true;
+          sys->poll_syscall() = PollSyscall(&sys->kernel(), &sys->proc(), opts);
+        }
+        return std::make_unique<Phhttpd>(sys, content, config.server_config,
+                                         config.phhttpd_config);
+      }
+      case ServerKind::kThttpdDevPoll:
+      default: {
+        ThttpdDevPollConfig dp = config.devpoll_config;
+        dp.devpoll.exclusive_wait = wake_one;
+        return std::make_unique<ThttpdDevPoll>(sys, content, config.server_config, dp);
+      }
+    }
+  };
+}
+
+std::string BuildSignature(const SmpBenchmarkResult& r) {
+  std::ostringstream out;
+  out.precision(17);
+  out << r.attempts << '|' << r.successes << '|' << r.errors << '|' << r.pending << '|'
+      << r.total_accepted << '|' << r.listener_syn_wakeups << '|' << r.context_switches
+      << '|' << r.exclusive_adds << '|' << r.kernel_stats.syscalls << '|';
+  for (const ServerStats& s : r.worker_stats) {
+    out << s.connections_accepted << ',' << s.responses_sent << ',' << s.loop_iterations
+        << ';';
+  }
+  // Same seed must spend every nanosecond in the same place on the same CPU,
+  // not just reach the same totals.
+  out << r.attribution.Signature() << '|' << r.busy_time << '|';
+  for (SimDuration d : r.cpu_busy) {
+    out << d << ',';
+  }
+  out << '|';
+  for (double rate : r.reply_series) {
+    out << rate << ',';
+  }
+  return out.str();
+}
+
+}  // namespace
+
+SmpBenchmarkResult RunSmpBenchmark(const SmpBenchmarkConfig& config) {
+  Simulator sim;
+  SimKernel kernel(&sim, config.cost);
+  NetStack net(&kernel, config.net);
+  StaticContent content;
+  content.AddDocument("/index.html", config.document_bytes);
+
+  WorkerPoolConfig pool_config;
+  pool_config.workers = config.workers;
+  pool_config.cpus = config.cpus;
+  pool_config.mode = config.mode;
+  pool_config.worker_max_fds = config.worker_max_fds;
+  pool_config.seed = config.seed;
+  pool_config.rt_queue_max = config.rt_queue_max;
+  WorkerPool pool(&kernel, &net, pool_config, MakeFactory(config, &content));
+
+  SmpBenchmarkResult result;
+  result.target_rate = config.active.request_rate;
+  result.inactive = config.inactive.connections;
+  result.workers = config.workers;
+  result.cpus = config.cpus;
+  result.mode = ListenerModeName(config.mode);
+
+  if (pool.Setup() < 0) {
+    result.setup_ok = false;
+    return result;
+  }
+
+  const std::shared_ptr<SimListener>& listener = pool.head_listener();
+  InactivePool inactive(&net, listener, config.inactive);
+  HttperfGenerator generator(&net, listener, config.active);
+
+  inactive.Start();
+  generator.Start(config.warmup);
+  const SimTime until = config.warmup + config.active.duration + config.drain;
+  pool.Run(until);
+  inactive.Shutdown();
+  kernel.RequestStop();
+
+  // --- reduction ---------------------------------------------------------------
+  PercentileTracker conn_times;
+  conn_times.Reserve(generator.records().size());
+  RateSeries window(config.sample_width, config.active.duration);
+  for (const ConnRecord& record : generator.records()) {
+    ++result.attempts;
+    switch (record.outcome) {
+      case ConnOutcome::kOk:
+        ++result.successes;
+        window.Add(record.end - config.warmup);
+        conn_times.Add(ToMillis(record.ConnTime()));
+        break;
+      case ConnOutcome::kPending:
+        ++result.pending;
+        break;
+      default:
+        ++result.errors;
+        break;
+    }
+  }
+  const StreamingStats rate_stats = window.Summary();
+  result.reply_series = window.Rates();
+  result.reply_avg = rate_stats.mean();
+  result.reply_min = rate_stats.min();
+  result.reply_max = rate_stats.max();
+  result.reply_stddev = rate_stats.stddev();
+  const uint64_t resolved = result.successes + result.errors;
+  result.error_pct =
+      resolved == 0 ? 0.0
+                    : 100.0 * static_cast<double>(result.errors) / static_cast<double>(resolved);
+  result.median_conn_ms = conn_times.Median();
+  result.p90_conn_ms = conn_times.Percentile(90.0);
+
+  result.kernel_stats = kernel.stats();
+  for (int i = 0; i < pool.workers(); ++i) {
+    result.worker_stats.push_back(pool.server(i).stats());
+    result.total_accepted += pool.server(i).stats().connections_accepted;
+  }
+  result.listener_syn_wakeups = kernel.stats().wait_listener_syn_wakeups;
+  result.wakeups_per_accept =
+      result.total_accepted == 0
+          ? 0.0
+          : static_cast<double>(result.listener_syn_wakeups) /
+                static_cast<double>(result.total_accepted);
+  result.context_switches = kernel.stats().smp_context_switches;
+  result.exclusive_adds = kernel.stats().wait_exclusive_adds;
+
+  result.attribution = kernel.attribution();
+  result.busy_time = kernel.busy_time();
+  if (pool.scheduler() != nullptr) {
+    for (int cpu = 0; cpu < pool.scheduler()->cpus(); ++cpu) {
+      result.cpu_busy.push_back(pool.scheduler()->cpu_ledger(cpu).Sum());
+    }
+  }
+  result.cpu_utilization =
+      kernel.now() == 0 ? 0.0
+                        : static_cast<double>(kernel.busy_time()) /
+                              (static_cast<double>(kernel.now()) * config.cpus);
+
+  result.signature = BuildSignature(result);
+
+  // `sim` outlives `net` on unwind; drop undelivered events (which hold
+  // sockets that release ports on destruction) while the stack is alive.
+  sim.DiscardPending();
+  return result;
+}
+
+}  // namespace scio

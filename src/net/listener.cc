@@ -27,7 +27,14 @@ void SimListener::HandleSyn(const std::shared_ptr<SimSocket>& client) {
   server->WirePeer(client);
   client->WirePeer(server);
   backlog_.push_back(server);
+  // Herd metric: every Process::Wake() triggered by this SYN's notification
+  // fan-out (poll sleepers, devpoll owners via hint backmaps, RT-signal
+  // deliveries) is a listener wakeup. wakeups/accept ≈ 1 is the wake-one
+  // ideal; N sleeping workers woken per SYN is the 2.2 thundering herd.
+  const uint64_t wakes_before = kernel()->TotalProcessWakes();
   NotifyStatus(kPollIn);
+  kernel()->stats().wait_listener_syn_wakeups +=
+      kernel()->TotalProcessWakes() - wakes_before;
 
   net_->LinkFor(/*toward_server=*/false)
       .Transmit(net_->config().control_packet_bytes, [client] { client->HandleConnected(); });

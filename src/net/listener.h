@@ -16,6 +16,8 @@
 
 namespace scio {
 
+class ReusePortGroup;
+
 class SimListener : public File {
  public:
   SimListener(SimKernel* kernel, NetStack* net, int backlog_max = 128)
@@ -36,10 +38,17 @@ class SimListener : public File {
   int backlog_max() const { return backlog_max_; }
   bool closed() const { return closed_; }
 
+  // SO_REUSEPORT sharding group, if this listener joined one (borrowed;
+  // maintained by ReusePortGroup). NetStack::Connect consults it to route
+  // the SYN to the flow-hashed member instead of this listener.
+  void set_reuseport_group(ReusePortGroup* group) { reuseport_group_ = group; }
+  ReusePortGroup* reuseport_group() const { return reuseport_group_; }
+
  private:
   NetStack* net_;
   int backlog_max_;
   bool closed_ = false;
+  ReusePortGroup* reuseport_group_ = nullptr;
   std::deque<std::shared_ptr<SimSocket>> backlog_;
 };
 

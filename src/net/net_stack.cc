@@ -1,6 +1,7 @@
 #include "src/net/net_stack.h"
 
 #include "src/net/listener.h"
+#include "src/net/reuseport.h"
 #include "src/net/socket.h"
 
 namespace scio {
@@ -12,8 +13,13 @@ std::shared_ptr<SimSocket> NetStack::Connect(const std::shared_ptr<SimListener>&
   }
   auto client = std::make_shared<SimSocket>(kernel_, this, /*server_side=*/false);
   client->set_port(port);
+  // SO_REUSEPORT: if the listener shares its port with a shard group, the
+  // flow hash — not the caller — picks which member receives the SYN.
+  const std::shared_ptr<SimListener>& target =
+      listener->reuseport_group() != nullptr ? listener->reuseport_group()->Route(port)
+                                             : listener;
   to_server_.Transmit(config_.control_packet_bytes,
-                      [listener, client] { listener->HandleSyn(client); });
+                      [target, client] { target->HandleSyn(client); });
   return client;
 }
 

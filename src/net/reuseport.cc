@@ -1,0 +1,32 @@
+#include "src/net/reuseport.h"
+
+#include <cassert>
+
+#include "src/net/listener.h"
+
+namespace scio {
+
+ReusePortGroup::~ReusePortGroup() {
+  for (const auto& member : members_) {
+    member->set_reuseport_group(nullptr);
+  }
+}
+
+void ReusePortGroup::Add(const std::shared_ptr<SimListener>& listener) {
+  members_.push_back(listener);
+  listener->set_reuseport_group(this);
+}
+
+const std::shared_ptr<SimListener>& ReusePortGroup::Route(int client_port) const {
+  assert(!members_.empty());
+  // Seeded FNV-1a over the flow identifier (the client's ephemeral port).
+  uint64_t h = 14695981039346656037ULL ^ seed_;
+  uint64_t key = static_cast<uint64_t>(static_cast<uint32_t>(client_port));
+  for (int i = 0; i < 4; ++i) {
+    h ^= (key >> (8 * i)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return members_[h % members_.size()];
+}
+
+}  // namespace scio

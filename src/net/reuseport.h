@@ -1,0 +1,47 @@
+// ReusePortGroup: SO_REUSEPORT-style listener sharding.
+//
+// N listeners bind the same (address, port); the kernel picks one per
+// incoming connection by hashing the flow. Here the flow is identified by
+// the client's ephemeral port and the hash is seeded FNV-1a, so dispatch is
+// deterministic per seed yet spreads connections evenly across shards. Each
+// worker then accepts only from its own listener — no shared accept queue,
+// no shared wait queue, and therefore no thundering herd to fix: this is the
+// "scouting" paper's per-core accept answer, contrasted against the wake-one
+// patch in bench_smp_scaling.
+
+#ifndef SRC_NET_REUSEPORT_H_
+#define SRC_NET_REUSEPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace scio {
+
+class SimListener;
+
+class ReusePortGroup {
+ public:
+  explicit ReusePortGroup(uint64_t seed) : seed_(seed) {}
+  ReusePortGroup(const ReusePortGroup&) = delete;
+  ReusePortGroup& operator=(const ReusePortGroup&) = delete;
+  ~ReusePortGroup();
+
+  // Join `listener` to the group. The listener keeps a back-pointer so
+  // NetStack::Connect can route SYNs aimed at any member across the group.
+  void Add(const std::shared_ptr<SimListener>& listener);
+
+  // Flow-hash dispatch: which member receives a SYN from `client_port`.
+  const std::shared_ptr<SimListener>& Route(int client_port) const;
+
+  size_t size() const { return members_.size(); }
+  const std::shared_ptr<SimListener>& member(size_t i) const { return members_[i]; }
+
+ private:
+  uint64_t seed_;
+  std::vector<std::shared_ptr<SimListener>> members_;
+};
+
+}  // namespace scio
+
+#endif  // SRC_NET_REUSEPORT_H_

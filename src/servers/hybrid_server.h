@@ -40,6 +40,14 @@ class HybridServer : public ThttpdDevPoll {
   // policy sized to the process's RT queue limit.
   void SetupHybrid();
 
+  int SetupEvents() override {
+    if (SetupDevPoll() < 0) {
+      return -1;
+    }
+    SetupHybrid();
+    return 0;
+  }
+
   void Run(SimTime until) override;
 
   EventMode mode() const { return policy_ ? policy_->mode() : EventMode::kSignals; }

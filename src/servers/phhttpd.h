@@ -49,6 +49,11 @@ class Phhttpd : public HttpServerBase {
   // Arms the listener for RT-signal delivery.
   void SetupSignals();
 
+  int SetupEvents() override {
+    SetupSignals();
+    return 0;
+  }
+
   void Run(SimTime until) override;
 
   bool in_poll_fallback() const { return poll_fallback_; }

@@ -18,6 +18,15 @@ int HttpServerBase::Setup() {
   return listener_fd_;
 }
 
+int HttpServerBase::AdoptListener(const std::shared_ptr<SimListener>& listener) {
+  listener_fd_ = sys_->InstallFile(listener);
+  if (listener_fd_ < 0) {
+    return listener_fd_;
+  }
+  next_sweep_ = kernel().now() + config_.timer_sweep_interval;
+  return listener_fd_;
+}
+
 bool HttpServerBase::UnderFdPressure() {
   const double used = static_cast<double>(sys_->proc().fds().open_count());
   const double capacity = static_cast<double>(sys_->proc().fds().max_fds());

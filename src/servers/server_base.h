@@ -63,6 +63,17 @@ class HttpServerBase {
   // Returns the listener fd, or a negative errno-style code on failure.
   int Setup();
 
+  // Alternative to Setup() for worker processes: install an already-bound
+  // shared listener (fork/SCM_RIGHTS inheritance) instead of creating one.
+  // Returns the installed fd, or a negative errno-style code.
+  int AdoptListener(const std::shared_ptr<SimListener>& listener);
+
+  // Post-listener event-plane setup (open /dev/poll, arm signals, ...).
+  // Servers whose RunBenchmark-era Run() does this lazily override it so a
+  // WorkerPool can prepare every worker before any of them runs. Returns 0
+  // or a negative errno-style code.
+  virtual int SetupEvents() { return 0; }
+
   // Run the event loop until simulated time `until` (or kernel stop).
   virtual void Run(SimTime until) = 0;
 

@@ -32,6 +32,8 @@ class ThttpdDevPoll : public HttpServerBase {
   // Returns the device fd, or a negative errno-style code on failure.
   int SetupDevPoll();
 
+  int SetupEvents() override { return SetupDevPoll() < 0 ? -1 : 0; }
+
   void Run(SimTime until) override;
 
   int devpoll_fd() const { return dpfd_; }

@@ -1,0 +1,276 @@
+#include "src/smp/smp_scheduler.h"
+
+#include <cassert>
+
+namespace scio {
+namespace {
+
+// Identifies the worker a thread belongs to. The scheduler's main (calling)
+// thread and event callbacks executed while a worker steps the simulator all
+// run on some thread, but only threads spawned by WorkerMain get an index.
+thread_local int tls_worker = -1;
+
+// Deterministic LCG for seeded tie-breaking (same constants as PCG's
+// default multiplier; any full-period LCG works).
+constexpr uint64_t kLcgMul = 6364136223846793005ULL;
+constexpr uint64_t kLcgInc = 1442695040888963407ULL;
+
+}  // namespace
+
+SmpScheduler::SmpScheduler(SimKernel* kernel, int cpus, uint64_t seed)
+    : kernel_(kernel),
+      seed_(seed),
+      rr_cursor_(seed * kLcgMul + kLcgInc),
+      cpu_free_at_(static_cast<size_t>(cpus < 1 ? 1 : cpus), 0),
+      cpu_last_worker_(static_cast<size_t>(cpus < 1 ? 1 : cpus), -1),
+      cpu_ledgers_(static_cast<size_t>(cpus < 1 ? 1 : cpus)) {}
+
+SmpScheduler::~SmpScheduler() {
+  assert(!running_ && "destroying a scheduler mid-Run()");
+  for (auto& ctx : ctxs_) {
+    if (ctx->thread.joinable()) {
+      ctx->thread.join();
+    }
+  }
+}
+
+void SmpScheduler::AddWorker(Process* proc, std::function<void()> body) {
+  assert(!running_ && "workers must be added before Run()");
+  auto ctx = std::make_unique<Ctx>();
+  ctx->proc = proc;
+  ctx->body = std::move(body);
+  ctx->cpu = static_cast<int>(ctxs_.size()) % cpus();
+  ctxs_.push_back(std::move(ctx));
+}
+
+void SmpScheduler::Run() {
+  assert(tls_worker == -1 && "Run() must not be called from a worker");
+  if (ctxs_.empty()) {
+    return;
+  }
+  running_ = true;
+  kernel_->set_smp(this);
+  for (size_t i = 0; i < ctxs_.size(); ++i) {
+    ctxs_[i]->thread = std::thread([this, i] { WorkerMain(static_cast<int>(i)); });
+  }
+  // Hand the baton to the first worker; we are granted it back only when
+  // every worker body has returned.
+  Reschedule(kMain);
+  for (auto& ctx : ctxs_) {
+    ctx->thread.join();
+    assert(ctx->state == State::kDone);
+  }
+  kernel_->set_smp(nullptr);
+  running_ = false;
+}
+
+bool SmpScheduler::InWorkerContext() const { return running_ && tls_worker >= 0; }
+
+void SmpScheduler::OnCharge(SimDuration total) {
+  Ctx& me = *ctxs_[tls_worker];
+  me.local_time += total;
+  if (cpu_free_at_[me.cpu] < me.local_time) {
+    cpu_free_at_[me.cpu] = me.local_time;
+  }
+  // Yield: another worker whose CPU is free earlier may run first; the fast
+  // path (we are still the earliest runnable) returns without a handoff.
+  Reschedule(tls_worker);
+}
+
+bool SmpScheduler::OnBlock(Process& proc, SimTime deadline) {
+  Ctx& me = *ctxs_[tls_worker];
+  assert(me.proc == &proc && "a worker may only block its own process");
+  (void)proc;
+  me.state = State::kBlocked;
+  me.block_deadline = deadline;
+  Reschedule(tls_worker);
+  // Granted again: either the wake flag is set, the deadline passed, or the
+  // kernel stopped (flag stays false for the latter two).
+  return me.proc->woken();
+}
+
+void SmpScheduler::OnAttribute(ChargeCat cat, SimDuration d) {
+  cpu_ledgers_[ctxs_[tls_worker]->cpu].Add(cat, d);
+}
+
+void SmpScheduler::ChargeLocal(Ctx& ctx, ChargeCat cat, SimDuration d) {
+  const SimDuration scaled = kernel_->Scaled(d);
+  const SimTime at = RunnableAt(ctx);
+  ctx.local_time = at + scaled;
+  cpu_free_at_[ctx.cpu] = at + scaled;
+  cpu_ledgers_[ctx.cpu].Add(cat, scaled);
+  kernel_->AccountSmp(cat, scaled);
+}
+
+void SmpScheduler::PromoteWoken() {
+  const SimTime now = kernel_->sim().now();
+  for (auto& ctx : ctxs_) {
+    if (ctx->state != State::kBlocked) {
+      continue;
+    }
+    if (ctx->proc->woken() || now >= ctx->block_deadline || kernel_->stopped()) {
+      ctx->state = State::kReady;
+      if (ctx->local_time < now) {
+        ctx->local_time = now;
+      }
+    }
+  }
+}
+
+SimTime SmpScheduler::MinBlockedDeadline() const {
+  SimTime min = kSimTimeNever;
+  for (const auto& ctx : ctxs_) {
+    if (ctx->state == State::kBlocked && ctx->block_deadline < min) {
+      min = ctx->block_deadline;
+    }
+  }
+  return min;
+}
+
+bool SmpScheduler::AnyBlockedWoken() const {
+  for (const auto& ctx : ctxs_) {
+    if (ctx->state == State::kBlocked && ctx->proc->woken()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SmpScheduler::Reschedule(int cur) {
+  Simulator& sim = kernel_->sim();
+  while (true) {
+    PromoteWoken();
+
+    // Pick the ready worker whose CPU can run it earliest; seeded-LCG
+    // tie-break so N workers ready at the same instant don't always run in
+    // index order (a real SMP kernel gives no such guarantee, and the seed
+    // gate proves the schedule is a function of the seed alone).
+    int next = -1;
+    SimTime next_at = kSimTimeNever;
+    int ties = 0;
+    for (size_t i = 0; i < ctxs_.size(); ++i) {
+      if (ctxs_[i]->state != State::kReady) {
+        continue;
+      }
+      const SimTime at = RunnableAt(*ctxs_[i]);
+      if (at < next_at) {
+        next = static_cast<int>(i);
+        next_at = at;
+        ties = 1;
+      } else if (at == next_at) {
+        ++ties;
+      }
+    }
+    if (next >= 0 && ties > 1) {
+      std::vector<int> tied;
+      tied.reserve(static_cast<size_t>(ties));
+      for (size_t i = 0; i < ctxs_.size(); ++i) {
+        if (ctxs_[i]->state == State::kReady && RunnableAt(*ctxs_[i]) == next_at) {
+          tied.push_back(static_cast<int>(i));
+        }
+      }
+      rr_cursor_ = rr_cursor_ * kLcgMul + kLcgInc;
+      next = tied[(rr_cursor_ >> 33) % tied.size()];
+    }
+
+    if (next < 0) {
+      // Nobody is ready. Either everyone is done (hand the baton home) or
+      // everyone is blocked (run simulation events toward the earliest
+      // deadline, stopping early if an event wakes someone).
+      bool all_done = true;
+      for (const auto& ctx : ctxs_) {
+        if (ctx->state != State::kDone) {
+          all_done = false;
+          break;
+        }
+      }
+      if (all_done) {
+        if (cur != kMain) {
+          HandOff(cur, kMain);
+        }
+        return;
+      }
+      const SimTime step_to = MinBlockedDeadline();
+      if (sim.pending_count() == 0) {
+        if (step_to == kSimTimeNever) {
+          // Nothing in the world can ever wake them: force a spurious
+          // timeout so every blocked worker resumes (wake flag false) and
+          // can observe shutdown conditions instead of deadlocking.
+          for (auto& ctx : ctxs_) {
+            if (ctx->state == State::kBlocked) {
+              ctx->state = State::kReady;
+              if (ctx->local_time < sim.now()) {
+                ctx->local_time = sim.now();
+              }
+            }
+          }
+        } else {
+          // No events left before the earliest deadline: jump straight to it
+          // so the timed-out worker promotes on the next pass.
+          sim.AdvanceTo(step_to);
+        }
+        continue;
+      }
+      (void)sim.StepUntil(
+          [this, &sim] {
+            return AnyBlockedWoken() || kernel_->stopped() || sim.pending_count() == 0;
+          },
+          step_to);
+      continue;
+    }
+
+    // Run simulation events up to the next worker's resume point; an event
+    // may wake a blocked worker first, in which case we re-pick. Once the
+    // kernel is stopped, event fidelity no longer matters — grant directly
+    // so shutdown can't spin on a permanently-true stop predicate.
+    if (next_at > sim.now() && !kernel_->stopped()) {
+      const bool interrupted = sim.StepUntil(
+          [this] { return AnyBlockedWoken() || kernel_->stopped(); }, next_at);
+      if (interrupted) {
+        continue;
+      }
+    }
+
+    // Charge the context switch before granting: it occupies the CPU, so it
+    // pushes the worker's resume point out and the pick must be redone (a
+    // worker on another CPU may now be earlier).
+    Ctx& nc = *ctxs_[next];
+    if (cpu_last_worker_[nc.cpu] != next) {
+      cpu_last_worker_[nc.cpu] = next;
+      ++kernel_->stats().smp_context_switches;
+      ChargeLocal(nc, ChargeCat::kSmpSched, kernel_->cost().smp_context_switch);
+      continue;
+    }
+
+    // Grant: the worker's local clock catches up to its CPU's availability.
+    nc.local_time = next_at;
+    if (next != cur) {
+      HandOff(cur, next);
+    }
+    return;
+  }
+}
+
+void SmpScheduler::HandOff(int cur, int next) {
+  std::unique_lock<std::mutex> lk(mu_);
+  active_ = next;
+  cv_.notify_all();
+  if (cur != kMain && ctxs_[cur]->state == State::kDone) {
+    return;  // a finished worker hands the baton off and exits
+  }
+  cv_.wait(lk, [this, cur] { return active_ == cur; });
+}
+
+void SmpScheduler::WorkerMain(int index) {
+  tls_worker = index;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this, index] { return active_ == index; });
+  }
+  ctxs_[index]->body();
+  ctxs_[index]->state = State::kDone;
+  // Pass the baton on (to another worker or back to Run()); does not wait.
+  Reschedule(index);
+}
+
+}  // namespace scio

@@ -50,6 +50,8 @@ namespace scio {
   X(kPollfdRebuild, pollfd_rebuild) /* legacy userspace pollfd rebuild */      \
   X(kConnMgmt, conn_mgmt)           /* connection state setup/teardown */      \
   X(kTimerSweep, timer_sweep)       /* periodic timeout scans */               \
+  /* --- SMP scheduling ----------------------------------------------------*/ \
+  X(kSmpSched, smp_sched) /* virtual-CPU context switches */                   \
   /* --- fallback ----------------------------------------------------------*/ \
   X(kOther, other) /* tests and uncategorized charges */
 

@@ -302,6 +302,80 @@ TEST(SciolintC1, AnnotationSuppressesUntaggedCharge) {
   EXPECT_EQ(CountRule(findings, "C1", /*include_suppressed=*/true), 1);
 }
 
+TEST(SciolintC1, FlagsUntaggedChargeLocal) {
+  // ChargeLocal is the SMP scheduler's plain-call charge helper: no member
+  // access, but the category requirement is the same.
+  const auto findings = RunOn("src/smp/smp_scheduler.cc", R"(
+    void Switch(Ctx& ctx) {
+      ChargeLocal(ctx, cost);
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "C1"), 1);
+}
+
+TEST(SciolintC1, TaggedChargeLocalIsClean) {
+  const auto findings = RunOn("src/smp/smp_scheduler.cc", R"(
+    void Switch(Ctx& ctx) {
+      ChargeLocal(ctx, ChargeCat::kSyscallEntry, cost);
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "C1"), 0);
+}
+
+// --- S1: SMP code must name its wake semantics -------------------------------------
+
+TEST(SciolintS1, FlagsBareWakeInSmp) {
+  const auto findings = RunOn("src/smp/smp_scheduler.cc", R"(
+    void Kick(WaitQueue& q) {
+      q.Wake();
+    }
+  )");
+  ASSERT_EQ(CountRule(findings, "S1"), 1);
+  const Finding* f = FindRule(findings, "S1");
+  EXPECT_NE(f->message.find("WakeOne"), std::string::npos);
+}
+
+TEST(SciolintS1, FlagsBareWakeInServers) {
+  const auto findings = RunOn("src/servers/worker_pool.cc", R"(
+    void Kick(File* file) {
+      file->poll_wait()->Wake();
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "S1"), 1);
+}
+
+TEST(SciolintS1, WakeOneAndWakeAllAreClean) {
+  const auto findings = RunOn("src/smp/smp_scheduler.cc", R"(
+    void Kick(WaitQueue& q) {
+      q.WakeOne();
+      q.WakeAll();
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "S1"), 0);
+}
+
+TEST(SciolintS1, IgnoresWakeOutsideSmpLayers) {
+  // Process::Wake (a single process's wake flag) is legitimate kernel-layer
+  // vocabulary; the rule is scoped to the SMP worker paths.
+  const auto findings = RunOn("src/kernel/sim_kernel.cc", R"(
+    void Deliver(Process& proc) {
+      proc.Wake();
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "S1"), 0);
+}
+
+TEST(SciolintS1, AnnotationSuppressesBareWake) {
+  const auto findings = RunOn("src/smp/smp_scheduler.cc", R"(
+    void Kick(Process& proc) {
+      // sciolint: allow(S1) -- single-process wake flag, not a wait queue
+      proc.Wake();
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "S1"), 0);
+  EXPECT_EQ(CountRule(findings, "S1", /*include_suppressed=*/true), 1);
+}
+
 // --- M1: KernelStats counter naming -----------------------------------------------
 
 TEST(SciolintM1, FlagsBareRowName) {

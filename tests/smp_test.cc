@@ -1,0 +1,287 @@
+// Tests for the SMP scheduling plane: wake-one/exclusive wait-queue
+// semantics, the deterministic multi-CPU scheduler, per-worker descriptor
+// isolation, and the N-worker pool end to end.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/kernel/sim_kernel.h"
+#include "src/kernel/wait_queue.h"
+#include "src/load/httperf.h"
+#include "src/load/smp_benchmark_run.h"
+#include "src/servers/worker_pool.h"
+#include "src/smp/smp_scheduler.h"
+
+namespace scio {
+namespace {
+
+// --- wake semantics -----------------------------------------------------------
+
+struct WakeProbe {
+  std::vector<std::unique_ptr<Waiter>> waiters;
+  std::vector<int> woken;
+
+  Waiter* Make(int id) {
+    waiters.push_back(std::make_unique<Waiter>([this, id] { woken.push_back(id); }));
+    return waiters.back().get();
+  }
+};
+
+TEST(WakeSemantics, WakeOneWakesExactlyOneExclusiveInFifoOrder) {
+  WaitQueue q;
+  WakeProbe probe;
+  q.AddExclusive(probe.Make(0));
+  q.AddExclusive(probe.Make(1));
+  q.AddExclusive(probe.Make(2));
+
+  EXPECT_EQ(q.WakeOne(), 1u);
+  ASSERT_EQ(probe.woken.size(), 1u);
+  EXPECT_EQ(probe.woken[0], 0);  // FIFO: first registered wakes first
+
+  // The woken waiter stays registered (poll paths detach themselves); a
+  // second wake-up hits the same head of the queue.
+  probe.woken.clear();
+  EXPECT_EQ(q.WakeOne(), 1u);
+  ASSERT_EQ(probe.woken.size(), 1u);
+  EXPECT_EQ(probe.woken[0], 0);
+
+  // Once the head detaches, the next exclusive waiter moves up.
+  probe.waiters[0]->Detach();
+  probe.woken.clear();
+  EXPECT_EQ(q.WakeOne(), 1u);
+  ASSERT_EQ(probe.woken.size(), 1u);
+  EXPECT_EQ(probe.woken[0], 1);
+}
+
+TEST(WakeSemantics, WakeAllWakesEveryoneRegardlessOfExclusivity) {
+  WaitQueue q;
+  WakeProbe probe;
+  q.Add(probe.Make(0));
+  q.AddExclusive(probe.Make(1));
+  q.Add(probe.Make(2));
+  q.AddExclusive(probe.Make(3));
+
+  EXPECT_EQ(q.WakeAll(), 4u);
+  EXPECT_EQ(probe.woken.size(), 4u);
+}
+
+TEST(WakeSemantics, WakeOneMixedWakesAllNonExclusivePlusFirstExclusive) {
+  WaitQueue q;
+  WakeProbe probe;
+  q.Add(probe.Make(0));
+  q.AddExclusive(probe.Make(1));
+  q.Add(probe.Make(2));
+  q.AddExclusive(probe.Make(3));  // must be skipped
+
+  EXPECT_EQ(q.WakeOne(), 3u);
+  ASSERT_EQ(probe.woken.size(), 3u);
+  EXPECT_EQ(probe.woken[0], 0);
+  EXPECT_EQ(probe.woken[1], 1);
+  EXPECT_EQ(probe.woken[2], 2);
+}
+
+TEST(WakeSemantics, ExclusiveCountTracksRegistrations) {
+  WaitQueue q;
+  WakeProbe probe;
+  Waiter* a = probe.Make(0);
+  Waiter* b = probe.Make(1);
+  q.AddExclusive(a);
+  q.Add(b);
+  EXPECT_EQ(q.exclusive_count(), 1u);
+  q.Remove(a);
+  EXPECT_EQ(q.exclusive_count(), 0u);
+  EXPECT_FALSE(a->exclusive());  // flag clears on removal
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// --- SmpScheduler -------------------------------------------------------------
+
+TEST(SmpScheduler, WorkersOnDistinctCpusOverlapInVirtualTime) {
+  Simulator sim;
+  SimKernel kernel(&sim);
+  Process& a = kernel.CreateProcess("a");
+  Process& b = kernel.CreateProcess("b");
+
+  SmpScheduler sched(&kernel, /*cpus=*/2, /*seed=*/1);
+  sched.AddWorker(&a, [&] { kernel.Charge(Millis(10), ChargeCat::kOther); });
+  sched.AddWorker(&b, [&] { kernel.Charge(Millis(10), ChargeCat::kOther); });
+  sched.Run();
+
+  // Two 10 ms bodies on two CPUs overlap: wall clock ends at ~10 ms (plus
+  // context-switch costs), not 20 ms, while busy time records both.
+  EXPECT_LT(kernel.now(), Millis(15));
+  EXPECT_GE(kernel.busy_time(), Millis(20));
+}
+
+TEST(SmpScheduler, WorkersOnOneCpuSerialize) {
+  Simulator sim;
+  SimKernel kernel(&sim);
+  Process& a = kernel.CreateProcess("a");
+  Process& b = kernel.CreateProcess("b");
+
+  SmpScheduler sched(&kernel, /*cpus=*/1, /*seed=*/1);
+  sched.AddWorker(&a, [&] { kernel.Charge(Millis(10), ChargeCat::kOther); });
+  sched.AddWorker(&b, [&] { kernel.Charge(Millis(10), ChargeCat::kOther); });
+  sched.Run();
+
+  EXPECT_GE(kernel.now(), Millis(20));
+}
+
+TEST(SmpScheduler, PerCpuLedgersSumToWorkerBusyTime) {
+  Simulator sim;
+  SimKernel kernel(&sim);
+  Process& a = kernel.CreateProcess("a");
+  Process& b = kernel.CreateProcess("b");
+
+  SmpScheduler sched(&kernel, /*cpus=*/2, /*seed=*/7);
+  sched.AddWorker(&a, [&] { kernel.Charge(Millis(3), ChargeCat::kHttpParse); });
+  sched.AddWorker(&b, [&] { kernel.Charge(Millis(5), ChargeCat::kHttpRespond); });
+  sched.Run();
+
+  const SimDuration ledger_sum = sched.cpu_ledger(0).Sum() + sched.cpu_ledger(1).Sum();
+  EXPECT_EQ(ledger_sum, kernel.busy_time());
+  EXPECT_EQ(kernel.attribution().Sum(), kernel.busy_time());
+}
+
+// --- end-to-end pool ----------------------------------------------------------
+
+SmpBenchmarkConfig QuickConfig(ServerKind server, ListenerMode mode, int workers,
+                               int cpus) {
+  SmpBenchmarkConfig config;
+  config.server = server;
+  config.mode = mode;
+  config.workers = workers;
+  config.cpus = cpus;
+  config.seed = 42;
+  config.active.request_rate = 300;
+  config.active.duration = Seconds(1);
+  config.active.seed = 11;
+  config.inactive.connections = 50;
+  config.warmup = Millis(500);
+  config.drain = Seconds(1);
+  return config;
+}
+
+TEST(WorkerPoolRun, SingleWorkerServesLoad) {
+  const SmpBenchmarkResult r =
+      RunSmpBenchmark(QuickConfig(ServerKind::kThttpdDevPoll,
+                                  ListenerMode::kSharedWakeAll, 1, 1));
+  ASSERT_TRUE(r.setup_ok);
+  EXPECT_GT(r.successes, 100u);
+  EXPECT_GT(r.total_accepted, 0u);
+  // One worker: a SYN can wake at most that worker.
+  EXPECT_LE(r.wakeups_per_accept, 1.5);
+}
+
+TEST(WorkerPoolRun, WakeAllHerdExceedsWakeOne) {
+  const SmpBenchmarkResult herd =
+      RunSmpBenchmark(QuickConfig(ServerKind::kThttpdDevPoll,
+                                  ListenerMode::kSharedWakeAll, 4, 4));
+  const SmpBenchmarkResult one =
+      RunSmpBenchmark(QuickConfig(ServerKind::kThttpdDevPoll,
+                                  ListenerMode::kSharedWakeOne, 4, 4));
+  ASSERT_TRUE(herd.setup_ok);
+  ASSERT_TRUE(one.setup_ok);
+  EXPECT_GT(herd.wakeups_per_accept, one.wakeups_per_accept);
+  EXPECT_GT(one.exclusive_adds, 0u);
+}
+
+TEST(WorkerPoolRun, ShardedSpreadsAcceptsAcrossWorkers) {
+  const SmpBenchmarkResult r = RunSmpBenchmark(
+      QuickConfig(ServerKind::kThttpdDevPoll, ListenerMode::kSharded, 4, 4));
+  ASSERT_TRUE(r.setup_ok);
+  int workers_with_accepts = 0;
+  for (const ServerStats& s : r.worker_stats) {
+    if (s.connections_accepted > 0) {
+      ++workers_with_accepts;
+    }
+  }
+  EXPECT_GE(workers_with_accepts, 3);
+}
+
+TEST(WorkerPoolRun, PhhttpdRoundRobinDeliverySpreadsSignals) {
+  const SmpBenchmarkResult r = RunSmpBenchmark(
+      QuickConfig(ServerKind::kPhhttpd, ListenerMode::kSharedWakeOne, 4, 4));
+  ASSERT_TRUE(r.setup_ok);
+  EXPECT_GT(r.successes, 100u);
+  // Round-robin delivery: close to one listener wake per accepted conn.
+  EXPECT_LT(r.wakeups_per_accept, 2.0);
+}
+
+// --- determinism gate ---------------------------------------------------------
+
+TEST(SmpDeterminism, EightCpuDoubleRunIsBitIdentical) {
+  const SmpBenchmarkConfig config =
+      QuickConfig(ServerKind::kThttpdDevPoll, ListenerMode::kSharedWakeOne, 8, 8);
+  const SmpBenchmarkResult first = RunSmpBenchmark(config);
+  const SmpBenchmarkResult second = RunSmpBenchmark(config);
+  ASSERT_TRUE(first.setup_ok);
+  EXPECT_EQ(first.signature, second.signature);
+}
+
+TEST(SmpDeterminism, ShardedDoubleRunIsBitIdentical) {
+  const SmpBenchmarkConfig config =
+      QuickConfig(ServerKind::kPhhttpd, ListenerMode::kSharded, 4, 2);
+  const SmpBenchmarkResult first = RunSmpBenchmark(config);
+  const SmpBenchmarkResult second = RunSmpBenchmark(config);
+  ASSERT_TRUE(first.setup_ok);
+  EXPECT_EQ(first.signature, second.signature);
+}
+
+// --- per-worker descriptor isolation (satellite: worker fd budgets) -----------
+
+// A file that occupies an fd slot and nothing more.
+class SlotFile : public File {
+ public:
+  explicit SlotFile(SimKernel* kernel) : File(kernel) {}
+  PollEvents PollMask() const override { return 0; }
+};
+
+TEST(WorkerIsolation, SaturatedWorkerDoesNotThrottleSiblings) {
+  Simulator sim;
+  SimKernel kernel(&sim);
+  NetStack net(&kernel, NetConfig{});
+  StaticContent content;
+  content.AddDocument("/index.html", 1024);
+
+  WorkerPoolConfig pool_config;
+  pool_config.workers = 2;
+  pool_config.cpus = 2;
+  pool_config.mode = ListenerMode::kSharded;
+  pool_config.worker_max_fds = 64;
+  pool_config.seed = 5;
+  WorkerPool pool(&kernel, &net, pool_config,
+                  [&content](Sys* sys, int) -> std::unique_ptr<HttpServerBase> {
+                    return std::make_unique<ThttpdDevPoll>(sys, &content);
+                  });
+  ASSERT_EQ(pool.Setup(), 0);
+
+  // Saturate worker 0's table: its budget is its own, not the pool's.
+  while (pool.sys(0).InstallFile(std::make_shared<SlotFile>(&kernel)) >= 0) {
+  }
+  ASSERT_GE(pool.proc(0).fds().open_count(), 63u);
+  EXPECT_EQ(pool.proc(1).fds().open_count(), 2u);  // listener + /dev/poll
+
+  HttperfGenerator generator(&net, pool.head_listener(), [] {
+    ActiveWorkload w;
+    w.request_rate = 400;
+    w.duration = Seconds(1);
+    w.seed = 13;
+    return w;
+  }());
+  generator.Start(Millis(100));
+  pool.Run(Seconds(2));
+  kernel.RequestStop();
+
+  // Worker 0 is pinned at its high watermark: every accept is throttled.
+  // Worker 1's own table is nearly empty, so it must keep accepting.
+  EXPECT_GT(pool.server(0).stats().accepts_throttled, 0u);
+  EXPECT_EQ(pool.server(1).stats().accepts_throttled, 0u);
+  EXPECT_GT(pool.server(1).stats().connections_accepted, 50u);
+  sim.DiscardPending();
+}
+
+}  // namespace
+}  // namespace scio

@@ -9,7 +9,7 @@ namespace scio::lint {
 namespace {
 
 const std::set<std::string>& KnownRules() {
-  static const std::set<std::string> kRules = {"D1", "D2", "E1", "C1", "M1", "ANN"};
+  static const std::set<std::string> kRules = {"D1", "D2", "E1", "C1", "M1", "S1", "ANN"};
   return kRules;
 }
 
@@ -367,10 +367,14 @@ void Analysis::CheckFile(const LexedFile& file, std::vector<Finding>* out) {
       continue;
     }
 
-    // --- C1: Charge()/ChargeDebt() must name a ChargeCat ------------------
-    if ((tok.text == "Charge" || tok.text == "ChargeDebt") && i >= 1 &&
-        (IsPunct(t[i - 1], ".") || IsPunct(t[i - 1], "->")) && i + 1 < t.size() &&
-        IsPunct(t[i + 1], "(")) {
+    // --- C1: Charge()/ChargeDebt()/ChargeLocal() must name a ChargeCat ----
+    // Charge/ChargeDebt are kernel methods (member calls); ChargeLocal is the
+    // SMP scheduler's plain-call charge helper, so no member access required.
+    const bool member_call =
+        i >= 1 && (IsPunct(t[i - 1], ".") || IsPunct(t[i - 1], "->"));
+    if ((((tok.text == "Charge" || tok.text == "ChargeDebt") && member_call) ||
+         tok.text == "ChargeLocal") &&
+        i + 1 < t.size() && IsPunct(t[i + 1], "(")) {
       const size_t close = SkipBalanced(t, i + 1, "(", ")");
       bool tagged = false;
       for (size_t j = i + 2; j + 1 < close; ++j) {
@@ -391,6 +395,24 @@ void Analysis::CheckFile(const LexedFile& file, std::vector<Finding>* out) {
                               "nanosecond must name its attribution category",
                    out);
       }
+      continue;
+    }
+
+    // --- S1: SMP-adjacent code must name its wake semantics ---------------
+    // WakeOne (wake_up: all non-exclusive + first exclusive) and WakeAll
+    // (wake_up_all: the herd) behave identically until an exclusive waiter
+    // exists, so a bare Wake() spelling would hide which semantics a worker
+    // path relies on. Process::Wake (single process) is exempt outside the
+    // scheduler layers; in src/smp and src/servers every wait-queue wake-up
+    // must say which one it means.
+    if (tok.text == "Wake" && member_call && i + 1 < t.size() &&
+        IsPunct(t[i + 1], "(") &&
+        (file.path.find("src/smp") != std::string::npos ||
+         file.path.find("src/servers") != std::string::npos)) {
+      AddFinding(file, "S1", tok.line, tok.col,
+                 "bare Wake() call — name the intended wake semantics "
+                 "(WakeOne or WakeAll)",
+                 out);
       continue;
     }
 

@@ -13,10 +13,13 @@
 //       simulation state must never depend on it.
 //   E1  discarded return value of a [[nodiscard]] syscall wrapper
 //       (Sys::/RtIo::/PollSyscall::/SimKernel:: surface).
-//   C1  Charge()/ChargeDebt() call without a ChargeCat, or a taxonomy
-//       category no charge site references (attribution coverage).
+//   C1  Charge()/ChargeDebt()/ChargeLocal() call without a ChargeCat, or a
+//       taxonomy category no charge site references (attribution coverage).
 //   M1  KernelStats counter name duplicated or not of the
 //       `subsystem.metric` shape.
+//   S1  bare Wake() call in src/smp or src/servers — wait-queue wake-ups
+//       there must name their semantics (WakeOne vs WakeAll), because the
+//       two only diverge once exclusive waiters exist.
 //   ANN malformed `sciolint:` control comment (allow() needs at least one
 //       rule id, a known rule id, and a `-- reason`).
 //
