@@ -76,6 +76,19 @@ struct CostModel {
   // --- interrupt / network processing (charged as debt while busy) -------------
   SimDuration interrupt_per_packet = Micros(9);
 
+  // --- ingress filter chain (netfilter-style; "Performance Evaluation of
+  // netfilter" measures per-rule traversal as a first-class overhead) ----------
+  SimDuration filter_match_per_rule = Nanos(300);  // test one rule, miss or hit
+  SimDuration filter_drop_extra = Nanos(500);      // execute a DROP verdict
+  // Stateless SYN-ACK generation when the SYN backlog saturates: hash compute
+  // on a 400 MHz part, paid per cookie instead of per half-open slot.
+  SimDuration syncookie_cost = Micros(6);
+  SimDuration synq_reap_per_entry = Nanos(200);  // free one timed-out half-open
+  // Graceful-degradation controller: one pressure scan per tick (process
+  // context), plus a chain mutation when a rule is inserted or removed.
+  SimDuration defense_tick = Micros(10);
+  SimDuration filter_rule_update = Micros(2);
+
   // --- SMP scheduling ------------------------------------------------------------
   // Charged when a virtual CPU switches which worker it runs: register/TLB
   // state plus the cold caches the incoming worker finds (2.2-era x86).

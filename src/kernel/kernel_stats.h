@@ -68,6 +68,16 @@ namespace scio {
   X(packets_delivered, "net.packets_delivered")                                \
   X(interrupts, "net.interrupts")                                              \
   X(connections_refused, "net.connections_refused")                            \
+  /* SYN backlog (half-open queue + syncookie fallback). */                    \
+  X(net_raw_syns, "net.raw_syns")                                              \
+  X(net_syn_backlog_overflows, "net.syn_backlog_overflows")                    \
+  X(net_syncookies_sent, "net.syncookies_sent")                                \
+  X(net_half_open_reaped, "net.half_open_reaped")                              \
+  /* Ingress filter chain. */                                                  \
+  X(filter_evals, "filter.evals")                                              \
+  X(filter_rules_traversed, "filter.rules_traversed")                          \
+  X(filter_drops, "filter.drops")                                              \
+  X(filter_rate_limit_drops, "filter.rate_limit_drops")                        \
   /* Wait queues / SMP scheduling. */                                          \
   X(wait_listener_syn_wakeups, "wait.listener_syn_wakeups")                    \
   X(wait_exclusive_adds, "wait.exclusive_adds")                                \

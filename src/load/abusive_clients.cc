@@ -81,6 +81,14 @@ void AbusiveFleet::ConnectSlowloris(size_t idx) {
     Slowloris& m = slowloris_[idx];
     m.write_timer.Cancel();
     if (m.socket != nullptr) {
+      // This lambda *is* the socket's on_eof/on_refused. Detach every
+      // callback before Close() so no further event re-enters us, and so
+      // dropping our strong reference below never destroys a std::function
+      // that is still on the call stack (the dispatch sites also invoke a
+      // local copy, but teardown should not lean on that alone).
+      m.socket->on_connected = nullptr;
+      m.socket->on_refused = nullptr;
+      m.socket->on_eof = nullptr;
       m.socket->Close();
       m.socket = nullptr;
     }

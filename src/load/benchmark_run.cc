@@ -38,6 +38,16 @@ BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config) {
   }
   NetStack net(&kernel, config.net);
   net.InstallFaultPlane(&fault_plane);
+  const bool filter_on = config.filter_enabled || !config.static_rules.empty() ||
+                         config.adaptive_defense;
+  std::unique_ptr<IngressFilterChain> chain;
+  if (filter_on) {
+    chain = std::make_unique<IngressFilterChain>(&kernel, config.filter_band_width);
+    net.set_filter(chain.get());
+    for (const FilterRule& rule : config.static_rules) {
+      chain->Append(rule);
+    }
+  }
   Process& proc = kernel.CreateProcess("server", config.server_max_fds);
   proc.set_rt_queue_max(config.rt_queue_max);
   Sys sys(&kernel, &proc, &net);
@@ -90,10 +100,18 @@ BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config) {
   }
 
   auto listener = sys.listener(server->listener_fd());
+  std::unique_ptr<AdaptiveDefense> defense;
+  if (config.adaptive_defense) {
+    defense = std::make_unique<AdaptiveDefense>(&kernel, chain.get(), config.defense);
+    defense->AddListener(listener);
+    server->set_defense(defense.get());
+  }
   InactivePool pool(&net, listener, config.inactive);
   HttperfGenerator generator(&net, listener, config.active);
   AbusiveFleet abusive(&net, listener, config.abusive);
+  AttackCampaign attack(&net, listener, config.attack);
 
+  attack.Start();
   pool.Start();
   if (abusive.enabled()) {
     const SimTime abusive_start = config.abusive.start_at;
@@ -108,6 +126,7 @@ BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config) {
   server->Run(until);
   pool.Shutdown();
   abusive.Shutdown();
+  attack.Shutdown();
   kernel.RequestStop();
 
   // --- reduction ---------------------------------------------------------------
@@ -176,6 +195,14 @@ BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config) {
   result.client_retries = generator.retries();
   result.abusive_aborts = abusive.aborts_completed();
   result.slowloris_reconnects = abusive.slowloris_reconnects();
+  result.attack_stats = attack.stats();
+  if (chain != nullptr) {
+    result.chain_stats = chain->stats();
+  }
+  if (defense != nullptr) {
+    result.defense_stats = defense->stats();
+  }
+  result.syn_backlog_peak = listener->syn_backlog_peak();
 
   // `sim` outlives `net` on unwind; drop undelivered events (which hold
   // sockets that release ports on destruction) while the stack is alive.

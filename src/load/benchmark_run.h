@@ -15,8 +15,11 @@
 #include "src/fault/fault_plane.h"
 #include "src/kernel/cost_model.h"
 #include "src/kernel/kernel_stats.h"
+#include "src/load/attack_campaign.h"
 #include "src/load/workload.h"
+#include "src/net/filter_chain.h"
 #include "src/net/net_stack.h"
+#include "src/servers/defense.h"
 #include "src/servers/hybrid_server.h"
 #include "src/servers/phhttpd.h"
 #include "src/servers/thttpd_devpoll.h"
@@ -43,6 +46,17 @@ struct BenchmarkRunConfig {
   // defaults) leave the happy-path benches bit-identical to before.
   FaultSchedule faults;
   AbusiveWorkload abusive;
+  // Scripted ingress attacks; an empty schedule (the default) launches none.
+  AttackSchedule attack;
+  // Ingress filtering and defense. Installing static rules or enabling the
+  // adaptive defense implies a chain; filter_enabled alone attaches an empty
+  // chain (pure hook cost). All off (the defaults) leaves the ingress path
+  // untouched and every existing bench bit-identical.
+  bool filter_enabled = false;
+  std::vector<FilterRule> static_rules;
+  bool adaptive_defense = false;
+  DefenseConfig defense;
+  int filter_band_width = 1 << 16;
   int server_max_fds = 8192;
 
   // Size of the served document. The paper uses a 6 KB index.html (§5);
@@ -119,6 +133,12 @@ struct BenchmarkResult {
   // False when server setup itself failed (e.g. an open-EMFILE window active
   // at t=0); the run is skipped rather than crashed.
   bool setup_ok = true;
+
+  // Ingress attack & defense observability (all zero when unused).
+  AttackStats attack_stats;
+  FilterChainStats chain_stats;
+  DefenseStats defense_stats;
+  uint64_t syn_backlog_peak = 0;
 };
 
 BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config);

@@ -69,6 +69,13 @@ void HttperfGenerator::MaybeRetry(ConnRecord* record, ConnOutcome outcome) {
     delay *= 2;
   }
   delay = std::min(delay, workload_.retry_backoff_cap);
+  if (workload_.retry_jitter > 0.0) {
+    // Desynchronize the retry cohort. Guarded so jitter == 0 consumes no RNG
+    // draw and the un-jittered schedule stays byte-identical.
+    delay = static_cast<SimDuration>(
+        static_cast<double>(delay) *
+        rng_.UniformReal(1.0 - workload_.retry_jitter, 1.0 + workload_.retry_jitter));
+  }
   ++retries_;
   record->outcome = ConnOutcome::kPending;  // the request is live again
   net_->kernel()->sim().ScheduleAfter(delay, [this, record] { Launch(record); });

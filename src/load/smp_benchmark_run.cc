@@ -1,5 +1,6 @@
 #include "src/load/smp_benchmark_run.h"
 
+#include <algorithm>
 #include <memory>
 #include <sstream>
 
@@ -51,6 +52,10 @@ std::string BuildSignature(const SmpBenchmarkResult& r) {
   }
   // Same seed must spend every nanosecond in the same place on the same CPU,
   // not just reach the same totals.
+  out << r.attack_stats.syns_sent << '|' << r.chain_stats.connect_evals << '|'
+      << r.chain_stats.dropped << '|' << r.chain_stats.rate_limit_drops << '|'
+      << r.defense_stats.escalations << '|' << r.defense_stats.tier_peak << '|'
+      << r.syn_backlog_peak << '|';
   out << r.attribution.Signature() << '|' << r.busy_time << '|';
   for (SimDuration d : r.cpu_busy) {
     out << d << ',';
@@ -67,7 +72,20 @@ std::string BuildSignature(const SmpBenchmarkResult& r) {
 SmpBenchmarkResult RunSmpBenchmark(const SmpBenchmarkConfig& config) {
   Simulator sim;
   SimKernel kernel(&sim, config.cost);
+  FaultPlane fault_plane(&sim, config.faults);
+  kernel.set_fault_plane(&fault_plane);
   NetStack net(&kernel, config.net);
+  net.InstallFaultPlane(&fault_plane);
+  const bool filter_on = config.filter_enabled || !config.static_rules.empty() ||
+                         config.adaptive_defense;
+  std::unique_ptr<IngressFilterChain> chain;
+  if (filter_on) {
+    chain = std::make_unique<IngressFilterChain>(&kernel, config.filter_band_width);
+    net.set_filter(chain.get());
+    for (const FilterRule& rule : config.static_rules) {
+      chain->Append(rule);
+    }
+  }
   StaticContent content;
   content.AddDocument("/index.html", config.document_bytes);
 
@@ -93,14 +111,33 @@ SmpBenchmarkResult RunSmpBenchmark(const SmpBenchmarkConfig& config) {
   }
 
   const std::shared_ptr<SimListener>& listener = pool.head_listener();
+  // One defense spans the pool: every worker reports into it, every listener
+  // shard registers with it (for sharded mode each shard has its own SYN
+  // queue and cookie switch).
+  std::unique_ptr<AdaptiveDefense> defense;
+  if (config.adaptive_defense) {
+    defense = std::make_unique<AdaptiveDefense>(&kernel, chain.get(), config.defense);
+    std::vector<SimListener*> seen;
+    for (int i = 0; i < pool.workers(); ++i) {
+      auto shard = pool.sys(i).listener(pool.server(i).listener_fd());
+      if (std::find(seen.begin(), seen.end(), shard.get()) == seen.end()) {
+        seen.push_back(shard.get());
+        defense->AddListener(shard);
+      }
+      pool.server(i).set_defense(defense.get());
+    }
+  }
   InactivePool inactive(&net, listener, config.inactive);
   HttperfGenerator generator(&net, listener, config.active);
+  AttackCampaign attack(&net, listener, config.attack);
 
+  attack.Start();
   inactive.Start();
   generator.Start(config.warmup);
   const SimTime until = config.warmup + config.active.duration + config.drain;
   pool.Run(until);
   inactive.Shutdown();
+  attack.Shutdown();
   kernel.RequestStop();
 
   // --- reduction ---------------------------------------------------------------
@@ -161,6 +198,20 @@ SmpBenchmarkResult RunSmpBenchmark(const SmpBenchmarkConfig& config) {
       kernel.now() == 0 ? 0.0
                         : static_cast<double>(kernel.busy_time()) /
                               (static_cast<double>(kernel.now()) * config.cpus);
+
+  result.fault_stats = fault_plane.stats();
+  result.attack_stats = attack.stats();
+  if (chain != nullptr) {
+    result.chain_stats = chain->stats();
+  }
+  if (defense != nullptr) {
+    result.defense_stats = defense->stats();
+  }
+  for (int i = 0; i < pool.workers(); ++i) {
+    auto shard = pool.sys(i).listener(pool.server(i).listener_fd());
+    result.syn_backlog_peak =
+        std::max<uint64_t>(result.syn_backlog_peak, shard->syn_backlog_peak());
+  }
 
   result.signature = BuildSignature(result);
 

@@ -36,6 +36,16 @@ struct SmpBenchmarkConfig {
   InactiveWorkload inactive;
   size_t document_bytes = 6 * 1024;
 
+  // Torture knobs, mirroring BenchmarkRunConfig: empty schedules and all-off
+  // filtering (the defaults) leave existing SMP benches bit-identical.
+  FaultSchedule faults;
+  AttackSchedule attack;
+  bool filter_enabled = false;
+  std::vector<FilterRule> static_rules;
+  bool adaptive_defense = false;
+  DefenseConfig defense;
+  int filter_band_width = 1 << 16;
+
   SimDuration warmup = Seconds(2);
   SimDuration drain = Seconds(4);
   SimDuration sample_width = Seconds(1);
@@ -88,6 +98,14 @@ struct SmpBenchmarkResult {
   double cpu_utilization = 0;
 
   bool setup_ok = true;
+
+  // Ingress attack & defense observability (all zero when unused).
+  FaultStats fault_stats;
+  AttackStats attack_stats;
+  FilterChainStats chain_stats;
+  DefenseStats defense_stats;
+  uint64_t syn_backlog_peak = 0;  // worst shard
+
   // Everything that must be bit-identical across two runs of the same seed.
   std::string signature;
 };

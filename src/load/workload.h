@@ -32,6 +32,13 @@ struct ActiveWorkload {
   int max_retries = 0;
   SimDuration retry_backoff = Millis(50);      // first retry delay
   SimDuration retry_backoff_cap = Millis(800); // delay never exceeds this
+  // Seeded multiplicative jitter on each retry delay: the delay is scaled by
+  // a uniform draw from [1 - retry_jitter, 1 + retry_jitter]. Real clients
+  // jitter their backoff so a refused cohort doesn't retry in lockstep and
+  // re-overload the server on a synchronized beat. 0 (the default) draws
+  // nothing from the RNG, so un-jittered runs are byte-identical to builds
+  // that predate the knob.
+  double retry_jitter = 0.0;
 };
 
 // Pathological-client load: clients that consume server resources while

@@ -1,6 +1,9 @@
 #include "src/net/listener.h"
 
+#include <algorithm>
+
 #include "src/kernel/sim_kernel.h"
+#include "src/net/filter_chain.h"
 #include "src/net/net_stack.h"
 
 namespace scio {
@@ -8,13 +11,44 @@ namespace scio {
 void SimListener::OnFdClose() {
   closed_ = true;
   backlog_.clear();  // pending clients will time out, as on a real host
+  half_open_.clear();
 }
 
-void SimListener::HandleSyn(const std::shared_ptr<SimSocket>& client) {
+void SimListener::ReapHalfOpen() {
+  const SimTime now = kernel()->now();
+  size_t reaped = 0;
+  while (!half_open_.empty() && half_open_.front().expires <= now) {
+    half_open_.pop_front();
+    ++reaped;
+  }
+  if (reaped > 0) {
+    kernel()->stats().net_half_open_reaped += reaped;
+    // Timer-context teardown of the stale connection-request blocks.
+    kernel()->ChargeDebt(
+        kernel()->cost().synq_reap_per_entry * static_cast<SimDuration>(reaped),
+        ChargeCat::kConnMgmt);
+  }
+}
+
+bool SimListener::IngressSynAllowed(int src_port) {
   // SYN processing happens in interrupt context on the server.
   ++kernel()->stats().packets_delivered;
   ++kernel()->stats().interrupts;
   kernel()->ChargeDebt(kernel()->cost().interrupt_per_packet, ChargeCat::kInterrupt);
+  ReapHalfOpen();
+  IngressFilterChain* filter = net_->filter();
+  if (filter != nullptr &&
+      filter->EvalConnect(src_port) == FilterVerdict::kDrop) {
+    // iptables-style DROP: no RST, the sender just never hears back.
+    return false;
+  }
+  return true;
+}
+
+void SimListener::HandleSyn(const std::shared_ptr<SimSocket>& client) {
+  if (!IngressSynAllowed(client->port())) {
+    return;
+  }
 
   if (closed_ || backlog_.size() >= static_cast<size_t>(backlog_max_)) {
     ++kernel()->stats().connections_refused;
@@ -23,7 +57,22 @@ void SimListener::HandleSyn(const std::shared_ptr<SimSocket>& client) {
     return;
   }
 
+  // A benign client ACKs within one RTT — instantly here — so it holds a
+  // half-open slot for zero time. But when the queue is already saturated by
+  // never-ACKed SYNs, this SYN has nowhere to wait: Linux silently drops it
+  // (the client times out and retries) unless syncookies take over, encoding
+  // the connection state into the sequence number at per-SYN CPU cost.
+  if (half_open_.size() >= static_cast<size_t>(syn_config_.max_half_open)) {
+    if (!syn_config_.syncookies) {
+      ++kernel()->stats().net_syn_backlog_overflows;
+      return;
+    }
+    ++kernel()->stats().net_syncookies_sent;
+    kernel()->ChargeDebt(kernel()->cost().syncookie_cost, ChargeCat::kSynCookie);
+  }
+
   auto server = std::make_shared<SimSocket>(kernel(), net_, /*server_side=*/true);
+  server->set_remote_port(client->port());
   server->WirePeer(client);
   client->WirePeer(server);
   backlog_.push_back(server);
@@ -38,6 +87,29 @@ void SimListener::HandleSyn(const std::shared_ptr<SimSocket>& client) {
 
   net_->LinkFor(/*toward_server=*/false)
       .Transmit(net_->config().control_packet_bytes, [client] { client->HandleConnected(); });
+}
+
+void SimListener::HandleRawSyn(int src_port) {
+  ++kernel()->stats().net_raw_syns;
+  if (!IngressSynAllowed(src_port)) {
+    return;
+  }
+  if (closed_) {
+    return;
+  }
+  if (syn_config_.syncookies) {
+    // Stateless SYN-ACK into the void: CPU is spent, no state is held, and
+    // the ACK that would complete the cookie handshake never arrives.
+    ++kernel()->stats().net_syncookies_sent;
+    kernel()->ChargeDebt(kernel()->cost().syncookie_cost, ChargeCat::kSynCookie);
+    return;
+  }
+  if (half_open_.size() >= static_cast<size_t>(syn_config_.max_half_open)) {
+    ++kernel()->stats().net_syn_backlog_overflows;
+    return;
+  }
+  half_open_.push_back({src_port, kernel()->now() + syn_config_.syn_timeout});
+  syn_backlog_peak_ = std::max(syn_backlog_peak_, half_open_.size());
 }
 
 std::shared_ptr<SimSocket> SimListener::Accept() {

@@ -23,4 +23,14 @@ std::shared_ptr<SimSocket> NetStack::Connect(const std::shared_ptr<SimListener>&
   return client;
 }
 
+void NetStack::RawSyn(const std::shared_ptr<SimListener>& listener, int src_port) {
+  // Spoofed SYNs ride the same flow hash as real ones: a sharded group sees
+  // the flood spread across its members exactly as SO_REUSEPORT would.
+  const std::shared_ptr<SimListener>& target =
+      listener->reuseport_group() != nullptr ? listener->reuseport_group()->Route(src_port)
+                                             : listener;
+  to_server_.Transmit(config_.control_packet_bytes,
+                      [target, src_port] { target->HandleRawSyn(src_port); });
+}
+
 }  // namespace scio

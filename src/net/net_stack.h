@@ -15,6 +15,7 @@
 
 namespace scio {
 
+class IngressFilterChain;
 class SimListener;
 class SimSocket;
 
@@ -49,6 +50,12 @@ class NetStack {
     to_client_.InstallFaultPlane(plane, /*toward_server=*/false);
   }
 
+  // Attach the server's ingress filter chain (borrowed; null to detach).
+  // SimListener and server-side SimSockets consult it on SYN and data-packet
+  // arrival; with no chain attached the ingress path is unchanged.
+  void set_filter(IngressFilterChain* filter) { filter_ = filter; }
+  IngressFilterChain* filter() const { return filter_; }
+
   // Direction selector: traffic *from* the client flows toward the server.
   Link& LinkFor(bool toward_server) { return toward_server ? to_server_ : to_client_; }
   Link& to_server() { return to_server_; }
@@ -59,12 +66,19 @@ class NetStack {
   // exhausted — the client-resource error the paper works around in §5.
   std::shared_ptr<SimSocket> Connect(const std::shared_ptr<SimListener>& listener);
 
+  // Spoofed SYN: a 40-byte control packet from `src_port` (any int — spoofed
+  // sources are not drawn from the ephemeral allocator) that will never be
+  // ACKed. Consumes link bandwidth and server interrupt/SYN-queue resources;
+  // no client-side socket exists. The campaign's SYN floods are made of these.
+  void RawSyn(const std::shared_ptr<SimListener>& listener, int src_port);
+
  private:
   SimKernel* kernel_;
   NetConfig config_;
   Link to_server_;
   Link to_client_;
   PortAllocator ports_;
+  IngressFilterChain* filter_ = nullptr;
 };
 
 }  // namespace scio

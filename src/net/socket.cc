@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/kernel/sim_kernel.h"
+#include "src/net/filter_chain.h"
 #include "src/net/net_stack.h"
 
 namespace scio {
@@ -79,17 +80,28 @@ void SimSocket::DeliverChunk(Chunk chunk) {
   if (state_ == State::kClosed || state_ == State::kRefused) {
     return;  // arrived after close; the real stack would RST
   }
-  const size_t n = chunk.size();
-  recv_available_ += n;
-  recv_queue_.push_back(std::move(chunk));
   if (server_side_) {
     ++kernel()->stats().packets_delivered;
     ++kernel()->stats().interrupts;
     kernel()->ChargeDebt(kernel()->cost().interrupt_per_packet, ChargeCat::kInterrupt);
+    // Packet-hook ingress filter: runs after the interrupt is taken (the
+    // packet already cost its interrupt) but before any socket state changes.
+    // A DROP discards the bytes in interrupt context; the sender's in-flight
+    // accounting already ran at transmit completion, so nothing else moves.
+    IngressFilterChain* filter = net_->filter();
+    if (filter != nullptr &&
+        filter->EvalPacket(remote_port_) == FilterVerdict::kDrop) {
+      return;
+    }
   }
+  const size_t n = chunk.size();
+  recv_available_ += n;
+  recv_queue_.push_back(std::move(chunk));
   NotifyStatus(kPollIn);
-  if (on_data) {
-    on_data(n);
+  // Copy before invoking: the callback may Close() and drop the last strong
+  // reference to this socket, destroying the member std::function mid-call.
+  if (auto cb = on_data) {
+    cb(n);
   }
 }
 
@@ -107,8 +119,8 @@ void SimSocket::DeliverEof() {
     kernel()->ChargeDebt(kernel()->cost().interrupt_per_packet, ChargeCat::kInterrupt);
   }
   NotifyStatus(kPollIn | kPollHup);
-  if (on_eof) {
-    on_eof();
+  if (auto cb = on_eof) {
+    cb();
   }
 }
 
@@ -139,8 +151,8 @@ ReadResult SimSocket::Read(size_t max_bytes) {
 void SimSocket::HandleConnected() {
   if (state_ == State::kConnecting) {
     state_ = State::kEstablished;
-    if (on_connected) {
-      on_connected();
+    if (auto cb = on_connected) {
+      cb();
     }
   }
 }
@@ -155,8 +167,8 @@ void SimSocket::HandleRefused() {
     net_->ports().ReleaseImmediate(port_);
     port_released_ = true;
   }
-  if (on_refused) {
-    on_refused();
+  if (auto cb = on_refused) {
+    cb();
   }
 }
 

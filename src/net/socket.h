@@ -80,6 +80,9 @@ class SimSocket : public File, public std::enable_shared_from_this<SimSocket> {
   State state() const { return state_; }
   bool server_side() const { return server_side_; }
   int port() const { return port_; }
+  // Peer's ephemeral port, recorded on the server side at SYN time so the
+  // ingress filter can classify data packets by source after accept().
+  int remote_port() const { return remote_port_; }
 
   // Application-level close for client-side sockets (server side closes via
   // fd table close -> OnFdClose).
@@ -95,6 +98,7 @@ class SimSocket : public File, public std::enable_shared_from_this<SimSocket> {
   void WirePeer(std::shared_ptr<SimSocket> peer) { peer_ = std::move(peer); }
   void set_state(State s) { state_ = s; }
   void set_port(int port) { port_ = port; }
+  void set_remote_port(int port) { remote_port_ = port; }
   std::shared_ptr<SimSocket> peer() const { return peer_.lock(); }
 
   // Remote-initiated events, scheduled by the peer through the link.
@@ -115,6 +119,7 @@ class SimSocket : public File, public std::enable_shared_from_this<SimSocket> {
   bool server_side_;
   State state_;
   int port_ = -1;
+  int remote_port_ = -1;
   std::weak_ptr<SimSocket> peer_;
 
   std::deque<Chunk> recv_queue_;

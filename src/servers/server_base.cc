@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/http/http_message.h"
+#include "src/servers/defense.h"
 
 namespace scio {
 
@@ -14,6 +15,7 @@ int HttpServerBase::Setup() {
   if (listener_fd_ < 0) {
     return listener_fd_;  // EMFILE: the caller decides whether to retry
   }
+  sys_->listener(listener_fd_)->ConfigureSynBacklog(config_.syn_backlog);
   next_sweep_ = kernel().now() + config_.timer_sweep_interval;
   return listener_fd_;
 }
@@ -67,6 +69,7 @@ int HttpServerBase::DrainAccepts() {
     kernel().Charge(kernel().cost().server_conn_setup, ChargeCat::kConnMgmt);
     Conn& conn = conns_[fd];
     conn.last_activity = kernel().now();
+    conn.opened_at = kernel().now();
     ++stats_.connections_accepted;
     ++accepted;
     OnConnOpened(fd);
@@ -242,6 +245,26 @@ int HttpServerBase::PressureReap() {
   return ReapIdle(config_.pressure_idle_timeout, /*pressure=*/true);
 }
 
+int HttpServerBase::DeadlineReap(SimDuration deadline) {
+  const SimTime now = kernel().now();
+  kernel().Charge(kernel().cost().server_timer_sweep_per_conn *
+                      static_cast<SimDuration>(conns_.size()),
+                  ChargeCat::kTimerSweep);
+  std::vector<int> expired;
+  for (const auto& [fd, conn] : conns_) {
+    // Only connections still fishing for a request: a conn that reached the
+    // write phase proved itself; cutting it off mid-response helps nobody.
+    if (conn.phase == Phase::kReading && now - conn.opened_at > deadline) {
+      expired.push_back(fd);
+    }
+  }
+  for (int fd : expired) {
+    ++stats_.deadline_reaps;
+    CloseConn(fd);
+  }
+  return static_cast<int>(expired.size());
+}
+
 void HttpServerBase::MaybeSweep() {
   if (kernel().now() < next_sweep_) {
     return;
@@ -251,6 +274,19 @@ void HttpServerBase::MaybeSweep() {
   // accepting can resume without waiting for EMFILE to force the issue.
   if (UnderFdPressure()) {
     PressureReap();
+  }
+  if (defense_ != nullptr) {
+    const double capacity = static_cast<double>(sys_->proc().fds().max_fds());
+    const double fd_frac =
+        capacity > 0
+            ? static_cast<double>(sys_->proc().fds().open_count()) / capacity
+            : 0.0;
+    defense_->Tick(fd_frac);
+    if (defense_->tier() >= 1) {
+      // Slowloris countermeasure: idle reaps never fire on a dripping
+      // connection, but age since accept is immune to the drip.
+      DeadlineReap(defense_->config().request_deadline);
+    }
   }
   if (accept_stalled_) {
     // Connections stranded in the backlog by an earlier failed accept raise

@@ -15,12 +15,19 @@
 #include "src/core/sys.h"
 #include "src/http/request_parser.h"
 #include "src/http/static_content.h"
+#include "src/net/listener.h"
 
 namespace scio {
+
+class AdaptiveDefense;
 
 struct ServerConfig {
   int listen_backlog = 128;
   size_t read_chunk = 4096;
+  // Half-open (SYN) queue sizing for the listener this server creates via
+  // Setup(). Shared listeners installed with AdoptListener keep whatever
+  // their creator configured.
+  SynBacklogConfig syn_backlog;
   // thttpd's default idle timeouts are in the minutes; inactive connections
   // are expected to survive (their clients trickle bytes to stay alive).
   SimDuration idle_timeout = Seconds(60);
@@ -52,6 +59,7 @@ struct ServerStats {
   uint64_t write_errors = 0;         // EPIPE/EBADF on response writes
   uint64_t devpoll_write_retries = 0;  // interest batches requeued on ENOMEM
   uint64_t accept_retries = 0;       // sweep-driven re-probes of a stalled backlog
+  uint64_t deadline_reaps = 0;       // conns reaped for outliving the request deadline
 };
 
 class HttpServerBase {
@@ -79,6 +87,11 @@ class HttpServerBase {
 
   int listener_fd() const { return listener_fd_; }
   const ServerStats& stats() const { return stats_; }
+
+  // Attach the shared graceful-degradation controller (borrowed; may be
+  // null). The timer sweep reports fd pressure to it and, while it is
+  // engaged, reaps connections that outlive its request deadline.
+  void set_defense(AdaptiveDefense* defense) { defense_ = defense; }
   size_t open_connections() const { return conns_.size(); }
   const std::string& name() const { return name_; }
 
@@ -93,6 +106,9 @@ class HttpServerBase {
     RequestParser parser;
     Chunk pending_write;
     SimTime last_activity = 0;
+    // Accept time. An idle timer tracks *activity*, which a slowloris drip
+    // refreshes forever; age since accept is the one clock it cannot touch.
+    SimTime opened_at = 0;
   };
 
   // --- hooks for the event-acquisition subclasses -----------------------------
@@ -124,6 +140,8 @@ class HttpServerBase {
   bool UnderFdPressure();
   // Shed idle connections using the aggressive pressure timeout.
   int PressureReap();
+  // Close connections still reading their request `deadline` after accept.
+  int DeadlineReap(SimDuration deadline);
 
   bool HasConn(int fd) const { return conns_.find(fd) != conns_.end(); }
 
@@ -140,6 +158,7 @@ class HttpServerBase {
   // hash-bucket order (sciolint D2). Seeded runs stay bit-identical.
   std::map<int, Conn> conns_;
   ServerStats stats_;
+  AdaptiveDefense* defense_ = nullptr;
   SimTime next_sweep_ = 0;
   bool fd_pressure_ = false;
   // True when DrainAccepts bailed out (EMFILE or fd pressure) with the

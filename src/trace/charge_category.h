@@ -43,6 +43,10 @@ namespace scio {
   X(kOverflowHandoff, overflow_handoff) /* phhttpd conn handoff to sibling */  \
   /* --- interrupt / network -----------------------------------------------*/ \
   X(kInterrupt, interrupt) /* per-packet interrupt processing (debt) */        \
+  /* --- ingress defense ---------------------------------------------------*/ \
+  X(kFilterMatch, filter_match) /* rule-chain traversal per SYN/packet */      \
+  X(kFilterDrop, filter_drop)   /* verdict execution on DROP/RATE_LIMIT */     \
+  X(kSynCookie, syn_cookie)     /* stateless SYN-ACK when the SYN queue is full */ \
   /* --- application-level work --------------------------------------------*/ \
   X(kHttpParse, http_parse)         /* request parsing */                      \
   X(kHttpRespond, http_respond)     /* response construction */               \

@@ -168,6 +168,35 @@ TEST_F(FaultWorldTest, EintrInjectionSurfacesFromPoll) {
   EXPECT_GT(plane.stats().eintr_injected, 0u);
 }
 
+// Window boundaries meeting a wait deadline exactly. Injection is consulted
+// at wake time (after the blocking wait returns), so a poll whose deadline
+// lands precisely on the window's open instant is interrupted, while one
+// whose deadline lands precisely on the close instant times out cleanly —
+// the [start, end) contract observed from inside a sleeping syscall.
+TEST_F(FaultWorldTest, EintrWindowOpeningExactlyAtPollDeadlineInterrupts) {
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kEintr, Millis(10), Millis(20), 1.0, 0, LinkDir::kBoth});
+  FaultPlane plane(&sim_, schedule);
+  kernel_.set_fault_plane(&plane);
+  PollFd pfd{listen_fd_, kPollIn, 0};
+  // Sleeps from ~0 and wakes at its deadline, t = 10ms — the first instant
+  // the window is active.
+  EXPECT_EQ(sys_.Poll({&pfd, 1}, 10), kErrIntr);
+  EXPECT_EQ(plane.stats().eintr_injected, 1u);
+}
+
+TEST_F(FaultWorldTest, EintrWindowClosingExactlyAtPollDeadlineTimesOut) {
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kEintr, 0, Millis(10), 1.0, 0, LinkDir::kBoth});
+  FaultPlane plane(&sim_, schedule);
+  kernel_.set_fault_plane(&plane);
+  PollFd pfd{listen_fd_, kPollIn, 0};
+  // The entire sleep lies inside the window, but the wake happens at t = 10ms
+  // — the first instant it is NOT active (end exclusive) — so no EINTR.
+  EXPECT_EQ(sys_.Poll({&pfd, 1}, 10), 0);
+  EXPECT_EQ(plane.stats().eintr_injected, 0u);
+}
+
 TEST_F(FaultWorldTest, AcceptEmfileLeavesConnectionRetryable) {
   FaultSchedule schedule;
   schedule.Add({FaultKind::kAcceptEmfile, 0, Millis(10), 1.0, 0, LinkDir::kBoth});

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <string>
 
+#include "src/load/abusive_clients.h"
 #include "src/load/benchmark_run.h"
 #include "src/load/httperf.h"
 #include "src/load/inactive_pool.h"
@@ -106,6 +107,32 @@ TEST_F(LoadTest, InactivePoolReachesTargetPopulation) {
   EXPECT_EQ(pool.connected_now(), 0);
 }
 
+// Regression: a slowloris member whose connection the server reaps while the
+// fleet is mid-teardown must still release its client port. The churn loop
+// (accept + immediate close, the pressure-reap pattern) used to race the
+// fleet's reconnect callbacks and leak ports into in_use_ forever.
+TEST_F(LoadTest, SlowlorisTeardownReleasesPortsUnderPressure) {
+  AbusiveWorkload abusive;
+  abusive.slowloris_connections = 8;
+  abusive.slowloris_write_interval = Millis(50);
+  abusive.slowloris_reconnect_delay = Millis(50);
+  AbusiveFleet fleet(&net_, listener_, abusive);
+  fleet.Start(0, Millis(800));
+  // Server under fd pressure: reap (close) every connection the moment it is
+  // accepted, forcing each member through its reconnect path over and over.
+  for (int step = 0; step < 100; ++step) {
+    RunFor(Millis(10));
+    int fd;
+    while ((fd = sys_.Accept(listen_fd_)) >= 0) {
+      EXPECT_EQ(sys_.Close(fd), 0);
+    }
+  }
+  fleet.Shutdown();
+  sim_.RunAll();
+  EXPECT_GT(fleet.slowloris_reconnects(), 0u) << "the churn actually happened";
+  EXPECT_EQ(net_.ports().in_use(), 0) << "every reaped member gave its port back";
+}
+
 // --- full harness ------------------------------------------------------------------
 
 TEST(BenchmarkRunTest, SmallRunProducesSaneNumbers) {
@@ -172,6 +199,47 @@ INSTANTIATE_TEST_SUITE_P(AllServers, DeterminismTest,
                          ::testing::Values(ServerKind::kThttpdPoll,
                                            ServerKind::kThttpdDevPoll,
                                            ServerKind::kPhhttpd, ServerKind::kHybrid));
+
+// Retry backoff jitter: a config that forces refusals (accept-EMFILE window
+// fills the backlog, later SYNs bounce) so clients actually walk the
+// backoff path.
+BenchmarkRunConfig RetryStormConfig() {
+  BenchmarkRunConfig config;
+  config.server = ServerKind::kThttpdDevPoll;
+  config.active.request_rate = 600;
+  config.active.duration = Seconds(2);
+  config.active.max_retries = 3;
+  config.inactive.connections = 0;
+  config.warmup = Millis(500);
+  config.drain = Seconds(1);
+  config.faults.Add({FaultKind::kAcceptEmfile, Millis(700), Millis(1700), 1.0, 0,
+                     LinkDir::kBoth});
+  return config;
+}
+
+TEST(BenchmarkRunTest, RetryJitterDrawsNothingWhenZero) {
+  // jitter = 0 (the default) must not consume RNG draws: two runs are
+  // byte-identical, the contract that keeps every pre-jitter baseline stable.
+  const BenchmarkRunConfig config = RetryStormConfig();
+  const BenchmarkResult a = RunBenchmark(config);
+  const BenchmarkResult b = RunBenchmark(config);
+  EXPECT_GT(a.client_retries, 0u) << "the storm must actually cause retries";
+  EXPECT_EQ(a.client_retries, b.client_retries);
+  EXPECT_EQ(MetricsSignature(a), MetricsSignature(b));
+}
+
+TEST(BenchmarkRunTest, RetryJitterIsSeededAndDeterministic) {
+  BenchmarkRunConfig config = RetryStormConfig();
+  config.active.retry_jitter = 0.5;
+  const BenchmarkResult a = RunBenchmark(config);
+  const BenchmarkResult b = RunBenchmark(config);
+  EXPECT_GT(a.client_retries, 0u);
+  EXPECT_EQ(a.client_retries, b.client_retries);
+  EXPECT_EQ(MetricsSignature(a), MetricsSignature(b));
+  // And the knob is live: a jittered timeline differs from the unjittered one.
+  const BenchmarkResult plain = RunBenchmark(RetryStormConfig());
+  EXPECT_NE(MetricsSignature(a), MetricsSignature(plain));
+}
 
 TEST(BenchmarkRunTest, DevPollBeatsStockPollUnderInactiveLoad) {
   // The paper's headline claim, as an executable assertion: with hundreds of

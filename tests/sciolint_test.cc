@@ -302,6 +302,40 @@ TEST(SciolintC1, AnnotationSuppressesUntaggedCharge) {
   EXPECT_EQ(CountRule(findings, "C1", /*include_suppressed=*/true), 1);
 }
 
+TEST(SciolintC1, ReferenceOutsideChargeCallDoesNotCoverOrphan) {
+  // A category that only appears in a ledger lookup (or a comparison, or a
+  // report row) is never actually charged: it must still be an orphan.
+  Analysis analysis;
+  analysis.AddFile("src/trace/charge_category.h", R"(
+#define SCIO_CHARGE_CATEGORIES(X) \
+  X(kOnlyLookedUp, only_looked_up)
+  )");
+  analysis.AddFile("src/core/engine.cc", R"(
+    SimDuration Spent(const Kernel& kernel) {
+      return kernel.attribution()[ChargeCat::kOnlyLookedUp];
+    }
+  )");
+  const auto findings = analysis.Run();
+  ASSERT_EQ(CountRule(findings, "C1"), 1);
+  EXPECT_NE(FindRule(findings, "C1")->message.find("kOnlyLookedUp"),
+            std::string::npos);
+}
+
+TEST(SciolintC1, ReferenceInsideChargeCallCoversOrphan) {
+  Analysis analysis;
+  analysis.AddFile("src/trace/charge_category.h", R"(
+#define SCIO_CHARGE_CATEGORIES(X) \
+  X(kDebtCharged, debt_charged)
+  )");
+  analysis.AddFile("src/core/engine.cc", R"(
+    void Tick(Kernel& kernel) {
+      kernel.ChargeDebt(kernel.cost().interrupt_per_packet * n,
+                        ChargeCat::kDebtCharged);
+    }
+  )");
+  EXPECT_EQ(CountRule(analysis.Run(), "C1"), 0);
+}
+
 TEST(SciolintC1, FlagsUntaggedChargeLocal) {
   // ChargeLocal is the SMP scheduler's plain-call charge helper: no member
   // access, but the category requirement is the same.

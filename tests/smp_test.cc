@@ -230,6 +230,29 @@ TEST(SmpDeterminism, ShardedDoubleRunIsBitIdentical) {
   EXPECT_EQ(first.signature, second.signature);
 }
 
+TEST(SmpDeterminism, ShardedRoutingStableAcrossLinkFlap) {
+  // A mid-run link flap holds SYNs in flight and releases them in a burst
+  // when the window closes. Shard routing hashes only the source port, so the
+  // burst must land on the same shards it would have without the outage —
+  // bit-identical across runs, and every shard still takes accepts.
+  SmpBenchmarkConfig config =
+      QuickConfig(ServerKind::kThttpdDevPoll, ListenerMode::kSharded, 4, 4);
+  config.faults.Add({FaultKind::kLinkFlap, Millis(800), Millis(950), 1.0, 0,
+                     LinkDir::kToServer});
+  const SmpBenchmarkResult first = RunSmpBenchmark(config);
+  const SmpBenchmarkResult second = RunSmpBenchmark(config);
+  ASSERT_TRUE(first.setup_ok);
+  EXPECT_GT(first.fault_stats.packets_flap_held, 0u) << "the flap actually bit";
+  EXPECT_EQ(first.signature, second.signature);
+  int workers_with_accepts = 0;
+  for (const ServerStats& s : first.worker_stats) {
+    if (s.connections_accepted > 0) {
+      ++workers_with_accepts;
+    }
+  }
+  EXPECT_GE(workers_with_accepts, 3) << "the flap did not wedge any shard";
+}
+
 // --- per-worker descriptor isolation (satellite: worker fd budgets) -----------
 
 // A file that occupies an fd slot and nothing more.

@@ -265,10 +265,21 @@ void Analysis::CollectIndex(const LexedFile& file) {
       continue;
     }
 
-    // ChargeCat::k* references (outside the taxonomy header).
-    if (tok.text == "ChargeCat" && base != "charge_category.h" && i + 2 < t.size() &&
-        IsPunct(t[i + 1], "::") && t[i + 2].kind == Tok::kIdent) {
-      charge_cat_refs_.insert(t[i + 2].text);
+    // ChargeCat::k* references inside a charge call's argument list. Only
+    // these count toward C1 orphan coverage: a category that is merely
+    // compared, looked up in the ledger, or printed in a report row is not
+    // charged anywhere, and the orphan check must keep flagging it.
+    if ((tok.text == "Charge" || tok.text == "ChargeDebt" ||
+         tok.text == "ChargeLocal" || tok.text == "AccountSmp" ||
+         tok.text == "Attribute") &&
+        i + 1 < t.size() && IsPunct(t[i + 1], "(")) {
+      const size_t close = SkipBalanced(t, i + 1, "(", ")");
+      for (size_t j = i + 2; j + 2 < close; ++j) {
+        if (IsIdent(t[j], "ChargeCat") && IsPunct(t[j + 1], "::") &&
+            t[j + 2].kind == Tok::kIdent) {
+          charge_cat_refs_.insert(t[j + 2].text);
+        }
+      }
       continue;
     }
   }

@@ -3,7 +3,8 @@
 // The analyzer runs two passes over every file handed to it. Pass 1 builds a
 // cross-file index (members declared with unordered containers, methods
 // marked [[nodiscard]] and the classes declaring them, the ChargeCat and
-// KernelStats X-macro taxonomies, every ChargeCat reference). Pass 2 walks
+// KernelStats X-macro taxonomies, every ChargeCat named inside a charge
+// call's argument list). Pass 2 walks
 // each token stream and reports findings:
 //
 //   D1  nondeterminism source in src/ (std::rand, random_device, wall
@@ -84,7 +85,10 @@ class Analysis {
   std::map<std::string, std::set<std::string>> nodiscard_methods_;
   // Charge categories: enumerator -> (path, line) of declaration.
   std::map<std::string, std::pair<std::string, int>> charge_cats_;
-  // ChargeCat::k* enumerators referenced anywhere outside the taxonomy.
+  // ChargeCat::k* enumerators named inside the argument list of a charge
+  // call (Charge/ChargeDebt/ChargeLocal/AccountSmp/Attribute). References
+  // outside charge sites (ledger lookups, comparisons, report rows) do not
+  // count: C1's orphan check asks "is this category ever charged?".
   std::set<std::string> charge_cat_refs_;
   // KernelStats counters: (field, row_name, path, line).
   struct StatField {
