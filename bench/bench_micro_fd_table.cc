@@ -1,0 +1,102 @@
+// MICRO-3: google-benchmark microbenchmarks of the paged descriptor table —
+// allocate/close churn, Get hit cost, and open-set iteration versus table
+// population. These are the host-side constants the million-connection plane
+// depends on; JSON output via the standard --benchmark_format=json flag.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/kernel/fd_table.h"
+#include "src/kernel/file.h"
+#include "src/kernel/sim_kernel.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+class InertFile : public scio::File {
+ public:
+  explicit InertFile(scio::SimKernel* kernel) : File(kernel) {}
+  scio::PollEvents PollMask() const override { return 0; }
+};
+
+struct World {
+  scio::Simulator sim;
+  scio::SimKernel kernel{&sim};
+};
+
+// Allocate-then-close churn at a steady population: the accept/teardown hot
+// path. One iteration = one allocate + one close at the low end of the table.
+void BM_AllocateCloseChurn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  World w;
+  scio::FdTable table(n + 8);
+  auto file = std::make_shared<InertFile>(&w.kernel);
+  for (int i = 0; i < n; ++i) {
+    table.Allocate(file);
+  }
+  for (auto _ : state) {
+    const int fd = table.Allocate(file);
+    benchmark::DoNotOptimize(fd);
+    table.Close(fd);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AllocateCloseChurn)->Arg(64)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+// Get() hit on an open descriptor: page lookup + bitmap test + shared_ptr
+// copy. Walks the table so every page gets touched.
+void BM_GetHit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  World w;
+  scio::FdTable table(n);
+  auto file = std::make_shared<InertFile>(&w.kernel);
+  for (int i = 0; i < n; ++i) {
+    table.Allocate(file);
+  }
+  int fd = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Get(fd));
+    fd = (fd + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GetHit)->Arg(64)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+// Allocation-free iteration over the open set. `sparse` leaves every 8th
+// descriptor open in a table sized 8x the population, so the bitmap skip
+// (rather than per-slot scan) is what is being measured.
+void BM_OpenSetIteration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool sparse = state.range(1) != 0;
+  World w;
+  scio::FdTable table(sparse ? n * 8 : n);
+  auto file = std::make_shared<InertFile>(&w.kernel);
+  for (int i = 0; i < (sparse ? n * 8 : n); ++i) {
+    table.Allocate(file);
+  }
+  if (sparse) {
+    for (int i = 0; i < n * 8; ++i) {
+      if (i % 8 != 0) {
+        table.Close(i);
+      }
+    }
+  }
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    table.ForEachOpenFd(
+        [&sum](int fd, const std::shared_ptr<scio::File>&) { sum += static_cast<uint64_t>(fd); });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_OpenSetIteration)
+    ->Args({4096, 0})
+    ->Args({4096, 1})
+    ->Args({65536, 0})
+    ->Args({65536, 1})
+    ->Args({1 << 20, 0});
+
+}  // namespace
+
+BENCHMARK_MAIN();

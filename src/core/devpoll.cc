@@ -8,7 +8,9 @@
 namespace scio {
 
 DevPollDevice::DevPollDevice(SimKernel* kernel, Process* owner, DevPollOptions options)
-    : File(kernel), owner_(owner), options_(options) {}
+    : File(kernel), owner_(owner), options_(options) {
+  table_.set_mem_ledger(&kernel->mem());
+}
 
 DevPollDevice::~DevPollDevice() = default;
 

@@ -36,6 +36,9 @@ InterestHashTable::Node* InterestHashTable::TakeNode() {
     return node;
   }
   slab_.push_back(std::make_unique<Node>());
+  if (mem_ != nullptr) {
+    mem_->Add(MemSys::kInterests, sizeof(Node));
+  }
   return slab_.back().get();
 }
 
@@ -88,6 +91,9 @@ void InterestHashTable::MaybeGrow() {
   std::vector<Node*> old = std::move(buckets_);
   buckets_.assign(old.size() * 2, nullptr);
   ++resize_count_;
+  if (mem_ != nullptr) {
+    mem_->Add(MemSys::kInterests, old.size() * sizeof(Node*));
+  }
   // Rehash by walking old buckets in order and appending to new tails: the
   // relative order of entries sharing a new bucket is preserved, keeping the
   // post-resize scan order identical to the by-value implementation.

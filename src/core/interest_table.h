@@ -22,11 +22,13 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/core/backmap.h"
 #include "src/kernel/file.h"
 #include "src/kernel/poll_types.h"
+#include "src/trace/mem_ledger.h"
 
 namespace scio {
 
@@ -53,8 +55,33 @@ class InterestHashTable {
  public:
   explicit InterestHashTable(size_t initial_buckets = 8);
 
-  InterestHashTable(InterestHashTable&&) = default;
-  InterestHashTable& operator=(InterestHashTable&&) = default;
+  ~InterestHashTable() {
+    if (mem_ != nullptr) {
+      mem_->Sub(MemSys::kInterests, tracked_bytes());
+    }
+  }
+
+  InterestHashTable(InterestHashTable&& other) noexcept { *this = std::move(other); }
+  InterestHashTable& operator=(InterestHashTable&& other) noexcept {
+    if (this == &other) {
+      return *this;
+    }
+    if (mem_ != nullptr) {
+      mem_->Sub(MemSys::kInterests, tracked_bytes());
+    }
+    buckets_ = std::move(other.buckets_);
+    slab_ = std::move(other.slab_);
+    free_ = other.free_;
+    size_ = other.size_;
+    resize_count_ = other.resize_count_;
+    mem_ = other.mem_;  // the moved-to table inherits the registered bytes
+    other.buckets_.clear();
+    other.slab_.clear();
+    other.free_ = nullptr;
+    other.size_ = 0;
+    other.mem_ = nullptr;
+    return *this;
+  }
 
   // Returns the interest for fd, or nullptr. The pointer stays valid across
   // later inserts (see header comment) until Erase(fd).
@@ -71,6 +98,23 @@ class InterestHashTable {
   size_t size() const { return size_; }
   size_t bucket_count() const { return buckets_.size(); }
   uint64_t resize_count() const { return resize_count_; }
+
+  // Bytes of node slab + bucket array — what the MemSys::kInterests ledger
+  // row reports for this table.
+  size_t tracked_bytes() const {
+    return slab_.size() * sizeof(Node) + buckets_.size() * sizeof(Node*);
+  }
+
+  // Account this table's storage in the kernel byte ledger.
+  void set_mem_ledger(MemLedger* ledger) {
+    if (mem_ != nullptr) {
+      mem_->Sub(MemSys::kInterests, tracked_bytes());
+    }
+    mem_ = ledger;
+    if (mem_ != nullptr) {
+      mem_->Add(MemSys::kInterests, tracked_bytes());
+    }
+  }
 
   // Visit every interest (scan order: bucket order, insertion order within a
   // bucket). The callback must not insert or erase — enforced by assert in
@@ -104,6 +148,7 @@ class InterestHashTable {
   size_t size_ = 0;
   uint64_t resize_count_ = 0;
   bool iterating_ = false;  // ForEach reentrancy guard (asserted in debug)
+  MemLedger* mem_ = nullptr;
 };
 
 }  // namespace scio

@@ -10,9 +10,11 @@ constexpr size_t kMaxRequestBytes = 16 * 1024;
 void RequestParser::Reset() {
   state_ = State::kIncomplete;
   buffer_.clear();
-  method_.clear();
-  path_.clear();
-  version_.clear();
+  method_len_ = 0;
+  path_off_ = 0;
+  path_len_ = 0;
+  version_off_ = 0;
+  version_len_ = 0;
 }
 
 RequestParser::State RequestParser::Feed(std::string_view fragment) {
@@ -50,11 +52,13 @@ RequestParser::State RequestParser::Parse() {
     state_ = State::kError;
     return state_;
   }
-  method_.assign(line.substr(0, sp1));
-  path_.assign(line.substr(sp1 + 1, sp2 - sp1 - 1));
-  version_.assign(line.substr(sp2 + 1));
-  if (method_.empty() || path_.empty() || path_[0] != '/' ||
-      version_.rfind("HTTP/", 0) != 0) {
+  method_len_ = static_cast<uint32_t>(sp1);
+  path_off_ = static_cast<uint32_t>(sp1 + 1);
+  path_len_ = static_cast<uint32_t>(sp2 - sp1 - 1);
+  version_off_ = static_cast<uint32_t>(sp2 + 1);
+  version_len_ = static_cast<uint32_t>(line_end - sp2 - 1);
+  if (method().empty() || path().empty() || path()[0] != '/' ||
+      !version().starts_with("HTTP/")) {
     state_ = State::kError;
     return state_;
   }

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 namespace scio {
@@ -24,8 +25,10 @@ class StaticContent {
 
   void AddDocument(const std::string& path, size_t bytes) { documents_[path] = bytes; }
 
-  // Body size for the path, or nullopt (404).
-  std::optional<size_t> Lookup(const std::string& path) const {
+  // Body size for the path, or nullopt (404). Heterogeneous lookup: parsers
+  // hand in views into their receive buffers, which must not force a
+  // per-request std::string allocation.
+  std::optional<size_t> Lookup(std::string_view path) const {
     auto it = documents_.find(path);
     if (it == documents_.end()) {
       return std::nullopt;
@@ -36,7 +39,11 @@ class StaticContent {
   size_t document_count() const { return documents_.size(); }
 
  private:
-  std::unordered_map<std::string, size_t> documents_;
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
+  };
+  std::unordered_map<std::string, size_t, StringHash, std::equal_to<>> documents_;
 };
 
 }  // namespace scio

@@ -5,28 +5,20 @@
 namespace scio {
 
 int FdTable::Allocate(std::shared_ptr<File> file) {
-  int fd;
-  if (!free_fds_.empty()) {
-    fd = free_fds_.top();
-    free_fds_.pop();
-  } else {
-    if (static_cast<int>(slots_.size()) >= max_fds_) {
-      return -1;
-    }
-    fd = static_cast<int>(slots_.size());
-    slots_.emplace_back();
+  const long fd = slots_.AllocateLowest();
+  if (fd < 0) {
+    return -1;
   }
-  file->set_fd_number(fd);
-  slots_[fd] = std::move(file);
-  ++open_count_;
-  return fd;
+  file->set_fd_number(static_cast<int>(fd));
+  slots_.At(static_cast<size_t>(fd)) = std::move(file);
+  return static_cast<int>(fd);
 }
 
 std::shared_ptr<File> FdTable::Get(int fd) const {
-  if (fd < 0 || fd >= static_cast<int>(slots_.size())) {
+  if (fd < 0 || !slots_.Contains(static_cast<size_t>(fd))) {
     return nullptr;
   }
-  return slots_[fd];
+  return slots_.At(static_cast<size_t>(fd));
 }
 
 int FdTable::Close(int fd) {
@@ -34,20 +26,16 @@ int FdTable::Close(int fd) {
   if (file == nullptr) {
     return -1;
   }
-  slots_[fd] = nullptr;
-  free_fds_.push(fd);
-  --open_count_;
+  slots_.At(static_cast<size_t>(fd)).reset();
+  slots_.ReleaseAt(static_cast<size_t>(fd));
   file->OnFdClose();
   return 0;
 }
 
 std::vector<int> FdTable::OpenFds() const {
   std::vector<int> fds;
-  for (int fd = 0; fd < static_cast<int>(slots_.size()); ++fd) {
-    if (slots_[fd] != nullptr) {
-      fds.push_back(fd);
-    }
-  }
+  fds.reserve(slots_.size());
+  ForEachOpenFd([&fds](int fd, const std::shared_ptr<File>&) { fds.push_back(fd); });
   return fds;
 }
 

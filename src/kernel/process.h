@@ -57,6 +57,10 @@ class Process {
   FdTable& fds() { return fds_; }
   const FdTable& fds() const { return fds_; }
 
+  // Route the descriptor table's page allocations into the kernel's byte
+  // ledger. Called by SimKernel::CreateProcess.
+  void set_mem_ledger(MemLedger* ledger) { fds_.set_mem_ledger(ledger); }
+
   // -- scheduling ------------------------------------------------------------
   void Wake() {
     woken_ = true;
@@ -103,6 +107,7 @@ class Process {
   bool woken_ = false;
   uint64_t wake_calls_ = 0;
 
+  // sciolint: allow(P1) -- keyed by signal number (bounded, ~32 entries), not by fd
   std::map<int, std::deque<SigInfo>> rt_queues_;  // keyed by signo, ascending
   size_t rt_queue_len_ = 0;
   size_t rt_queue_peak_ = 0;

@@ -4,6 +4,7 @@ namespace scio {
 
 Process& SimKernel::CreateProcess(std::string name, int max_fds) {
   processes_.push_back(std::make_unique<Process>(std::move(name), max_fds));
+  processes_.back()->set_mem_ledger(&mem_);
   return *processes_.back();
 }
 

@@ -39,6 +39,7 @@
 #include "src/kernel/process.h"
 #include "src/sim/simulator.h"
 #include "src/trace/flight_recorder.h"
+#include "src/trace/mem_ledger.h"
 #include "src/trace/time_attribution.h"
 
 namespace scio {
@@ -76,7 +77,17 @@ class SmpPlane {
 class SimKernel {
  public:
   explicit SimKernel(Simulator* sim, CostModel cost = CostModel{})
-      : sim_(sim), cost_(cost) {}
+      : sim_(sim), cost_(cost) {
+    // Timer-wheel slabs count as kernel memory (MemSys::kTimers). The queue
+    // reports through a plain function-pointer hook so scio_sim needs no
+    // knowledge of the ledger.
+    sim_->queue().set_mem_hook(&SimKernel::TimerMemHook, this);
+  }
+  ~SimKernel() {
+    // The queue outlives this kernel in the usual declaration order; detach
+    // so late pool growth cannot write into a dead ledger.
+    sim_->queue().set_mem_hook(nullptr, nullptr);
+  }
   SimKernel(const SimKernel&) = delete;
   SimKernel& operator=(const SimKernel&) = delete;
 
@@ -160,6 +171,14 @@ class SimKernel {
   // attribution().Sum() == busy_time() at all times.
   const TimeAttribution& attribution() const { return attribution_; }
 
+  // Where every tracked byte lives: descriptor-table pages, connection
+  // slabs, interest nodes, timer-wheel chunks, buffered payload. Structures
+  // register themselves (CreateProcess wires the fd table automatically);
+  // the ledger's Sum() == total() invariant is pinned by tests the same way
+  // the time ledger's is.
+  MemLedger& mem() { return mem_; }
+  const MemLedger& mem() const { return mem_; }
+
   // --- flight recorder ---------------------------------------------------
   // Optional and borrowed; null (the default) records nothing. The recorder
   // is a pure observer — attaching one cannot perturb a seeded run.
@@ -178,6 +197,15 @@ class SimKernel {
   }
 
  private:
+  static void TimerMemHook(void* ctx, long delta_bytes) {
+    auto* kernel = static_cast<SimKernel*>(ctx);
+    if (delta_bytes >= 0) {
+      kernel->mem_.Add(MemSys::kTimers, static_cast<size_t>(delta_bytes));
+    } else {
+      kernel->mem_.Sub(MemSys::kTimers, static_cast<size_t>(-delta_bytes));
+    }
+  }
+
   // Ledger write that also feeds the running worker's per-CPU ledger when an
   // SMP plane is attached and we are in worker context.
   void Attribute(ChargeCat cat, SimDuration d) {
@@ -190,6 +218,9 @@ class SimKernel {
   Simulator* sim_;
   CostModel cost_;
   KernelStats stats_;
+  // Declared before processes_: descriptor tables and sockets record ledger
+  // traffic from their destructors, so the ledger must outlive them.
+  MemLedger mem_;
   std::vector<std::unique_ptr<Process>> processes_;
   SimDuration interrupt_debt_ = 0;
   // Per-category breakdown of interrupt_debt_ (same scalar, attributed when

@@ -17,6 +17,11 @@ SimSocket::SimSocket(SimKernel* kernel, NetStack* net, bool server_side)
       sndbuf_(net->config().sndbuf) {}
 
 SimSocket::~SimSocket() {
+  // Sockets dropped without Close (in-flight delivery teardown) still hold
+  // buffered bytes; release them from the ledger here.
+  if (recv_available_ > 0) {
+    kernel()->mem().Sub(MemSys::kBuffers, recv_available_);
+  }
   if (!server_side_ && port_ >= 0 && !port_released_) {
     net_->ports().ReleaseImmediate(port_);
   }
@@ -96,6 +101,7 @@ void SimSocket::DeliverChunk(Chunk chunk) {
   }
   const size_t n = chunk.size();
   recv_available_ += n;
+  kernel()->mem().Add(MemSys::kBuffers, n);
   recv_queue_.push_back(std::move(chunk));
   NotifyStatus(kPollIn);
   // Copy before invoking: the callback may Close() and drop the last strong
@@ -142,6 +148,7 @@ ReadResult SimSocket::Read(size_t max_bytes) {
     }
   }
   recv_available_ -= result.n;
+  kernel()->mem().Sub(MemSys::kBuffers, result.n);
   if (result.n == 0 && eof_received_) {
     result.eof = true;
   }
@@ -179,6 +186,7 @@ void SimSocket::CloseInternal() {
   const State prev = state_;
   state_ = State::kClosed;
   recv_queue_.clear();
+  kernel()->mem().Sub(MemSys::kBuffers, recv_available_);
   recv_available_ = 0;
 
   if (prev == State::kEstablished || prev == State::kPeerClosed) {

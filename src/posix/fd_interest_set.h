@@ -1,0 +1,80 @@
+// Paged fd→interest set shared by the live-kernel event backends.
+//
+// select and the RT-signal backend both need the same thing: membership plus
+// a 32-bit interest mask per descriptor, iterated in ascending-fd order when
+// a recovery or wait pass rebuilds its pollfd/fd_set view. A `std::map`
+// gives that with a heap node and three pointers per watched fd; at the
+// million-descriptor scale the slab variant stores each interest in 8 bytes
+// of paged slot storage and iterates via the occupancy bitmaps, touching
+// only pages that contain watched descriptors. Iteration order is fd order
+// by construction (sciolint D2: never address order).
+
+#ifndef SRC_POSIX_FD_INTEREST_SET_H_
+#define SRC_POSIX_FD_INTEREST_SET_H_
+
+#include <cstdint>
+
+#include "src/kernel/paged_slab.h"
+
+namespace scio {
+
+class FdInterestSet {
+ public:
+  // Descriptor numbers the set can hold; the page directory is sized once
+  // from this, pages themselves materialize only for fd ranges in use.
+  static constexpr size_t kDefaultFdLimit = 1 << 20;
+
+  explicit FdInterestSet(size_t fd_limit = kDefaultFdLimit) : store_(fd_limit) {}
+
+  size_t size() const { return store_.size(); }
+  bool Contains(int fd) const {
+    return fd >= 0 && store_.Contains(static_cast<size_t>(fd));
+  }
+
+  // False if fd is out of range or already present (caller sets errno).
+  bool Add(int fd, uint32_t interest) {
+    if (fd < 0 || static_cast<size_t>(fd) >= store_.limit() || Contains(fd)) {
+      return false;
+    }
+    store_.EmplaceAt(static_cast<size_t>(fd)) = interest;
+    return true;
+  }
+
+  // False if fd is not present.
+  bool Modify(int fd, uint32_t interest) {
+    if (!Contains(fd)) {
+      return false;
+    }
+    store_.At(static_cast<size_t>(fd)) = interest;
+    return true;
+  }
+
+  // False if fd is not present.
+  bool Remove(int fd) {
+    if (!Contains(fd)) {
+      return false;
+    }
+    store_.ReleaseAt(static_cast<size_t>(fd));
+    return true;
+  }
+
+  // Interest mask, or nullptr when fd is not watched.
+  const uint32_t* Find(int fd) const {
+    return fd < 0 ? nullptr : store_.Get(static_cast<size_t>(fd));
+  }
+
+  // Visit watched fds in ascending order: fn(int fd, uint32_t interest).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    store_.ForEach([&fn](size_t i, uint32_t interest) {
+      fn(static_cast<int>(i), interest);
+    });
+  }
+
+ private:
+  PagedStore<uint32_t> store_;
+};
+
+}  // namespace scio
+
+#endif  // SRC_POSIX_FD_INTEREST_SET_H_

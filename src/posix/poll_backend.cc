@@ -35,36 +35,40 @@ uint32_t FromPollEvents(short revents) {
 }  // namespace
 
 int PollBackend::Add(int fd, uint32_t interest) {
-  if (index_.count(fd) != 0) {
+  if (fd < 0 || static_cast<size_t>(fd) >= index_.limit()) {
+    errno = EINVAL;
+    return -1;
+  }
+  if (index_.Contains(static_cast<size_t>(fd))) {
     errno = EEXIST;
     return -1;
   }
-  index_[fd] = fds_.size();
+  index_.EmplaceAt(static_cast<size_t>(fd)) = static_cast<uint32_t>(fds_.size());
   fds_.push_back(pollfd{fd, ToPollEvents(interest), 0});
   return 0;
 }
 
 int PollBackend::Modify(int fd, uint32_t interest) {
-  auto it = index_.find(fd);
-  if (it == index_.end()) {
+  const uint32_t* slot = fd < 0 ? nullptr : index_.Get(static_cast<size_t>(fd));
+  if (slot == nullptr) {
     errno = ENOENT;
     return -1;
   }
-  fds_[it->second].events = ToPollEvents(interest);
+  fds_[*slot].events = ToPollEvents(interest);
   return 0;
 }
 
 int PollBackend::Remove(int fd) {
-  auto it = index_.find(fd);
-  if (it == index_.end()) {
+  const uint32_t* found = fd < 0 ? nullptr : index_.Get(static_cast<size_t>(fd));
+  if (found == nullptr) {
     errno = ENOENT;
     return -1;
   }
-  const size_t slot = it->second;
-  index_.erase(it);
+  const size_t slot = *found;
+  index_.ReleaseAt(static_cast<size_t>(fd));
   if (slot != fds_.size() - 1) {
     fds_[slot] = fds_.back();
-    index_[fds_[slot].fd] = slot;
+    index_.At(static_cast<size_t>(fds_[slot].fd)) = static_cast<uint32_t>(slot);
   }
   fds_.pop_back();
   return 0;

@@ -7,10 +7,10 @@
 
 #include <poll.h>
 
-#include <unordered_map>
 #include <vector>
 
 #include "src/posix/event_backend.h"
+#include "src/posix/fd_interest_set.h"
 
 namespace scio {
 
@@ -25,7 +25,8 @@ class PollBackend : public EventBackend {
 
  private:
   std::vector<pollfd> fds_;
-  std::unordered_map<int, size_t> index_;  // fd -> slot in fds_
+  // fd -> slot in fds_, paged slab keyed by fd (swap-with-last on Remove).
+  PagedStore<uint32_t> index_{FdInterestSet::kDefaultFdLimit};
 };
 
 }  // namespace scio

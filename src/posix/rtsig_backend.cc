@@ -40,7 +40,7 @@ RtSigBackend::RtSigBackend() : signo_(SIGRTMIN + 1) {
 RtSigBackend::~RtSigBackend() { pthread_sigmask(SIG_SETMASK, &oldmask_, nullptr); }
 
 int RtSigBackend::Add(int fd, uint32_t interest) {
-  if (interests_.count(fd) != 0) {
+  if (interests_.Contains(fd)) {
     errno = EEXIST;
     return -1;
   }
@@ -54,23 +54,24 @@ int RtSigBackend::Add(int fd, uint32_t interest) {
   if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_ASYNC | O_NONBLOCK) < 0) {
     return -1;
   }
-  interests_[fd] = interest;
+  if (!interests_.Add(fd, interest)) {
+    errno = EINVAL;  // out of the set's fd range
+    return -1;
+  }
   return 0;
 }
 
 int RtSigBackend::Modify(int fd, uint32_t interest) {
-  auto it = interests_.find(fd);
-  if (it == interests_.end()) {
+  // Filtering happens at delivery time.
+  if (!interests_.Modify(fd, interest)) {
     errno = ENOENT;
     return -1;
   }
-  it->second = interest;  // filtering happens at delivery time
   return 0;
 }
 
 int RtSigBackend::Remove(int fd) {
-  auto it = interests_.find(fd);
-  if (it == interests_.end()) {
+  if (!interests_.Contains(fd)) {
     errno = ENOENT;
     return -1;
   }
@@ -78,7 +79,7 @@ int RtSigBackend::Remove(int fd) {
   if (flags >= 0) {
     ::fcntl(fd, F_SETFL, flags & ~O_ASYNC);
   }
-  interests_.erase(it);
+  interests_.Remove(fd);
   return 0;
 }
 
@@ -91,7 +92,7 @@ int RtSigBackend::RecoverWithPoll(std::vector<PosixEvent>& out) {
   }
   std::vector<pollfd> fds;
   fds.reserve(interests_.size());
-  for (const auto& [fd, interest] : interests_) {
+  interests_.ForEach([&fds](int fd, uint32_t interest) {
     short events = 0;
     if ((interest & kEvReadable) != 0) {
       events |= POLLIN;
@@ -100,7 +101,7 @@ int RtSigBackend::RecoverWithPoll(std::vector<PosixEvent>& out) {
       events |= POLLOUT;
     }
     fds.push_back(pollfd{fd, events, 0});
-  }
+  });
   const int rc = ::poll(fds.data(), fds.size(), 0);
   if (rc <= 0) {
     return rc;
@@ -133,12 +134,12 @@ int RtSigBackend::Wait(std::vector<PosixEvent>& out, int timeout_ms) {
     // RT queue overflow (§2): flush and fall back to poll().
     return RecoverWithPoll(out);
   }
-  auto it = interests_.find(si.si_fd);
-  if (it == interests_.end()) {
+  const uint32_t* interest = interests_.Find(si.si_fd);
+  if (interest == nullptr) {
     return 0;  // stale event for a closed/removed descriptor (§2)
   }
   const uint32_t events = FromBand(si.si_band);
-  const uint32_t wanted = it->second | kEvError | kEvHangup;
+  const uint32_t wanted = *interest | kEvError | kEvHangup;
   if ((events & wanted) == 0) {
     return 0;
   }

@@ -9,9 +9,9 @@
 
 #include <csignal>
 #include <cstdint>
-#include <map>
 
 #include "src/posix/event_backend.h"
+#include "src/posix/fd_interest_set.h"
 
 namespace scio {
 
@@ -38,9 +38,9 @@ class RtSigBackend : public EventBackend {
   int signo_;
   sigset_t waitset_;
   sigset_t oldmask_;
-  // Ordered so the overflow-recovery poll() pass visits fds (and emits its
-  // events) in a deterministic order (sciolint D2).
-  std::map<int, uint32_t> interests_;
+  // Paged slab keyed by fd; the overflow-recovery poll() pass visits fds
+  // (and emits its events) in ascending-fd order (sciolint D2).
+  FdInterestSet interests_;
   uint64_t overflow_recoveries_ = 0;
 };
 

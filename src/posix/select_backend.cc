@@ -9,26 +9,23 @@ int SelectBackend::Add(int fd, uint32_t interest) {
     errno = EINVAL;
     return -1;
   }
-  if (interests_.count(fd) != 0) {
+  if (!interests_.Add(fd, interest)) {
     errno = EEXIST;
     return -1;
   }
-  interests_[fd] = interest;
   return 0;
 }
 
 int SelectBackend::Modify(int fd, uint32_t interest) {
-  auto it = interests_.find(fd);
-  if (it == interests_.end()) {
+  if (!interests_.Modify(fd, interest)) {
     errno = ENOENT;
     return -1;
   }
-  it->second = interest;
   return 0;
 }
 
 int SelectBackend::Remove(int fd) {
-  if (interests_.erase(fd) == 0) {
+  if (!interests_.Remove(fd)) {
     errno = ENOENT;
     return -1;
   }
@@ -43,7 +40,7 @@ int SelectBackend::Wait(std::vector<PosixEvent>& out, int timeout_ms) {
   FD_ZERO(&writeset);
   FD_ZERO(&errset);
   int maxfd = -1;
-  for (const auto& [fd, interest] : interests_) {
+  interests_.ForEach([&](int fd, uint32_t interest) {
     if ((interest & kEvReadable) != 0) {
       FD_SET(fd, &readset);
     }
@@ -51,8 +48,8 @@ int SelectBackend::Wait(std::vector<PosixEvent>& out, int timeout_ms) {
       FD_SET(fd, &writeset);
     }
     FD_SET(fd, &errset);
-    maxfd = fd;
-  }
+    maxfd = fd;  // ascending iteration: the last fd is the max
+  });
   timeval tv;
   timeval* tvp = nullptr;
   if (timeout_ms >= 0) {
@@ -65,7 +62,7 @@ int SelectBackend::Wait(std::vector<PosixEvent>& out, int timeout_ms) {
     return rc;
   }
   int produced = 0;
-  for (const auto& [fd, interest] : interests_) {
+  interests_.ForEach([&](int fd, uint32_t interest) {
     (void)interest;
     uint32_t events = 0;
     if (FD_ISSET(fd, &readset)) {
@@ -81,7 +78,7 @@ int SelectBackend::Wait(std::vector<PosixEvent>& out, int timeout_ms) {
       out.push_back(PosixEvent{fd, events});
       ++produced;
     }
-  }
+  });
   return produced;
 }
 

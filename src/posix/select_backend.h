@@ -6,9 +6,8 @@
 
 #include <sys/select.h>
 
-#include <map>
-
 #include "src/posix/event_backend.h"
+#include "src/posix/fd_interest_set.h"
 
 namespace scio {
 
@@ -22,7 +21,9 @@ class SelectBackend : public EventBackend {
   size_t watched_count() const override { return interests_.size(); }
 
  private:
-  std::map<int, uint32_t> interests_;  // ordered: max fd is rbegin()
+  // Paged slab keyed by fd, bounded at FD_SETSIZE; iteration is ascending so
+  // the last visited fd is the select() nfds bound.
+  FdInterestSet interests_{FD_SETSIZE};
 };
 
 }  // namespace scio

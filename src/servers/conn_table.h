@@ -1,0 +1,170 @@
+// Slab-backed per-connection state for the HTTP servers.
+//
+// The servers used to keep connections in a `std::map<int, Conn>`: ~3 heap
+// nodes' worth of red-black overhead per connection and O(open) walks for
+// every idle sweep, deadline sweep, and pressure reap. At a million mostly-
+// idle connections those walks dominate host time even though the *simulated*
+// charge is a single multiplication. ConnTable keeps connections in a
+// PagedStore slab indexed by fd and threads them on two intrusive lists:
+//
+//   activity list — ordered by last_activity. Every touch moves the node to
+//     the back; since the clock is monotonic the list front is always the
+//     least-recently-active connection, so an idle/pressure reap walks
+//     exactly the expired prefix (expired + 1 nodes), never the full table.
+//
+//   reading list — connections still in Phase::kReading, in accept order.
+//     opened_at is monotonic in accept order, so the deadline reap
+//     (slowloris countermeasure) also walks only its expired prefix.
+//
+// Determinism: reaps collect the expired prefix and then sort the fds
+// ascending, so connections close in exactly the order the old fd-ordered
+// map scan produced — seeded baselines stay byte-identical. Plain iteration
+// (poll-set rebuilds) uses the slab's ascending-fd bitmap walk.
+
+#ifndef SRC_SERVERS_CONN_TABLE_H_
+#define SRC_SERVERS_CONN_TABLE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/http/request_parser.h"
+#include "src/kernel/paged_slab.h"
+#include "src/net/socket.h"
+#include "src/sim/time.h"
+
+namespace scio {
+
+enum class ConnPhase {
+  kReading,  // waiting for / parsing the request
+  kWriting,  // response partially written, want POLLOUT
+};
+
+struct Conn {
+  ConnPhase phase = ConnPhase::kReading;
+  RequestParser parser;
+  Chunk pending_write;
+  SimTime last_activity = 0;
+  // Accept time. An idle timer tracks *activity*, which a slowloris drip
+  // refreshes forever; age since accept is the one clock it cannot touch.
+  SimTime opened_at = 0;
+  IndexLink activity_link;
+  IndexLink reading_link;
+};
+
+class ConnTable {
+ public:
+  explicit ConnTable(size_t limit = 0)
+      : store_(limit), activity_(&store_), reading_(&store_) {}
+
+  // Must precede the first Open (sized to the process's fd-table limit so
+  // fd indexes directly into the slab).
+  void set_limit(size_t limit) { store_.set_limit(limit); }
+  void set_mem_ledger(MemLedger* ledger) { store_.set_mem_ledger(ledger, MemSys::kConns); }
+  size_t tracked_bytes() const { return store_.tracked_bytes(); }
+
+  size_t size() const { return store_.size(); }
+  bool Contains(int fd) const { return store_.Contains(static_cast<size_t>(fd)); }
+  Conn* Get(int fd) {
+    return fd < 0 ? nullptr : store_.Get(static_cast<size_t>(fd));
+  }
+
+  // Register a fresh connection under fd. The parked slot keeps its
+  // heap capacity from the previous occupant; all logical state is reset.
+  Conn& Open(int fd, SimTime now) {
+    Conn& conn = store_.EmplaceAt(static_cast<size_t>(fd));
+    conn.phase = ConnPhase::kReading;
+    conn.parser.Reset();
+    conn.pending_write = Chunk{};
+    conn.last_activity = now;
+    conn.opened_at = now;
+    activity_.PushBack(fd);
+    reading_.PushBack(fd);
+    return conn;
+  }
+
+  // Record activity: update the stamp and keep the activity list sorted
+  // (now is the global maximum, so move-to-back preserves order). O(1).
+  void Touch(int fd, SimTime now) {
+    Conn& conn = store_.At(static_cast<size_t>(fd));
+    conn.last_activity = now;
+    activity_.MoveToBack(fd);
+  }
+
+  // Phase transition. Only kReading→kWriting occurs today; leaving kReading
+  // removes the conn from the deadline-reap list.
+  void SetPhase(int fd, ConnPhase phase) {
+    Conn& conn = store_.At(static_cast<size_t>(fd));
+    if (conn.phase == phase) {
+      return;
+    }
+    if (conn.phase == ConnPhase::kReading) {
+      reading_.Unlink(fd);
+    } else if (phase == ConnPhase::kReading) {
+      reading_.PushBack(fd);
+    }
+    conn.phase = phase;
+  }
+
+  // Unlink and release. Heap capacity (parser buffer, pending chunk) stays
+  // parked in the slot for the next occupant; owned content is dropped.
+  void Close(int fd) {
+    Conn& conn = store_.At(static_cast<size_t>(fd));
+    activity_.Unlink(fd);
+    if (conn.phase == ConnPhase::kReading) {
+      reading_.Unlink(fd);
+    }
+    conn.parser.Reset();
+    conn.pending_write = Chunk{};
+    store_.ReleaseAt(static_cast<size_t>(fd));
+  }
+
+  // Fds whose last activity is strictly older than `timeout`, ascending.
+  // Walks only the expired prefix of the activity list; the result lands in
+  // the reusable scratch vector (no steady-state allocation).
+  const std::vector<int>& CollectIdle(SimTime now, SimDuration timeout) {
+    scratch_.clear();
+    for (int32_t fd = activity_.front(); fd != kNilIndex;) {
+      const int32_t next = activity_.NextOf(fd);
+      if (now - store_.At(static_cast<size_t>(fd)).last_activity <= timeout) {
+        break;  // list is activity-sorted: nothing further is expired
+      }
+      scratch_.push_back(fd);
+      fd = next;
+    }
+    std::sort(scratch_.begin(), scratch_.end());
+    return scratch_;
+  }
+
+  // Still-reading fds accepted more than `deadline` ago, ascending. Walks
+  // only the expired prefix of the accept-ordered reading list.
+  const std::vector<int>& CollectPastDeadline(SimTime now, SimDuration deadline) {
+    scratch_.clear();
+    for (int32_t fd = reading_.front(); fd != kNilIndex;) {
+      const int32_t next = reading_.NextOf(fd);
+      if (now - store_.At(static_cast<size_t>(fd)).opened_at <= deadline) {
+        break;  // accept order == opened_at order: prefix is complete
+      }
+      scratch_.push_back(fd);
+      fd = next;
+    }
+    std::sort(scratch_.begin(), scratch_.end());
+    return scratch_;
+  }
+
+  // Visit every open connection in ascending fd order: fn(int fd, Conn&).
+  // No Open/Close inside fn.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    store_.ForEach([&fn](size_t i, Conn& c) { fn(static_cast<int>(i), c); });
+  }
+
+ private:
+  PagedStore<Conn> store_;
+  IndexList<Conn, &Conn::activity_link> activity_;
+  IndexList<Conn, &Conn::reading_link> reading_;
+  std::vector<int> scratch_;
+};
+
+}  // namespace scio
+
+#endif  // SRC_SERVERS_CONN_TABLE_H_

@@ -132,6 +132,7 @@ class AdaptiveDefense {
   uint64_t last_overflows_ = 0;
   uint64_t last_filter_drops_ = 0;
   // Ordered by band so rule installation order is deterministic (D2).
+  // sciolint: allow(P1) -- keyed by traffic band (handful of entries), not by fd
   std::map<int, BandRule> band_rules_;
   DefenseStats stats_;
 };

@@ -74,9 +74,9 @@ void Phhttpd::RunPollIteration(SimTime until, int timeout_override_ms) {
   pollfds_.clear();
   pollfds_.reserve(conns_.size() + 1);
   pollfds_.push_back(PollFd{listener_fd_, kPollIn, 0});
-  for (const auto& [fd, conn] : conns_) {
+  conns_.ForEach([this](int fd, const Conn& conn) {
     pollfds_.push_back(PollFd{fd, conn.phase == Phase::kWriting ? kPollOut : kPollIn, 0});
-  }
+  });
   kernel().Charge(kernel().cost().poll_userspace_rebuild_per_fd *
                       static_cast<SimDuration>(pollfds_.size()),
                   ChargeCat::kPollfdRebuild);

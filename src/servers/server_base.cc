@@ -8,7 +8,10 @@
 namespace scio {
 
 HttpServerBase::HttpServerBase(Sys* sys, const StaticContent* content, ServerConfig config)
-    : sys_(sys), content_(content), config_(config) {}
+    : sys_(sys), content_(content), config_(config) {
+  conns_.set_limit(static_cast<size_t>(sys_->proc().fds().max_fds()));
+  conns_.set_mem_ledger(&sys_->kernel().mem());
+}
 
 int HttpServerBase::Setup() {
   listener_fd_ = sys_->Listen(config_.listen_backlog);
@@ -67,9 +70,7 @@ int HttpServerBase::DrainAccepts() {
       break;
     }
     kernel().Charge(kernel().cost().server_conn_setup, ChargeCat::kConnMgmt);
-    Conn& conn = conns_[fd];
-    conn.last_activity = kernel().now();
-    conn.opened_at = kernel().now();
+    conns_.Open(fd, kernel().now());
     ++stats_.connections_accepted;
     ++accepted;
     OnConnOpened(fd);
@@ -87,19 +88,18 @@ void HttpServerBase::StartResponse(int fd, Conn& conn) {
     conn.pending_write = BuildHttpNotFoundResponse();
     ++stats_.not_found_sent;
   }
-  conn.phase = Phase::kWriting;
+  conns_.SetPhase(fd, Phase::kWriting);
   // Attempt the write immediately; fall back to POLLOUT if it is short.
   HandleWritable(fd);
 }
 
 bool HttpServerBase::HandleReadable(int fd) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) {
+  Conn* conn = conns_.Get(fd);
+  if (conn == nullptr) {
     ++stats_.stale_events;
     return false;
   }
-  Conn& conn = it->second;
-  conn.last_activity = kernel().now();
+  conns_.Touch(fd, kernel().now());
 
   const ReadResult r = sys_->Read(fd, config_.read_chunk);
   if (r.err != 0) {
@@ -115,13 +115,13 @@ bool HttpServerBase::HandleReadable(int fd) {
   if (r.n == 0) {
     return true;  // spurious wakeup / EAGAIN
   }
-  if (conn.phase != Phase::kReading) {
+  if (conn->phase != Phase::kReading) {
     return true;  // pipelined bytes after the request; ignore
   }
   kernel().Charge(kernel().cost().http_parse_base +
                       kernel().cost().http_parse_per_byte * static_cast<SimDuration>(r.n),
                   ChargeCat::kHttpParse);
-  const RequestParser::State state = conn.parser.Feed(r.data);
+  const RequestParser::State state = conn->parser.Feed(r.data);
   switch (state) {
     case RequestParser::State::kIncomplete:
       return true;
@@ -130,25 +130,24 @@ bool HttpServerBase::HandleReadable(int fd) {
       CloseConn(fd);
       return false;
     case RequestParser::State::kComplete:
-      StartResponse(fd, conn);
+      StartResponse(fd, *conn);
       return HasConn(fd);
   }
   return true;
 }
 
 bool HttpServerBase::HandleWritable(int fd) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) {
+  Conn* conn = conns_.Get(fd);
+  if (conn == nullptr) {
     ++stats_.stale_events;
     return false;
   }
-  Conn& conn = it->second;
-  if (conn.phase != Phase::kWriting) {
+  if (conn->phase != Phase::kWriting) {
     return true;
   }
-  conn.last_activity = kernel().now();
+  conns_.Touch(fd, kernel().now());
 
-  const long sent = sys_->Write(fd, conn.pending_write);
+  const long sent = sys_->Write(fd, conn->pending_write);
   if (sent < 0) {
     ++stats_.write_errors;  // EPIPE/EBADF: response can never complete
     CloseConn(fd);
@@ -156,11 +155,12 @@ bool HttpServerBase::HandleWritable(int fd) {
   }
   // Trim what was accepted: real bytes first, then synthetic.
   size_t n = static_cast<size_t>(sent);
-  const size_t from_data = n < conn.pending_write.data.size() ? n : conn.pending_write.data.size();
-  conn.pending_write.data.erase(0, from_data);
-  conn.pending_write.synthetic -= n - from_data;
+  const size_t from_data =
+      n < conn->pending_write.data.size() ? n : conn->pending_write.data.size();
+  conn->pending_write.data.erase(0, from_data);
+  conn->pending_write.synthetic -= n - from_data;
 
-  if (conn.pending_write.size() == 0) {
+  if (conn->pending_write.size() == 0) {
     // HTTP/1.0: response done, server closes.
     CloseConn(fd);
     return false;
@@ -176,8 +176,8 @@ void HttpServerBase::DispatchEvent(int fd, PollEvents revents) {
     }
     return;
   }
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) {
+  Conn* conn = conns_.Get(fd);
+  if (conn == nullptr) {
     ++stats_.stale_events;
     return;
   }
@@ -186,7 +186,7 @@ void HttpServerBase::DispatchEvent(int fd, PollEvents revents) {
     return;
   }
   if ((revents & (kPollIn | kPollHup)) != 0) {
-    if (it->second.phase == Phase::kWriting) {
+    if (conn->phase == Phase::kWriting) {
       // Data or FIN while we are writing: drain reads first (could be the
       // peer aborting), then continue the write.
       if (!HandleReadable(fd)) {
@@ -204,28 +204,25 @@ void HttpServerBase::DispatchEvent(int fd, PollEvents revents) {
 }
 
 void HttpServerBase::CloseConn(int fd) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) {
+  if (!conns_.Contains(fd)) {
     return;
   }
   OnConnClosing(fd);
   kernel().Charge(kernel().cost().server_conn_teardown, ChargeCat::kConnMgmt);
-  conns_.erase(it);
+  conns_.Close(fd);
   // sciolint: allow(E1) -- conns_ held the fd, so EBADF is impossible here
   (void)sys_->Close(fd);
 }
 
 int HttpServerBase::ReapIdle(SimDuration timeout, bool pressure) {
   const SimTime now = kernel().now();
+  // The simulated server still pays a per-connection sweep (that is the cost
+  // model the paper measures); only the host-side walk below is confined to
+  // the expired prefix of the activity list.
   kernel().Charge(kernel().cost().server_timer_sweep_per_conn *
                       static_cast<SimDuration>(conns_.size()),
                   ChargeCat::kTimerSweep);
-  std::vector<int> expired;
-  for (const auto& [fd, conn] : conns_) {
-    if (now - conn.last_activity > timeout) {
-      expired.push_back(fd);
-    }
-  }
+  const std::vector<int>& expired = conns_.CollectIdle(now, timeout);
   for (int fd : expired) {
     if (pressure) {
       ++stats_.pressure_reaps;
@@ -250,14 +247,9 @@ int HttpServerBase::DeadlineReap(SimDuration deadline) {
   kernel().Charge(kernel().cost().server_timer_sweep_per_conn *
                       static_cast<SimDuration>(conns_.size()),
                   ChargeCat::kTimerSweep);
-  std::vector<int> expired;
-  for (const auto& [fd, conn] : conns_) {
-    // Only connections still fishing for a request: a conn that reached the
-    // write phase proved itself; cutting it off mid-response helps nobody.
-    if (conn.phase == Phase::kReading && now - conn.opened_at > deadline) {
-      expired.push_back(fd);
-    }
-  }
+  // Only connections still fishing for a request: a conn that reached the
+  // write phase proved itself; cutting it off mid-response helps nobody.
+  const std::vector<int>& expired = conns_.CollectPastDeadline(now, deadline);
   for (int fd : expired) {
     ++stats_.deadline_reaps;
     CloseConn(fd);

@@ -9,13 +9,13 @@
 #define SRC_SERVERS_SERVER_BASE_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
 
 #include "src/core/sys.h"
 #include "src/http/request_parser.h"
 #include "src/http/static_content.h"
 #include "src/net/listener.h"
+#include "src/servers/conn_table.h"
 
 namespace scio {
 
@@ -93,23 +93,15 @@ class HttpServerBase {
   // engaged, reaps connections that outlive its request deadline.
   void set_defense(AdaptiveDefense* defense) { defense_ = defense; }
   size_t open_connections() const { return conns_.size(); }
+  // Bytes of slab storage the connection table holds (ledger cross-check).
+  size_t conn_table_bytes() const { return conns_.tracked_bytes(); }
   const std::string& name() const { return name_; }
 
  protected:
-  enum class Phase {
-    kReading,  // waiting for / parsing the request
-    kWriting,  // response partially written, want POLLOUT
-  };
-
-  struct Conn {
-    Phase phase = Phase::kReading;
-    RequestParser parser;
-    Chunk pending_write;
-    SimTime last_activity = 0;
-    // Accept time. An idle timer tracks *activity*, which a slowloris drip
-    // refreshes forever; age since accept is the one clock it cannot touch.
-    SimTime opened_at = 0;
-  };
+  // Connection state lives in ConnTable's slab (src/servers/conn_table.h);
+  // the aliases keep subclass code reading as before.
+  using Phase = ConnPhase;
+  using Conn = scio::Conn;
 
   // --- hooks for the event-acquisition subclasses -----------------------------
   virtual void OnConnOpened(int fd) { (void)fd; }
@@ -143,7 +135,7 @@ class HttpServerBase {
   // Close connections still reading their request `deadline` after accept.
   int DeadlineReap(SimDuration deadline);
 
-  bool HasConn(int fd) const { return conns_.find(fd) != conns_.end(); }
+  bool HasConn(int fd) const { return conns_.Contains(fd); }
 
   Sys& sys() { return *sys_; }
   SimKernel& kernel() { return sys_->kernel(); }
@@ -153,10 +145,11 @@ class HttpServerBase {
   const StaticContent* content_;
   ServerConfig config_;
   int listener_fd_ = -1;
-  // Ordered by fd: the timer sweep and the poll-set rebuilds iterate this
-  // map, and simulation state must not depend on implementation-defined
-  // hash-bucket order (sciolint D2). Seeded runs stay bit-identical.
-  std::map<int, Conn> conns_;
+  // Slab keyed by fd with intrusive activity/reading lists. Poll-set
+  // rebuilds iterate ascending-fd; reaps walk only the expired list prefix
+  // and close in ascending-fd order — simulation state never depends on
+  // address order (sciolint D2), so seeded runs stay bit-identical.
+  ConnTable conns_;
   ServerStats stats_;
   AdaptiveDefense* defense_ = nullptr;
   SimTime next_sweep_ = 0;

@@ -38,6 +38,10 @@ uint32_t EventQueue::AllocNode() {
     const uint32_t base = static_cast<uint32_t>(chunks_.size() * kChunkSize);
     chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
     cb_chunks_.push_back(std::make_unique<EventCallback[]>(kChunkSize));
+    if (mem_hook_ != nullptr) {
+      mem_hook_(mem_ctx_,
+                static_cast<long>(kChunkSize * (sizeof(Node) + sizeof(EventCallback))));
+    }
     // Thread the fresh chunk onto the free list, lowest index on top.
     for (size_t i = kChunkSize; i > 0; --i) {
       Node& n = chunks_.back()[i - 1];

@@ -114,6 +114,27 @@ class EventQueue {
   // Pool introspection (benchmarks assert the zero-alloc steady state).
   size_t pool_capacity() const { return chunks_.size() * kChunkSize; }
 
+  // Bytes of pooled node + callback storage currently held.
+  size_t tracked_bytes() const {
+    return chunks_.size() * kChunkSize * (sizeof(Node) + sizeof(EventCallback));
+  }
+
+  // Byte-accounting hook: called with the signed delta whenever the pool
+  // grows (and with -tracked_bytes() when the hook is swapped out). A plain
+  // function pointer, not MemLedger, so scio_sim stays below scio_trace in
+  // the library graph; SimKernel registers a thunk into its ledger.
+  using MemHook = void (*)(void* ctx, long delta_bytes);
+  void set_mem_hook(MemHook hook, void* ctx) {
+    if (mem_hook_ != nullptr) {
+      mem_hook_(mem_ctx_, -static_cast<long>(tracked_bytes()));
+    }
+    mem_hook_ = hook;
+    mem_ctx_ = ctx;
+    if (mem_hook_ != nullptr) {
+      mem_hook_(mem_ctx_, static_cast<long>(tracked_bytes()));
+    }
+  }
+
  private:
   friend class EventHandle;
 
@@ -193,6 +214,8 @@ class EventQueue {
   uint64_t next_seq_ = 0;
   size_t live_count_ = 0;
   uint64_t executed_count_ = 0;
+  MemHook mem_hook_ = nullptr;
+  void* mem_ctx_ = nullptr;
 };
 
 }  // namespace scio

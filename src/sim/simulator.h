@@ -60,6 +60,9 @@ class Simulator {
   uint64_t executed_count() const { return queue_.executed_count(); }
   size_t pending_count() const { return queue_.size(); }
 
+  // Direct queue access (byte-ledger hookup, pool introspection).
+  EventQueue& queue() { return queue_; }
+
  private:
   SimTime now_ = 0;
   EventQueue queue_;

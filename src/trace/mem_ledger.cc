@@ -1,0 +1,35 @@
+#include "src/trace/mem_ledger.h"
+
+#include <sstream>
+
+namespace scio {
+
+const char* MemSysName(MemSys sys) {
+  switch (sys) {
+#define X(name, str)  \
+  case MemSys::name:  \
+    return #str;
+    SCIO_MEM_SUBSYSTEMS(X)
+#undef X
+  }
+  return "unknown";
+}
+
+std::vector<std::pair<std::string, uint64_t>> MemLedger::ToRows() const {
+  std::vector<std::pair<std::string, uint64_t>> rows;
+  rows.reserve(kMemSysCount);
+  for (size_t i = 0; i < kMemSysCount; ++i) {
+    rows.emplace_back(MemSysName(static_cast<MemSys>(i)), bytes_[i]);
+  }
+  return rows;
+}
+
+std::string MemLedger::Signature() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < kMemSysCount; ++i) {
+    out << MemSysName(static_cast<MemSys>(i)) << '=' << bytes_[i] << ';';
+  }
+  return out.str();
+}
+
+}  // namespace scio

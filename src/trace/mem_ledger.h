@@ -1,0 +1,98 @@
+// MemLedger: the per-subsystem memory-accounting ledger.
+//
+// The million-connection experiments shift the bottleneck from scan cost to
+// per-connection *memory* (PAPERS.md, "Scouting the Path to a Million-Client
+// Server"), so alongside the virtual-CPU TimeAttribution ledger the kernel
+// keeps a byte ledger: every slab page, interest node and buffered byte a
+// tracked structure allocates is recorded under its subsystem, and the hard
+// invariant
+//
+//     Sum() == total_tracked_bytes
+//
+// holds at every instant — a structure that frees without recording (or
+// records without freeing) breaks the invariant, which the tests and the
+// bench_million_idle gate both check against the structures' own
+// tracked_bytes() self-reports. Like TimeAttribution it is plain array
+// arithmetic: always on, one add per (de)allocation, no perturbation of
+// seeded runs.
+
+#ifndef SRC_TRACE_MEM_LEDGER_H_
+#define SRC_TRACE_MEM_LEDGER_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scio {
+
+// X(enumerator, snake_case_name)
+#define SCIO_MEM_SUBSYSTEMS(X)                                                \
+  X(kFdTable, fd_table)     /* descriptor-table pages */                      \
+  X(kConns, conns)          /* server per-connection slab pages */            \
+  X(kInterests, interests)  /* interest-set nodes (/dev/poll, backends) */    \
+  X(kTimers, timers)        /* event-engine timer-wheel slabs */              \
+  X(kBuffers, buffers)      /* socket receive-queue payload bytes */          \
+  X(kOtherMem, other_mem)   /* tests and uncategorized allocations */
+
+enum class MemSys {
+#define X(name, str) name,
+  SCIO_MEM_SUBSYSTEMS(X)
+#undef X
+};
+
+inline constexpr size_t kMemSysCount = 0
+#define X(name, str) +1
+    SCIO_MEM_SUBSYSTEMS(X)
+#undef X
+    ;
+
+const char* MemSysName(MemSys sys);
+
+class MemLedger {
+ public:
+  void Add(MemSys sys, size_t bytes) {
+    bytes_[static_cast<size_t>(sys)] += bytes;
+    total_ += bytes;
+  }
+  void Sub(MemSys sys, size_t bytes) {
+    bytes_[static_cast<size_t>(sys)] -= bytes;
+    total_ -= bytes;
+  }
+
+  uint64_t operator[](MemSys sys) const { return bytes_[static_cast<size_t>(sys)]; }
+
+  // Total tracked bytes across all subsystems.
+  uint64_t total() const { return total_; }
+
+  // The ledger invariant: the per-subsystem sum equals the running total.
+  // Add/Sub maintain both, so a false return means memory corruption or an
+  // unbalanced raw write — the tests assert this after every torture run.
+  uint64_t Sum() const {
+    uint64_t sum = 0;
+    for (uint64_t b : bytes_) {
+      sum += b;
+    }
+    return sum;
+  }
+  bool Consistent() const { return Sum() == total_; }
+
+  bool operator==(const MemLedger&) const = default;
+
+  // All subsystems in declaration order, as (name, bytes) pairs.
+  std::vector<std::pair<std::string, uint64_t>> ToRows() const;
+
+  // Stable machine-readable digest (name=bytes;...) for determinism
+  // signatures.
+  std::string Signature() const;
+
+ private:
+  std::array<uint64_t, kMemSysCount> bytes_{};
+  uint64_t total_ = 0;
+};
+
+}  // namespace scio
+
+#endif  // SRC_TRACE_MEM_LEDGER_H_

@@ -1,0 +1,325 @@
+// Tests for the million-connection storage plane: PagedStore slot semantics
+// (generations, page-boundary churn, lowest-first allocation), IndexList
+// intrusive lists (unlink-while-iterating), ConnTable sweep prefixes, and the
+// MemLedger byte-accounting invariant under torture schedules. The
+// differential test pins the new bitmap allocator to the old
+// priority-queue-of-free-fds semantics over a seeded churn history.
+
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <random>
+#include <vector>
+
+#include "src/kernel/fd_table.h"
+#include "src/kernel/file.h"
+#include "src/kernel/paged_slab.h"
+#include "src/kernel/sim_kernel.h"
+#include "src/servers/conn_table.h"
+#include "src/trace/mem_ledger.h"
+
+namespace scio {
+namespace {
+
+class InertFile : public File {
+ public:
+  explicit InertFile(SimKernel* kernel) : File(kernel) {}
+  PollEvents PollMask() const override { return 0; }
+};
+
+struct SlabFixture : ::testing::Test {
+  Simulator sim;
+  SimKernel kernel{&sim};
+};
+
+// --- PagedStore: generations -------------------------------------------------
+
+TEST(PagedStore, ReleaseBumpsGenerationSoStaleIndexIsDetectable) {
+  PagedStore<int> store(64);
+  ASSERT_EQ(store.AllocateLowest(), 0);
+  store.At(0) = 41;
+  const uint32_t gen = store.generation(0);
+  store.ReleaseAt(0);
+  ASSERT_EQ(store.AllocateLowest(), 0) << "slot is reused lowest-first";
+  EXPECT_NE(store.generation(0), gen) << "reuse must be distinguishable";
+}
+
+TEST_F(SlabFixture, FdHandleFromBeforeReuseDoesNotResolve) {
+  FdTable table(16);
+  auto first = std::make_shared<InertFile>(&kernel);
+  const int fd = table.Allocate(first);
+  const FdHandle stale = table.Handle(fd);
+  ASSERT_NE(table.Resolve(stale), nullptr);
+  ASSERT_EQ(table.Close(fd), 0);
+  EXPECT_EQ(table.Resolve(stale), nullptr) << "closed fd must not resolve";
+
+  auto second = std::make_shared<InertFile>(&kernel);
+  ASSERT_EQ(table.Allocate(second), fd) << "fd number is reused";
+  EXPECT_EQ(table.Resolve(stale), nullptr)
+      << "stale handle must not resolve to the new occupant";
+  const FdHandle fresh = table.Handle(fd);
+  EXPECT_EQ(table.Resolve(fresh), second);
+}
+
+TEST_F(SlabFixture, HandleSurvivesChurnOnOtherFds) {
+  FdTable table(16);
+  const int a = table.Allocate(std::make_shared<InertFile>(&kernel));
+  auto held = std::make_shared<InertFile>(&kernel);
+  const int b = table.Allocate(held);
+  const FdHandle hb = table.Handle(b);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(table.Close(a), 0);
+    ASSERT_EQ(table.Allocate(std::make_shared<InertFile>(&kernel)), a);
+  }
+  EXPECT_EQ(table.Resolve(hb), held) << "churn on fd a must not invalidate b";
+}
+
+// --- PagedStore: page-boundary churn -----------------------------------------
+
+TEST(PagedStore, PagesMaterializeOnDemandAndChurnAcrossBoundary) {
+  // Limit spans 3 pages of 512; the third page must never materialize.
+  PagedStore<int> store(512 * 3);
+  EXPECT_EQ(store.allocated_pages(), 0u);
+  for (int i = 0; i < 512; ++i) {
+    ASSERT_EQ(store.AllocateLowest(), i);
+  }
+  EXPECT_EQ(store.allocated_pages(), 1u) << "first page only";
+  ASSERT_EQ(store.AllocateLowest(), 512) << "crosses into page 1";
+  EXPECT_EQ(store.allocated_pages(), 2u);
+
+  // Churn exactly at the boundary: free the last slot of page 0 and the
+  // first of page 1, then reallocate — lowest-first must hand back 511
+  // before 512.
+  store.ReleaseAt(511);
+  store.ReleaseAt(512);
+  EXPECT_EQ(store.AllocateLowest(), 511);
+  EXPECT_EQ(store.AllocateLowest(), 512);
+  EXPECT_EQ(store.size(), 513u);
+  EXPECT_EQ(store.allocated_pages(), 2u) << "no page allocated by churn";
+}
+
+TEST(PagedStore, PartialLastPageRespectsLimit) {
+  PagedStore<int> store(512 + 7);
+  for (int i = 0; i < 512 + 7; ++i) {
+    ASSERT_EQ(store.AllocateLowest(), i);
+  }
+  EXPECT_EQ(store.AllocateLowest(), -1) << "limit reached (EMFILE analogue)";
+  store.ReleaseAt(512 + 3);
+  EXPECT_EQ(store.AllocateLowest(), 512 + 3);
+  EXPECT_EQ(store.AllocateLowest(), -1);
+}
+
+TEST(PagedStore, ForEachVisitsAscendingAcrossPages) {
+  PagedStore<int> store(512 * 2);
+  for (int fd : {700, 3, 511, 512, 90}) {
+    store.EmplaceAt(static_cast<size_t>(fd)) = fd;
+  }
+  std::vector<size_t> seen;
+  store.ForEach([&seen](size_t i, int& v) {
+    EXPECT_EQ(static_cast<size_t>(v), i);
+    seen.push_back(i);
+  });
+  EXPECT_EQ(seen, (std::vector<size_t>{3, 90, 511, 512, 700}));
+}
+
+// --- Differential: bitmap allocator vs the old free-list semantics -----------
+
+TEST(PagedStore, SeededChurnMatchesPriorityQueueReference) {
+  // The pre-slab FdTable kept freed fds in a min-heap and took the lowest of
+  // (heap top, high-water mark). Replay 20k seeded alloc/release ops and
+  // require the bitmap allocator to hand out the identical fd every time.
+  constexpr size_t kLimit = 512 * 5 + 100;
+  PagedStore<int> store(kLimit);
+
+  std::priority_queue<long, std::vector<long>, std::greater<long>> ref_free;
+  long ref_high = 0;  // next never-used index
+  std::vector<char> open(kLimit, 0);
+  std::vector<long> open_list;
+
+  std::mt19937 rng(0xC0FFEE);
+  for (int op = 0; op < 20000; ++op) {
+    const bool do_alloc = open_list.empty() || (rng() % 100) < 60;
+    if (do_alloc) {
+      long ref_fd = -1;
+      if (!ref_free.empty()) {
+        ref_fd = ref_free.top();
+        ref_free.pop();
+      } else if (ref_high < static_cast<long>(kLimit)) {
+        ref_fd = ref_high++;
+      }
+      const long got = store.AllocateLowest();
+      ASSERT_EQ(got, ref_fd) << "op " << op;
+      if (got >= 0) {
+        open[static_cast<size_t>(got)] = 1;
+        open_list.push_back(got);
+      }
+    } else {
+      const size_t pick = rng() % open_list.size();
+      const long fd = open_list[pick];
+      open_list[pick] = open_list.back();
+      open_list.pop_back();
+      open[static_cast<size_t>(fd)] = 0;
+      store.ReleaseAt(static_cast<size_t>(fd));
+      ref_free.push(fd);
+    }
+  }
+  // Final occupancy must agree slot by slot.
+  size_t n = 0;
+  store.ForEach([&](size_t i, int&) {
+    EXPECT_TRUE(open[i]) << "slot " << i;
+    ++n;
+  });
+  EXPECT_EQ(n, open_list.size());
+}
+
+// --- IndexList ----------------------------------------------------------------
+
+struct ListNode {
+  int value = 0;
+  IndexLink link;
+};
+
+TEST(IndexList, PushUnlinkPreserveInsertionOrder) {
+  PagedStore<ListNode> store(64);
+  IndexList<ListNode, &ListNode::link> list(&store);
+  for (int i : {5, 2, 9, 7}) {
+    store.EmplaceAt(static_cast<size_t>(i));
+    list.PushBack(i);
+  }
+  list.Unlink(9);
+  std::vector<int> order;
+  for (int32_t i = list.front(); i != kNilIndex; i = list.NextOf(i)) {
+    order.push_back(i);
+  }
+  EXPECT_EQ(order, (std::vector<int>{5, 2, 7})) << "insertion order, 9 removed";
+  EXPECT_FALSE(list.Linked(9));
+  EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(IndexList, UnlinkingCurrentNodeMidWalkIsSafe) {
+  PagedStore<ListNode> store(64);
+  IndexList<ListNode, &ListNode::link> list(&store);
+  for (int i = 0; i < 8; ++i) {
+    store.EmplaceAt(static_cast<size_t>(i));
+    list.PushBack(i);
+  }
+  // The sweep pattern every reap uses: read next, then unlink current.
+  std::vector<int> unlinked;
+  for (int32_t i = list.front(); i != kNilIndex;) {
+    const int32_t next = list.NextOf(i);
+    if (i % 2 == 0) {
+      list.Unlink(i);
+      unlinked.push_back(i);
+    }
+    i = next;
+  }
+  EXPECT_EQ(unlinked, (std::vector<int>{0, 2, 4, 6}));
+  std::vector<int> remaining;
+  for (int32_t i = list.front(); i != kNilIndex; i = list.NextOf(i)) {
+    remaining.push_back(i);
+  }
+  EXPECT_EQ(remaining, (std::vector<int>{1, 3, 5, 7}));
+}
+
+TEST(IndexList, MoveToBackKeepsListSorted) {
+  PagedStore<ListNode> store(64);
+  IndexList<ListNode, &ListNode::link> list(&store);
+  for (int i = 0; i < 4; ++i) {
+    store.EmplaceAt(static_cast<size_t>(i));
+    list.PushBack(i);
+  }
+  list.MoveToBack(3);  // already at back: no-op
+  list.MoveToBack(1);
+  std::vector<int> order;
+  for (int32_t i = list.front(); i != kNilIndex; i = list.NextOf(i)) {
+    order.push_back(i);
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 1}));
+}
+
+// --- ConnTable sweep prefixes -------------------------------------------------
+
+TEST(ConnTable, CollectIdleWalksOnlyExpiredPrefixAscending) {
+  ConnTable table(64);
+  table.Open(3, /*now=*/100);
+  table.Open(1, /*now=*/200);
+  table.Open(2, /*now=*/300);
+  table.Touch(3, 350);  // 3 is now the most recent
+  const auto& idle = table.CollectIdle(/*now=*/460, /*timeout=*/150);
+  EXPECT_EQ(idle, (std::vector<int>{1, 2})) << "expired fds, ascending";
+  const auto& none = table.CollectIdle(/*now=*/460, /*timeout=*/500);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(ConnTable, CollectPastDeadlineIgnoresWriters) {
+  ConnTable table(64);
+  table.Open(4, /*now=*/0);
+  table.Open(5, /*now=*/0);
+  table.Open(6, /*now=*/900);
+  table.SetPhase(5, ConnPhase::kWriting);  // leaves the reading list
+  const auto& late = table.CollectPastDeadline(/*now=*/1000, /*deadline=*/500);
+  EXPECT_EQ(late, (std::vector<int>{4}));
+}
+
+// --- MemLedger ----------------------------------------------------------------
+
+TEST(MemLedger, AddSubKeepTheInvariant) {
+  MemLedger mem;
+  mem.Add(MemSys::kConns, 4096);
+  mem.Add(MemSys::kFdTable, 512);
+  mem.Sub(MemSys::kConns, 1024);
+  EXPECT_EQ(mem[MemSys::kConns], 3072u);
+  EXPECT_EQ(mem.total(), 3584u);
+  EXPECT_TRUE(mem.Consistent());
+  EXPECT_NE(mem.Signature().find("conns=3072"), std::string::npos);
+}
+
+TEST_F(SlabFixture, LedgerMatchesSelfReportsUnderTortureChurn) {
+  // Seeded open/close torture across an fd table and a conn table sharing
+  // one ledger: after every batch the ledger must (a) satisfy Sum()==total
+  // and (b) agree byte-for-byte with the structures' own tracked_bytes().
+  FdTable table(2048);
+  table.set_mem_ledger(&kernel.mem());
+  ConnTable conns(2048);
+  conns.set_mem_ledger(&kernel.mem());
+
+  std::mt19937 rng(1234);
+  std::vector<int> open;
+  for (int batch = 0; batch < 50; ++batch) {
+    for (int i = 0; i < 40; ++i) {
+      if (open.empty() || (rng() % 100) < 55) {
+        const int fd = table.Allocate(std::make_shared<InertFile>(&kernel));
+        if (fd < 0) {
+          continue;
+        }
+        conns.Open(fd, static_cast<SimTime>(batch * 40 + i));
+        open.push_back(fd);
+      } else {
+        const size_t pick = rng() % open.size();
+        const int fd = open[pick];
+        open[pick] = open.back();
+        open.pop_back();
+        conns.Close(fd);
+        ASSERT_EQ(table.Close(fd), 0);
+      }
+    }
+    ASSERT_TRUE(kernel.mem().Consistent()) << "batch " << batch;
+    ASSERT_EQ(kernel.mem()[MemSys::kFdTable], table.tracked_bytes());
+    ASSERT_EQ(kernel.mem()[MemSys::kConns], conns.tracked_bytes());
+  }
+  EXPECT_GT(kernel.mem().total(), 0u);
+}
+
+TEST_F(SlabFixture, LedgerDrainsOnStructureDestruction) {
+  {
+    FdTable table(256);
+    table.set_mem_ledger(&kernel.mem());
+    table.Allocate(std::make_shared<InertFile>(&kernel));
+    EXPECT_GT(kernel.mem()[MemSys::kFdTable], 0u);
+  }
+  EXPECT_EQ(kernel.mem()[MemSys::kFdTable], 0u) << "pages returned on dtor";
+  EXPECT_TRUE(kernel.mem().Consistent());
+}
+
+}  // namespace
+}  // namespace scio

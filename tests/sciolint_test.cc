@@ -410,6 +410,49 @@ TEST(SciolintS1, AnnotationSuppressesBareWake) {
   EXPECT_EQ(CountRule(findings, "S1", /*include_suppressed=*/true), 1);
 }
 
+// --- P1: fd-keyed node maps in per-connection layers ------------------------------
+
+TEST(SciolintP1, FlagsFdKeyedMapInServers) {
+  const auto findings = RunOn("src/servers/server_base.h", R"(
+    #include <map>
+    class ServerBase {
+      std::map<int, Conn> conns_;
+    };
+  )");
+  ASSERT_EQ(CountRule(findings, "P1"), 1);
+  const Finding* f = FindRule(findings, "P1");
+  EXPECT_NE(f->message.find("paged slab"), std::string::npos);
+}
+
+TEST(SciolintP1, FlagsFdKeyedUnorderedMapInPosix) {
+  const auto findings = RunOn("src/posix/poll_backend.h", R"(
+    std::unordered_map<int, size_t> index_;
+  )");
+  EXPECT_EQ(CountRule(findings, "P1"), 1);
+}
+
+TEST(SciolintP1, NonIntKeysAndOtherLayersAreClean) {
+  // String-keyed maps in scope, and int-keyed maps outside the
+  // per-connection layers (tools/, bench/, src/http), are not P1's business.
+  const auto in_scope = RunOn("src/kernel/process.h", R"(
+    std::map<std::string, int> by_name_;
+  )");
+  EXPECT_EQ(CountRule(in_scope, "P1"), 0);
+  const auto out_of_scope = RunOn("tools/report/tables.cc", R"(
+    std::map<int, Row> rows_by_figure_;
+  )");
+  EXPECT_EQ(CountRule(out_of_scope, "P1"), 0);
+}
+
+TEST(SciolintP1, AnnotationSuppressesNonFdIntKey) {
+  const auto findings = RunOn("src/servers/defense.h", R"(
+    // sciolint: allow(P1) -- keyed by traffic band, not by fd
+    std::map<int, BandRule> band_rules_;
+  )");
+  EXPECT_EQ(CountRule(findings, "P1"), 0);
+  EXPECT_EQ(CountRule(findings, "P1", /*include_suppressed=*/true), 1);
+}
+
 // --- M1: KernelStats counter naming -----------------------------------------------
 
 TEST(SciolintM1, FlagsBareRowName) {

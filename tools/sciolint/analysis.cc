@@ -9,7 +9,8 @@ namespace scio::lint {
 namespace {
 
 const std::set<std::string>& KnownRules() {
-  static const std::set<std::string> kRules = {"D1", "D2", "E1", "C1", "M1", "S1", "ANN"};
+  static const std::set<std::string> kRules = {"D1", "D2", "E1", "C1",
+                                               "M1", "S1", "P1", "ANN"};
   return kRules;
 }
 
@@ -33,6 +34,19 @@ std::string Basename(const std::string& path) {
 
 bool InSrc(const std::string& path) {
   return path.rfind("src/", 0) == 0 || path.find("/src/") != std::string::npos;
+}
+
+// Layers where per-connection state lives; fd-keyed node containers here are
+// a scalability bug (P1), not a style choice.
+bool InP1Scope(const std::string& path) {
+  static const char* const kDirs[] = {"src/kernel", "src/servers", "src/posix",
+                                      "src/core"};
+  for (const char* dir : kDirs) {
+    if (path.find(dir) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string Trim(const std::string& s) {
@@ -330,6 +344,25 @@ void Analysis::CheckFile(const LexedFile& file, std::vector<Finding>* out) {
          (t[i + 2].kind == Tok::kNumber && t[i + 2].text == "0"))) {
       AddFinding(file, "D1", tok.line, tok.col,
                  "wall-clock time() call in src/ — use the simulated clock", out);
+      continue;
+    }
+
+    // --- P1: fd-keyed node maps in per-connection layers ------------------
+    // `map<int, ...>` / `unordered_map<int, ...>` in src/{kernel,servers,
+    // posix,core} means a node allocation plus pointer chase per descriptor.
+    // Per-connection state belongs in paged slabs indexed by fd with
+    // intrusive lists for the sweep orders (src/kernel/paged_slab.h). Maps
+    // keyed by something that is not an fd take an allow(P1) annotation.
+    if ((tok.text == "map" || tok.text == "unordered_map") && InP1Scope(file.path) &&
+        i + 3 < t.size() && IsPunct(t[i + 1], "<") && IsIdent(t[i + 2], "int") &&
+        IsPunct(t[i + 3], ",")) {
+      AddFinding(file, "P1", tok.line, tok.col,
+                 "std::" + tok.text +
+                     "<int, ...> in a per-connection layer — key per-fd state "
+                     "into a paged slab (src/kernel/paged_slab.h) with "
+                     "intrusive lists instead of a node-per-entry map; if the "
+                     "key is not an fd, annotate with allow(P1)",
+                 out);
       continue;
     }
 
