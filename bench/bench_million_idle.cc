@@ -231,6 +231,22 @@ PointResult RunPoint(ServerKind kind, size_t target) {
       server = std::move(s);
       break;
     }
+    case ServerKind::kThttpdEpoll:
+    case ServerKind::kThttpdEpollEt: {
+      ThttpdEpollConfig ep;
+      ep.edge_triggered = kind == ServerKind::kThttpdEpollEt;
+      auto s = std::make_unique<ThttpdEpoll>(&sys, &content, server_config, ep);
+      setup_ok = s->Setup() >= 0 && s->SetupEpoll() >= 0;
+      server = std::move(s);
+      break;
+    }
+    case ServerKind::kPhhttpdKqueue: {
+      auto s = std::make_unique<PhhttpdKqueue>(&sys, &content, server_config,
+                                               PhhttpdKqueueConfig{});
+      setup_ok = s->Setup() >= 0 && s->SetupKqueue() >= 0;
+      server = std::move(s);
+      break;
+    }
   }
   if (!setup_ok) {
     return r;
@@ -281,7 +297,9 @@ PointResult RunPoint(ServerKind kind, size_t target) {
   r.t_wait = delta(ChargeCat::kPollfdCopyin) + delta(ChargeCat::kDriverPoll) +
              delta(ChargeCat::kWaitqueue) + delta(ChargeCat::kResultCopyout) +
              delta(ChargeCat::kDevpollScan) + delta(ChargeCat::kSignalDequeue) +
-             delta(ChargeCat::kPollfdRebuild);
+             delta(ChargeCat::kPollfdRebuild) + delta(ChargeCat::kEpollCtl) +
+             delta(ChargeCat::kEpollReady) + delta(ChargeCat::kEpollWait) +
+             delta(ChargeCat::kKqRegister) + delta(ChargeCat::kKqFilter);
   r.t_sweep = delta(ChargeCat::kTimerSweep);
   r.t_loop = delta(ChargeCat::kServerLoop);
   r.t_other = r.window_busy - r.t_wait - r.t_sweep - r.t_loop;
@@ -349,9 +367,10 @@ int main(int argc, char** argv) {
   if (!quick) {
     points.push_back(1'000'000);
   }
-  const std::vector<ServerKind> cores = {ServerKind::kThttpdPoll,
-                                         ServerKind::kThttpdDevPoll,
-                                         ServerKind::kPhhttpd, ServerKind::kHybrid};
+  const std::vector<ServerKind> cores = {
+      ServerKind::kThttpdPoll,  ServerKind::kThttpdDevPoll,
+      ServerKind::kPhhttpd,     ServerKind::kHybrid,
+      ServerKind::kThttpdEpoll, ServerKind::kPhhttpdKqueue};
 
   std::cout << "=== million-idle sweep: CPU shape + bytes/connection"
             << (quick ? " (quick)" : "") << " ===\n\n";

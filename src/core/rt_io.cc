@@ -81,7 +81,11 @@ int RtIo::SigTimedWait4(std::span<SigInfo> out, int timeout_ms) {
     }
     out[n++] = *si;
     if (n > 1) {
-      kernel_->Charge(kernel_->cost().rt_sigwait_per_extra_sig,
+      // The batch amortizes the trap, not the per-entry work: every entry
+      // beyond the first pays the marginal dequeue plus its own siginfo
+      // copyout (the first entry's copyout is inside rt_sigwaitinfo_extra).
+      kernel_->Charge(kernel_->cost().rt_sigwait_per_extra_sig +
+                          kernel_->cost().rt_siginfo_copyout,
                       ChargeCat::kSignalDequeue);
     }
   }

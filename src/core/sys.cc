@@ -164,6 +164,58 @@ int Sys::DevPollWritePoll(int dpfd, std::span<const PollFd> updates, DvPoll* arg
   return device == nullptr ? -1 : device->IoctlDpWritePoll(updates, args);
 }
 
+int Sys::OpenEpoll() {
+  SyscallTraceScope trace(kernel_, "epoll_create");
+  ++kernel_->stats().syscalls;
+  kernel_->Charge(kernel_->cost().syscall_entry, ChargeCat::kSyscallEntry);
+  if (FaultPlane* fault = kernel_->fault(); fault != nullptr && fault->InjectOpenEmfile()) {
+    trace.set_result(kErrMFile);
+    return kErrMFile;
+  }
+  auto device = std::make_shared<EpollDevice>(kernel_, proc_);
+  const int fd = proc_->fds().Allocate(std::move(device));
+  trace.set_result(fd);
+  return fd;
+}
+
+std::shared_ptr<EpollDevice> Sys::epoll_dev(int epfd) {
+  return std::dynamic_pointer_cast<EpollDevice>(proc_->fds().Get(epfd));
+}
+
+int Sys::EpollCtl(int epfd, EpollOp op, int fd, PollEvents events, uint16_t flags) {
+  auto device = epoll_dev(epfd);
+  return device == nullptr ? -1 : device->Ctl(op, fd, events, flags);
+}
+
+int Sys::EpollWait(int epfd, PollFd* out, int max, int timeout_ms) {
+  auto device = epoll_dev(epfd);
+  return device == nullptr ? -1 : device->Wait(out, max, timeout_ms);
+}
+
+int Sys::OpenKqueue() {
+  SyscallTraceScope trace(kernel_, "kqueue");
+  ++kernel_->stats().syscalls;
+  kernel_->Charge(kernel_->cost().syscall_entry, ChargeCat::kSyscallEntry);
+  if (FaultPlane* fault = kernel_->fault(); fault != nullptr && fault->InjectOpenEmfile()) {
+    trace.set_result(kErrMFile);
+    return kErrMFile;
+  }
+  auto device = std::make_shared<KqueueDevice>(kernel_, proc_);
+  const int fd = proc_->fds().Allocate(std::move(device));
+  trace.set_result(fd);
+  return fd;
+}
+
+std::shared_ptr<KqueueDevice> Sys::kqueue_dev(int kqfd) {
+  return std::dynamic_pointer_cast<KqueueDevice>(proc_->fds().Get(kqfd));
+}
+
+int Sys::Kevent(int kqfd, std::span<const KEvent> changes, std::span<KEvent> events,
+                int timeout_ms) {
+  auto device = kqueue_dev(kqfd);
+  return device == nullptr ? -1 : device->Kevent(changes, events, timeout_ms);
+}
+
 int Sys::InstallFile(std::shared_ptr<File> file) {
   SyscallTraceScope trace(kernel_, "install_fd");
   ++kernel_->stats().syscalls;

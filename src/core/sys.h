@@ -15,6 +15,8 @@
 #include <span>
 
 #include "src/core/devpoll.h"
+#include "src/core/epoll_core.h"
+#include "src/core/kqueue_core.h"
 #include "src/core/poll_syscall.h"
 #include "src/core/rt_io.h"
 #include "src/kernel/process.h"
@@ -71,6 +73,20 @@ class Sys {
   [[nodiscard]] int DevPollWritePoll(int dpfd, std::span<const PollFd> updates, DvPoll* args);
   // Direct handle, for tests and introspection.
   std::shared_ptr<DevPollDevice> devpoll(int dpfd);
+
+  // --- successor cores --------------------------------------------------------------
+  // epoll_create(): returns the epoll fd, or -1 / kErrMFile.
+  [[nodiscard]] int OpenEpoll();
+  [[nodiscard]] int EpollCtl(int epfd, EpollOp op, int fd, PollEvents events,
+                             uint16_t flags = 0);
+  [[nodiscard]] int EpollWait(int epfd, PollFd* out, int max, int timeout_ms);
+  std::shared_ptr<EpollDevice> epoll_dev(int epfd);
+
+  // kqueue(): returns the kqueue fd, or -1 / kErrMFile.
+  [[nodiscard]] int OpenKqueue();
+  [[nodiscard]] int Kevent(int kqfd, std::span<const KEvent> changes,
+                           std::span<KEvent> events, int timeout_ms);
+  std::shared_ptr<KqueueDevice> kqueue_dev(int kqfd);
 
   // --- RT signals -----------------------------------------------------------------
   [[nodiscard]] int ArmAsync(int fd, int signo) { return rt_.ArmAsync(fd, signo); }

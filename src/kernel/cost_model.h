@@ -58,12 +58,34 @@ struct CostModel {
   SimDuration devpoll_ioctl_extra = Micros(1);
   SimDuration devpoll_lock_acquire = Nanos(120);  // backmap rwlock, counted
 
+  // --- successor event cores (epoll-style / kqueue-style) ----------------------
+  // The epoll-style core: interest mutations touch one slab slot, the driver
+  // pushes ready descriptors onto a kernel ready list (interrupt context),
+  // and a wait harvests only that list — never the full interest set.
+  SimDuration epoll_ctl_extra = Nanos(1500);     // one interest-slab slot update
+  SimDuration epoll_ready_enqueue = Nanos(250);  // driver-side ready-list link
+  SimDuration epoll_wait_per_event = Nanos(350); // ready-list dequeue + revalidate
+  SimDuration epoll_copyout_per_event = Nanos(800);
+  // The kqueue-style filter core: one kevent() applies a changelist and
+  // harvests an eventlist in the same trap; per-(fd,filter) knotes activate
+  // from interrupt context and are re-filtered at harvest.
+  SimDuration kq_kevent_extra = Micros(1);       // changelist/eventlist setup
+  SimDuration kq_change_per_entry = Nanos(1300); // apply one changelist entry
+  SimDuration kq_knote_activate = Nanos(250);    // knote -> active list (interrupt)
+  SimDuration kq_filter_eval = Nanos(300);       // re-run one filter at harvest
+  SimDuration kq_copyout_per_event = Nanos(800);
+
   // --- POSIX RT signals ---------------------------------------------------------
   // One sigwaitinfo() trap per event is the cost the paper blames for
   // phhttpd faltering under load (§5.2): dequeue, siginfo copyout, signal
   // mask manipulation.
   SimDuration rt_sigwaitinfo_extra = Micros(85);
   SimDuration rt_sigwait_per_extra_sig = Micros(3);  // batch dequeue marginal cost
+  // Copying one additional siginfo to userspace during a sigtimedwait4 batch
+  // dequeue. The batch amortizes the trap and the mask manipulation, but
+  // every entry beyond the first (whose copyout rt_sigwaitinfo_extra already
+  // covers) still pays its own copyout.
+  SimDuration rt_siginfo_copyout = Micros(2);
   // Kernel-side enqueue: allocate the siginfo, walk the fasync list, queue —
   // charged as interrupt-context debt.
   SimDuration rt_signal_enqueue = Micros(25);

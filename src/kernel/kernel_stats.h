@@ -58,6 +58,21 @@ namespace scio {
   X(devpoll_lock_read_acquires, "devpoll.lock_read_acquires")                  \
   X(devpoll_lock_write_acquires, "devpoll.lock_write_acquires")                \
   X(devpoll_table_resizes, "devpoll.table_resizes")                            \
+  /* Epoll-style successor core. */                                            \
+  X(epoll_ctls, "epoll.ctls")                                                  \
+  X(epoll_waits, "epoll.waits")                                                \
+  X(epoll_ready_enqueues, "epoll.ready_enqueues")                              \
+  X(epoll_events_delivered, "epoll.events_delivered")                          \
+  /* Ready-list entries revalidated whose driver mask no longer matches       \
+     (LT recheck or consumed edge): unlinked, nothing delivered. */            \
+  X(epoll_spurious_ready, "epoll.spurious_ready")                              \
+  X(epoll_stale_drops, "epoll.stale_drops")                                    \
+  /* Kqueue-style filter core. */                                              \
+  X(kq_kevents, "kq.kevents")                                                  \
+  X(kq_changes_applied, "kq.changes_applied")                                  \
+  X(kq_knote_activations, "kq.knote_activations")                              \
+  X(kq_events_delivered, "kq.events_delivered")                                \
+  X(kq_spurious_active, "kq.spurious_active")                                  \
   /* RT signals. */                                                            \
   X(rt_signals_queued, "rt.signals_queued")                                    \
   X(rt_signals_dropped, "rt.signals_dropped")                                  \

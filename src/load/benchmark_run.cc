@@ -20,6 +20,12 @@ std::string ServerKindName(ServerKind kind) {
       return "phhttpd";
     case ServerKind::kHybrid:
       return "hybrid";
+    case ServerKind::kThttpdEpoll:
+      return "thttpd-epoll";
+    case ServerKind::kThttpdEpollEt:
+      return "thttpd-epoll-et";
+    case ServerKind::kPhhttpdKqueue:
+      return "phhttpd-kqueue";
   }
   return "unknown";
 }
@@ -86,6 +92,23 @@ BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config) {
       if (setup_ok) {
         s->SetupHybrid();
       }
+      server = std::move(s);
+      break;
+    }
+    case ServerKind::kThttpdEpoll:
+    case ServerKind::kThttpdEpollEt: {
+      ThttpdEpollConfig ep = config.epoll_config;
+      ep.edge_triggered =
+          config.server == ServerKind::kThttpdEpollEt || ep.edge_triggered;
+      auto s = std::make_unique<ThttpdEpoll>(&sys, &content, config.server_config, ep);
+      setup_ok = s->Setup() >= 0 && s->SetupEpoll() >= 0;
+      server = std::move(s);
+      break;
+    }
+    case ServerKind::kPhhttpdKqueue: {
+      auto s = std::make_unique<PhhttpdKqueue>(&sys, &content, config.server_config,
+                                               config.kqueue_config);
+      setup_ok = s->Setup() >= 0 && s->SetupKqueue() >= 0;
       server = std::move(s);
       break;
     }

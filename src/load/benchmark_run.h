@@ -22,7 +22,9 @@
 #include "src/servers/defense.h"
 #include "src/servers/hybrid_server.h"
 #include "src/servers/phhttpd.h"
+#include "src/servers/phhttpd_kqueue.h"
 #include "src/servers/thttpd_devpoll.h"
+#include "src/servers/thttpd_epoll.h"
 #include "src/servers/thttpd_poll.h"
 #include "src/trace/flight_recorder.h"
 #include "src/trace/time_attribution.h"
@@ -34,6 +36,9 @@ enum class ServerKind {
   kThttpdDevPoll,
   kPhhttpd,
   kHybrid,
+  kThttpdEpoll,    // epoll-style successor core, level-triggered
+  kThttpdEpollEt,  // same server, edge-triggered interests
+  kPhhttpdKqueue,  // kqueue-style filter core, EV_CLEAR knotes
 };
 
 std::string ServerKindName(ServerKind kind);
@@ -74,6 +79,8 @@ struct BenchmarkRunConfig {
   PollSyscallOptions poll_options;
   PhhttpdConfig phhttpd_config;
   HybridServerConfig hybrid_config;
+  ThttpdEpollConfig epoll_config;   // edge_triggered forced on for kThttpdEpollEt
+  PhhttpdKqueueConfig kqueue_config;
   size_t rt_queue_max = kDefaultRtQueueMax;
 
   // Optional flight recorder (borrowed; must outlive the run). When set it

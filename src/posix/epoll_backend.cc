@@ -1,9 +1,11 @@
 #include "src/posix/epoll_backend.h"
 
+#include <errno.h>
 #include <sys/epoll.h>
 #include <unistd.h>
 
 #include <array>
+#include <chrono>
 
 namespace scio {
 
@@ -77,13 +79,37 @@ int EpollBackend::Remove(int fd) {
 
 int EpollBackend::Wait(std::vector<PosixEvent>& out, int timeout_ms) {
   std::array<epoll_event, 256> events;
-  const int rc = ::epoll_wait(epfd_, events.data(), static_cast<int>(events.size()),
-                              timeout_ms);
-  for (int i = 0; i < rc; ++i) {
-    out.push_back(PosixEvent{events[static_cast<size_t>(i)].data.fd,
-                             FromEpoll(events[static_cast<size_t>(i)].events)});
+  // A signal that lands mid-wait makes epoll_wait fail with EINTR even when
+  // the deadline has not passed. Retry with the *remaining* timeout so a
+  // caller-visible 0 still means "the full timeout elapsed with no events"
+  // — without this, a periodic timer starves the caller of its wait. This
+  // backend wraps the real OS epoll, so the retry deadline must follow the
+  // same real clock the kernel's timeout follows.
+  // sciolint: allow(D1) -- real-OS backend; deadline tracks the real clock
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  int remaining_ms = timeout_ms;
+  while (true) {
+    const int rc = ::epoll_wait(epfd_, events.data(), static_cast<int>(events.size()),
+                                remaining_ms);
+    if (rc < 0 && errno == EINTR) {
+      if (timeout_ms >= 0) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            // sciolint: allow(D1) -- see above; real-clock remaining time
+            deadline - std::chrono::steady_clock::now());
+        remaining_ms = static_cast<int>(left.count());
+        if (remaining_ms <= 0) {
+          return 0;  // the interruption consumed the whole timeout
+        }
+      }
+      continue;  // timeout_ms < 0: retry the indefinite wait
+    }
+    for (int i = 0; i < rc; ++i) {
+      out.push_back(PosixEvent{events[static_cast<size_t>(i)].data.fd,
+                               FromEpoll(events[static_cast<size_t>(i)].events)});
+    }
+    return rc;
   }
-  return rc;
 }
 
 }  // namespace scio

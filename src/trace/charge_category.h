@@ -36,6 +36,12 @@ namespace scio {
   X(kInterestUpdate, interest_update) /* write(): copyin + hash update */      \
   X(kDevpollScan, devpoll_scan)       /* per-interest scan + scan lock */      \
   X(kHintMark, hint_mark)             /* driver-side backmap hint marking */   \
+  /* --- successor cores (epoll-style ready list, kqueue-style knotes) ------*/ \
+  X(kEpollCtl, epoll_ctl)     /* epoll_ctl interest-slab mutation */           \
+  X(kEpollReady, epoll_ready) /* driver-side ready-list enqueue (debt) */      \
+  X(kEpollWait, epoll_wait)   /* epoll_wait ready-list walk + dequeue */       \
+  X(kKqRegister, kq_register) /* kevent changelist application */              \
+  X(kKqFilter, kq_filter)     /* knote activation (debt) + filter re-eval */   \
   /* --- RT signals --------------------------------------------------------*/ \
   X(kSignalEnqueue, signal_enqueue)  /* kernel-side siginfo enqueue (debt) */  \
   X(kSignalDequeue, signal_dequeue)  /* sigwaitinfo dequeue + copyout */       \

@@ -1,0 +1,256 @@
+// Tests for the epoll-style successor core: ready-list semantics, the
+// level/edge differential, EPOLLONESHOT rearm, truncation never losing
+// readiness, stale-fd auto-removal, attribution, and fault injection.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/fault/fault_plane.h"
+#include "tests/sim_world.h"
+
+namespace scio {
+namespace {
+
+class EpollCoreTest : public SimWorldTest {
+ protected:
+  int OpenDev() {
+    const int epfd = sys_.OpenEpoll();
+    EXPECT_GE(epfd, 0);
+    return epfd;
+  }
+};
+
+TEST_F(EpollCoreTest, CtlAddWaitDeliversReadable) {
+  const int epfd = OpenDev();
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(sys_.EpollCtl(epfd, EpollOp::kAdd, fd, kPollIn), 0);
+  client->Write(Chunk{"GET ", 0});
+  RunFor(Millis(5));
+  PollFd out[4];
+  ASSERT_EQ(sys_.EpollWait(epfd, out, 4, 0), 1);
+  EXPECT_EQ(out[0].fd, fd);
+  EXPECT_NE(out[0].revents & kPollIn, 0);
+  EXPECT_EQ(kernel_.stats().epoll_events_delivered, 1u);
+}
+
+TEST_F(EpollCoreTest, ReadinessPredatingAddIsNotLost) {
+  // The registration probe: data that arrived BEFORE epoll_ctl(ADD) must
+  // still be reported — even edge-triggered users never need the
+  // probe-after-arm dance the RT-signal servers do.
+  const int epfd = OpenDev();
+  auto [client, fd] = EstablishedPair();
+  client->Write(Chunk{"early", 0});
+  RunFor(Millis(5));
+  ASSERT_EQ(sys_.EpollCtl(epfd, EpollOp::kAdd, fd, kPollIn, kEpollEdge), 0);
+  PollFd out[4];
+  ASSERT_EQ(sys_.EpollWait(epfd, out, 4, 0), 1) << "pre-existing readiness seeded";
+  EXPECT_EQ(out[0].fd, fd);
+  (void)client;
+}
+
+TEST_F(EpollCoreTest, DuplicateAddAndMissingModRejected) {
+  const int epfd = OpenDev();
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(sys_.EpollCtl(epfd, EpollOp::kAdd, fd, kPollIn), 0);
+  EXPECT_EQ(sys_.EpollCtl(epfd, EpollOp::kAdd, fd, kPollIn), -1) << "EEXIST";
+  EXPECT_EQ(sys_.EpollCtl(epfd, EpollOp::kMod, fd + 100, kPollIn), -1) << "ENOENT";
+  EXPECT_EQ(sys_.EpollCtl(epfd, EpollOp::kDel, fd + 100, 0), -1) << "ENOENT";
+  (void)client;
+}
+
+// --- the differential the successor cores exist for: LT vs ET on unread data
+
+TEST_F(EpollCoreTest, LevelTriggeredRereportsUnreadData) {
+  const int epfd = OpenDev();
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(sys_.EpollCtl(epfd, EpollOp::kAdd, fd, kPollIn), 0);
+  client->Write(Chunk{"unread", 0});
+  RunFor(Millis(5));
+  PollFd out[4];
+  // Deliberately never read the data: level-triggered re-reports the same
+  // fd on every wait while it stays readable.
+  ASSERT_EQ(sys_.EpollWait(epfd, out, 4, 0), 1);
+  ASSERT_EQ(sys_.EpollWait(epfd, out, 4, 0), 1) << "LT re-reports";
+  ASSERT_EQ(sys_.EpollWait(epfd, out, 4, 0), 1) << "LT re-reports again";
+  EXPECT_EQ(out[0].fd, fd);
+  // Draining the socket ends the reports.
+  EXPECT_GT(sys_.Read(fd, 100).n, 0u);
+  EXPECT_EQ(sys_.EpollWait(epfd, out, 4, 0), 0) << "drained: not ready";
+}
+
+TEST_F(EpollCoreTest, EdgeTriggeredReportsOnceUntilNewData) {
+  const int epfd = OpenDev();
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(sys_.EpollCtl(epfd, EpollOp::kAdd, fd, kPollIn, kEpollEdge), 0);
+  client->Write(Chunk{"unread", 0});
+  RunFor(Millis(5));
+  PollFd out[4];
+  ASSERT_EQ(sys_.EpollWait(epfd, out, 4, 0), 1);
+  // Same unread data, no new edge: silent. This is exactly where ET and LT
+  // diverge on identical socket state.
+  EXPECT_EQ(sys_.EpollWait(epfd, out, 4, 0), 0) << "ET silent until a new edge";
+  // New data = new edge: reported again.
+  client->Write(Chunk{"more", 0});
+  RunFor(Millis(5));
+  ASSERT_EQ(sys_.EpollWait(epfd, out, 4, 0), 1) << "fresh edge re-queues";
+  EXPECT_EQ(out[0].fd, fd);
+}
+
+// --- truncation: a full event buffer must never lose readiness --------------
+
+TEST_F(EpollCoreTest, TruncatedLevelWaitRereportsTheRest) {
+  const int epfd = OpenDev();
+  std::vector<std::shared_ptr<SimSocket>> clients;
+  for (int i = 0; i < 4; ++i) {
+    auto [client, fd] = EstablishedPair();
+    ASSERT_EQ(sys_.EpollCtl(epfd, EpollOp::kAdd, fd, kPollIn), 0);
+    client->Write(Chunk{"x", 0});
+    clients.push_back(client);
+  }
+  RunFor(Millis(5));
+  // Buffer of 2: delivered LT entries rotate to the back, so two waits must
+  // between them cover all four fds — truncation cannot starve the tail.
+  PollFd out[2];
+  std::set<int> seen;
+  ASSERT_EQ(sys_.EpollWait(epfd, out, 2, 0), 2);
+  seen.insert(out[0].fd);
+  seen.insert(out[1].fd);
+  ASSERT_EQ(sys_.EpollWait(epfd, out, 2, 0), 2);
+  seen.insert(out[0].fd);
+  seen.insert(out[1].fd);
+  EXPECT_EQ(seen.size(), 4u) << "round-robin covered every ready fd";
+}
+
+TEST_F(EpollCoreTest, TruncatedEdgeWaitKeepsUndeliveredReady) {
+  // ET consumes readiness at DELIVERY, not at enqueue: edges that did not
+  // fit in the buffer stay queued for the next wait.
+  const int epfd = OpenDev();
+  std::vector<std::shared_ptr<SimSocket>> clients;
+  std::set<int> expected;
+  for (int i = 0; i < 4; ++i) {
+    auto [client, fd] = EstablishedPair();
+    ASSERT_EQ(sys_.EpollCtl(epfd, EpollOp::kAdd, fd, kPollIn, kEpollEdge), 0);
+    client->Write(Chunk{"x", 0});
+    clients.push_back(client);
+    expected.insert(fd);
+  }
+  RunFor(Millis(5));
+  PollFd out[2];
+  std::set<int> seen;
+  ASSERT_EQ(sys_.EpollWait(epfd, out, 2, 0), 2);
+  seen.insert(out[0].fd);
+  seen.insert(out[1].fd);
+  ASSERT_EQ(sys_.EpollWait(epfd, out, 2, 0), 2) << "truncated edges not lost";
+  seen.insert(out[0].fd);
+  seen.insert(out[1].fd);
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(sys_.EpollWait(epfd, out, 2, 0), 0) << "all edges now consumed";
+}
+
+// --- oneshot -----------------------------------------------------------------
+
+TEST_F(EpollCoreTest, OneshotDisablesUntilRearmed) {
+  const int epfd = OpenDev();
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(sys_.EpollCtl(epfd, EpollOp::kAdd, fd, kPollIn, kEpollOneshot), 0);
+  client->Write(Chunk{"a", 0});
+  RunFor(Millis(5));
+  PollFd out[4];
+  ASSERT_EQ(sys_.EpollWait(epfd, out, 4, 0), 1);
+  // Fired: dormant. More data must NOT re-queue it.
+  client->Write(Chunk{"b", 0});
+  RunFor(Millis(5));
+  EXPECT_EQ(sys_.EpollWait(epfd, out, 4, 0), 0) << "fired oneshot is dormant";
+  // MOD re-arms; the registration probe sees the pending data immediately.
+  ASSERT_EQ(sys_.EpollCtl(epfd, EpollOp::kMod, fd, kPollIn, kEpollOneshot), 0);
+  ASSERT_EQ(sys_.EpollWait(epfd, out, 4, 0), 1) << "rearm + probe re-reports";
+}
+
+// --- lifecycle ---------------------------------------------------------------
+
+TEST_F(EpollCoreTest, ClosedFdInterestIsDroppedAtHarvest) {
+  const int epfd = OpenDev();
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(sys_.EpollCtl(epfd, EpollOp::kAdd, fd, kPollIn), 0);
+  client->Write(Chunk{"x", 0});
+  RunFor(Millis(5));
+  ASSERT_EQ(sys_.Close(fd), 0);  // no EPOLL_CTL_DEL — sloppy application
+  PollFd out[4];
+  EXPECT_EQ(sys_.EpollWait(epfd, out, 4, 0), 0);
+  EXPECT_GE(kernel_.stats().epoll_stale_drops, 1u);
+  EXPECT_EQ(sys_.epoll_dev(epfd)->interest_count(), 0u)
+      << "the interest followed the file, not the fd number";
+}
+
+TEST_F(EpollCoreTest, BlockingWaitWokenByArrival) {
+  const int epfd = OpenDev();
+  ASSERT_EQ(sys_.EpollCtl(epfd, EpollOp::kAdd, listen_fd_, kPollIn), 0);
+  sim_.ScheduleAt(Millis(20), [&] { net_.Connect(listener_); });
+  PollFd out[4];
+  const int n = sys_.EpollWait(epfd, out, 4, 1000);
+  ASSERT_EQ(n, 1);
+  EXPECT_EQ(out[0].fd, listen_fd_);
+  EXPECT_GE(kernel_.now(), Millis(20));
+  EXPECT_LT(kernel_.now(), Millis(100)) << "woken by the SYN, not the timeout";
+  EXPECT_GE(kernel_.stats().wait_exclusive_adds, 1u) << "slept as one exclusive waiter";
+}
+
+TEST_F(EpollCoreTest, BlockingWaitTimesOut) {
+  const int epfd = OpenDev();
+  ASSERT_EQ(sys_.EpollCtl(epfd, EpollOp::kAdd, listen_fd_, kPollIn), 0);
+  PollFd out[4];
+  EXPECT_EQ(sys_.EpollWait(epfd, out, 4, 50), 0);
+  EXPECT_GE(kernel_.now(), Millis(50));
+}
+
+TEST_F(EpollCoreTest, AttributionSumEqualsBusyAcrossEpollTraffic) {
+  const int epfd = OpenDev();
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(sys_.EpollCtl(epfd, EpollOp::kAdd, fd, kPollIn), 0);
+  client->Write(Chunk{"data", 0});
+  RunFor(Millis(5));
+  PollFd out[4];
+  ASSERT_EQ(sys_.EpollWait(epfd, out, 4, 0), 1);
+  kernel_.Charge(Nanos(1), ChargeCat::kOther);  // flush any interrupt debt
+  EXPECT_EQ(kernel_.attribution().Sum(), kernel_.busy_time());
+  EXPECT_GT(kernel_.attribution()[ChargeCat::kEpollCtl], 0);
+  EXPECT_GT(kernel_.attribution()[ChargeCat::kEpollReady], 0);
+  EXPECT_GT(kernel_.attribution()[ChargeCat::kEpollWait], 0);
+}
+
+TEST_F(EpollCoreTest, InterestMemoryIsLedgeredAndReleased) {
+  const int epfd = OpenDev();
+  const uint64_t before = kernel_.mem()[MemSys::kInterests];
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(sys_.EpollCtl(epfd, EpollOp::kAdd, fd, kPollIn), 0);
+  EXPECT_GT(kernel_.mem()[MemSys::kInterests], before)
+      << "interest slab pages are accounted";
+  ASSERT_EQ(sys_.Close(epfd), 0);
+  EXPECT_EQ(kernel_.mem()[MemSys::kInterests], before)
+      << "closing the device returns every page";
+  (void)client;
+}
+
+TEST_F(EpollCoreTest, CtlEnomemAndWaitEintrInjection) {
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kInterestEnomem, 0, Millis(10), 1.0, 0, LinkDir::kBoth});
+  schedule.Add({FaultKind::kEintr, Millis(20), kSimTimeNever, 1.0, 0, LinkDir::kBoth});
+  FaultPlane plane(&sim_, schedule);
+  kernel_.set_fault_plane(&plane);
+
+  const int epfd = OpenDev();
+  auto [client, fd] = EstablishedPair();
+  EXPECT_EQ(sys_.EpollCtl(epfd, EpollOp::kAdd, fd, kPollIn), kErrNoMem);
+  EXPECT_FALSE(sys_.epoll_dev(epfd)->Watching(fd)) << "failed add left no state";
+  RunFor(Millis(15));
+  ASSERT_EQ(sys_.EpollCtl(epfd, EpollOp::kAdd, fd, kPollIn), 0) << "retry succeeds";
+
+  PollFd out[4];
+  EXPECT_EQ(sys_.EpollWait(epfd, out, 4, 50), kErrIntr);
+  (void)client;
+}
+
+}  // namespace
+}  // namespace scio

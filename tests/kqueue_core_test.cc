@@ -1,0 +1,268 @@
+// Tests for the kqueue-style filter core: the fused changelist+eventlist
+// trap, per-(fd,filter) knotes, EV_CLEAR edge-like vs level semantics,
+// EV_ONESHOT, enable/disable, truncation, and the registration probe.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/fault/fault_plane.h"
+#include "tests/sim_world.h"
+
+namespace scio {
+namespace {
+
+class KqueueCoreTest : public SimWorldTest {
+ protected:
+  int OpenDev() {
+    kqfd_ = sys_.OpenKqueue();
+    EXPECT_GE(kqfd_, 0);
+    return kqfd_;
+  }
+
+  // Pure-changelist kevent: apply one change, harvest nothing.
+  int Change(int fd, int16_t filter, uint16_t flags) {
+    const KEvent change{fd, filter, flags, 0};
+    return sys_.Kevent(kqfd_, {&change, 1}, {}, 0);
+  }
+
+  // Pure-harvest kevent (non-blocking); returns delivered events.
+  std::vector<KEvent> Harvest(int max = 16) {
+    std::vector<KEvent> events(static_cast<size_t>(max));
+    const int n = sys_.Kevent(kqfd_, {}, events, 0);
+    events.resize(n > 0 ? static_cast<size_t>(n) : 0);
+    return events;
+  }
+
+  int kqfd_ = -1;
+};
+
+TEST_F(KqueueCoreTest, RegisterAndHarvestReadable) {
+  OpenDev();
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(Change(fd, kFiltRead, kEvAdd), 0);
+  EXPECT_TRUE(sys_.kqueue_dev(kqfd_)->HasKnote(fd, kFiltRead));
+  client->Write(Chunk{"GET ", 0});
+  RunFor(Millis(5));
+  auto events = Harvest();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ident, fd);
+  EXPECT_EQ(events[0].filter, kFiltRead);
+  EXPECT_EQ(kernel_.stats().kq_events_delivered, 1u);
+}
+
+TEST_F(KqueueCoreTest, FusedChangelistAndHarvestIsOneTrap) {
+  // The §6 idea kqueue ran with: registration and collection in one call.
+  OpenDev();
+  auto [client, fd] = EstablishedPair();
+  client->Write(Chunk{"go", 0});
+  RunFor(Millis(5));
+  const KEvent change{fd, kFiltRead, kEvAdd, 0};
+  std::vector<KEvent> events(4);
+  const uint64_t syscalls_before = kernel_.stats().syscalls;
+  const int n = sys_.Kevent(kqfd_, {&change, 1}, events, 0);
+  EXPECT_EQ(kernel_.stats().syscalls, syscalls_before + 1)
+      << "one trap registered AND delivered";
+  ASSERT_EQ(n, 1);
+  EXPECT_EQ(events[0].ident, fd);
+}
+
+TEST_F(KqueueCoreTest, ReadAndWriteKnotesAreIndependent) {
+  OpenDev();
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(Change(fd, kFiltRead, kEvAdd), 0);
+  ASSERT_EQ(Change(fd, kFiltWrite, kEvAdd), 0);
+  EXPECT_EQ(sys_.kqueue_dev(kqfd_)->knote_count(), 2u);
+  RunFor(Millis(5));
+  // Nothing to read, but the socket is writable: only the write knote fires.
+  auto events = Harvest();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].filter, kFiltWrite);
+  // Deleting the write knote leaves the read knote registered.
+  ASSERT_EQ(Change(fd, kFiltWrite, kEvDelete), 0);
+  EXPECT_EQ(sys_.kqueue_dev(kqfd_)->knote_count(), 1u);
+  EXPECT_TRUE(sys_.kqueue_dev(kqfd_)->HasKnote(fd, kFiltRead));
+  EXPECT_FALSE(sys_.kqueue_dev(kqfd_)->HasKnote(fd, kFiltWrite));
+  (void)client;
+}
+
+TEST_F(KqueueCoreTest, DeleteUnknownKnoteFails) {
+  OpenDev();
+  auto [client, fd] = EstablishedPair();
+  EXPECT_EQ(Change(fd, kFiltRead, kEvDelete), -1) << "ENOENT";
+  EXPECT_EQ(Change(fd + 100, kFiltRead, kEvAdd), -1) << "EBADF";
+  (void)client;
+}
+
+// --- EV_CLEAR: the edge-like vs level differential ---------------------------
+
+TEST_F(KqueueCoreTest, LevelKnoteRereportsUnreadData) {
+  OpenDev();
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(Change(fd, kFiltRead, kEvAdd), 0);
+  client->Write(Chunk{"unread", 0});
+  RunFor(Millis(5));
+  ASSERT_EQ(Harvest().size(), 1u);
+  ASSERT_EQ(Harvest().size(), 1u) << "level knote re-reports while readable";
+  EXPECT_GT(sys_.Read(fd, 100).n, 0u);
+  EXPECT_TRUE(Harvest().empty()) << "drained: filter no longer holds";
+}
+
+TEST_F(KqueueCoreTest, EvClearReportsOnceUntilNewData) {
+  OpenDev();
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(Change(fd, kFiltRead, kEvAdd | kEvClear), 0);
+  client->Write(Chunk{"unread", 0});
+  RunFor(Millis(5));
+  ASSERT_EQ(Harvest().size(), 1u);
+  EXPECT_TRUE(Harvest().empty()) << "EV_CLEAR: state cleared after delivery";
+  client->Write(Chunk{"more", 0});
+  RunFor(Millis(5));
+  ASSERT_EQ(Harvest().size(), 1u) << "fresh activation re-reports";
+}
+
+TEST_F(KqueueCoreTest, TruncatedEventlistKeepsRemainderBothModes) {
+  // A too-small eventlist must never lose readiness, clear or level.
+  for (const uint16_t mode : {static_cast<uint16_t>(0), kEvClear}) {
+    SCOPED_TRACE(mode == 0 ? "level" : "ev_clear");
+    const int kqfd = sys_.OpenKqueue();
+    ASSERT_GE(kqfd, 0);
+    std::vector<std::shared_ptr<SimSocket>> clients;
+    std::set<int> expected;
+    for (int i = 0; i < 4; ++i) {
+      auto [client, fd] = EstablishedPair();
+      const KEvent change{fd, kFiltRead, static_cast<uint16_t>(kEvAdd | mode), 0};
+      ASSERT_EQ(sys_.Kevent(kqfd, {&change, 1}, {}, 0), 0);
+      client->Write(Chunk{"x", 0});
+      clients.push_back(client);
+      expected.insert(fd);
+    }
+    RunFor(Millis(5));
+    std::vector<KEvent> events(2);
+    std::set<int> seen;
+    ASSERT_EQ(sys_.Kevent(kqfd, {}, events, 0), 2);
+    seen.insert(events[0].ident);
+    seen.insert(events[1].ident);
+    ASSERT_EQ(sys_.Kevent(kqfd, {}, events, 0), 2) << "remainder not lost";
+    seen.insert(events[0].ident);
+    seen.insert(events[1].ident);
+    EXPECT_EQ(seen, expected);
+    // Drain server-side so the next iteration starts clean.
+    for (int fd : expected) {
+      EXPECT_GT(sys_.Read(fd, 100).n, 0u);
+      EXPECT_EQ(sys_.Close(fd), 0);
+    }
+    ASSERT_EQ(sys_.Close(kqfd), 0);
+  }
+}
+
+// --- oneshot / enable / disable ----------------------------------------------
+
+TEST_F(KqueueCoreTest, OneshotDeletesKnoteAfterDelivery) {
+  OpenDev();
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(Change(fd, kFiltRead, kEvAdd | kEvOneshot), 0);
+  client->Write(Chunk{"a", 0});
+  RunFor(Millis(5));
+  ASSERT_EQ(Harvest().size(), 1u);
+  EXPECT_FALSE(sys_.kqueue_dev(kqfd_)->HasKnote(fd, kFiltRead))
+      << "EV_ONESHOT deletes, not just disables";
+  client->Write(Chunk{"b", 0});
+  RunFor(Millis(5));
+  EXPECT_TRUE(Harvest().empty());
+}
+
+TEST_F(KqueueCoreTest, DisableSilencesEnableRestores) {
+  OpenDev();
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(Change(fd, kFiltRead, kEvAdd), 0);
+  ASSERT_EQ(Change(fd, kFiltRead, kEvDisable), 0);
+  client->Write(Chunk{"data", 0});
+  RunFor(Millis(5));
+  EXPECT_TRUE(Harvest().empty()) << "disabled knote stays quiet";
+  EXPECT_TRUE(sys_.kqueue_dev(kqfd_)->HasKnote(fd, kFiltRead))
+      << "disable keeps the registration";
+  ASSERT_EQ(Change(fd, kFiltRead, kEvEnable), 0);
+  ASSERT_EQ(Harvest().size(), 1u)
+      << "enable probes the filter: pending data reported without a new edge";
+}
+
+TEST_F(KqueueCoreTest, ReaddModifiesInPlace) {
+  OpenDev();
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(Change(fd, kFiltRead, kEvAdd | kEvClear), 0);
+  // Re-ADD without EV_CLEAR: kqueue semantics modify the existing knote.
+  ASSERT_EQ(Change(fd, kFiltRead, kEvAdd), 0);
+  EXPECT_EQ(sys_.kqueue_dev(kqfd_)->knote_count(), 1u) << "no duplicate knote";
+  client->Write(Chunk{"x", 0});
+  RunFor(Millis(5));
+  ASSERT_EQ(Harvest().size(), 1u);
+  ASSERT_EQ(Harvest().size(), 1u) << "now level-triggered: re-reports";
+}
+
+// --- lifecycle / blocking ----------------------------------------------------
+
+TEST_F(KqueueCoreTest, RegistrationProbeSeesExistingData) {
+  OpenDev();
+  auto [client, fd] = EstablishedPair();
+  client->Write(Chunk{"early", 0});
+  RunFor(Millis(5));
+  ASSERT_EQ(Change(fd, kFiltRead, kEvAdd | kEvClear), 0);
+  ASSERT_EQ(Harvest().size(), 1u) << "no arm-race: EV_ADD probes the filter";
+}
+
+TEST_F(KqueueCoreTest, ClosedFdKnotesDropAtHarvest) {
+  OpenDev();
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(Change(fd, kFiltRead, kEvAdd), 0);
+  client->Write(Chunk{"x", 0});
+  RunFor(Millis(5));
+  ASSERT_EQ(sys_.Close(fd), 0);  // no EV_DELETE — sloppy application
+  EXPECT_TRUE(Harvest().empty());
+  EXPECT_EQ(sys_.kqueue_dev(kqfd_)->knote_count(), 0u)
+      << "the knote followed the file, not the fd number";
+}
+
+TEST_F(KqueueCoreTest, BlockingKeventWokenByArrival) {
+  OpenDev();
+  ASSERT_EQ(Change(listen_fd_, kFiltRead, kEvAdd), 0);
+  sim_.ScheduleAt(Millis(20), [&] { net_.Connect(listener_); });
+  std::vector<KEvent> events(4);
+  const int n = sys_.Kevent(kqfd_, {}, events, 1000);
+  ASSERT_EQ(n, 1);
+  EXPECT_EQ(events[0].ident, listen_fd_);
+  EXPECT_GE(kernel_.now(), Millis(20));
+  EXPECT_LT(kernel_.now(), Millis(100)) << "woken by the SYN, not the timeout";
+  EXPECT_GE(kernel_.stats().wait_exclusive_adds, 1u);
+}
+
+TEST_F(KqueueCoreTest, AttributionSumEqualsBusyAcrossKqueueTraffic) {
+  OpenDev();
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(Change(fd, kFiltRead, kEvAdd), 0);
+  client->Write(Chunk{"data", 0});
+  RunFor(Millis(5));
+  ASSERT_EQ(Harvest().size(), 1u);
+  kernel_.Charge(Nanos(1), ChargeCat::kOther);  // flush any interrupt debt
+  EXPECT_EQ(kernel_.attribution().Sum(), kernel_.busy_time());
+  EXPECT_GT(kernel_.attribution()[ChargeCat::kKqRegister], 0);
+  EXPECT_GT(kernel_.attribution()[ChargeCat::kKqFilter], 0);
+}
+
+TEST_F(KqueueCoreTest, AddEnomemInjectionLeavesNoState) {
+  FaultSchedule schedule;
+  schedule.Add({FaultKind::kInterestEnomem, 0, Millis(10), 1.0, 0, LinkDir::kBoth});
+  FaultPlane plane(&sim_, schedule);
+  kernel_.set_fault_plane(&plane);
+  OpenDev();
+  auto [client, fd] = EstablishedPair();
+  EXPECT_EQ(Change(fd, kFiltRead, kEvAdd), kErrNoMem);
+  EXPECT_FALSE(sys_.kqueue_dev(kqfd_)->HasKnote(fd, kFiltRead));
+  RunFor(Millis(15));
+  ASSERT_EQ(Change(fd, kFiltRead, kEvAdd), 0) << "identical retry succeeds";
+  (void)client;
+}
+
+}  // namespace
+}  // namespace scio

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
+#include <sys/time.h>
+
+#include <chrono>
 #include <set>
 
 #include "src/posix/event_backend.h"
@@ -162,6 +166,50 @@ TEST(RtSigSemanticsTest, ManyEventsRecoveredDespiteQueuePressure) {
     }
   }
   EXPECT_EQ(reported.size(), rig.size());
+}
+
+TEST(EpollSemanticsTest, WaitRetriesAfterEintrWithRemainingTimeout) {
+  // A signal landing mid-wait must not cut the wait short: the backend
+  // retries epoll_wait with the remaining timeout, so the caller still sees
+  // "0 = full timeout elapsed" instead of a premature empty return.
+  SocketpairRig rig(2);
+  ASSERT_TRUE(rig.ok());
+  auto backend = EventBackend::Create(BackendKind::kEpoll);
+  ASSERT_EQ(rig.RegisterAll(*backend), 0);
+
+  // SIGALRM with an empty handler and no SA_RESTART: epoll_wait fails EINTR.
+  struct sigaction sa{};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction old_sa{};
+  ASSERT_EQ(sigaction(SIGALRM, &sa, &old_sa), 0);
+
+  // Fire the timer at 20ms into a 120ms wait (and keep firing, to catch an
+  // implementation that retries with the ORIGINAL timeout and never returns).
+  itimerval timer{};
+  timer.it_value.tv_usec = 20'000;
+  timer.it_interval.tv_usec = 20'000;
+  ASSERT_EQ(setitimer(ITIMER_REAL, &timer, nullptr), 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<PosixEvent> events;
+  const int rc = backend->Wait(events, 120);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+
+  itimerval off{};
+  setitimer(ITIMER_REAL, &off, nullptr);
+  sigaction(SIGALRM, &old_sa, nullptr);
+
+  EXPECT_EQ(rc, 0) << "timeout, not an EINTR error leak";
+  EXPECT_TRUE(events.empty());
+  // Must have ridden through the interruptions to (roughly) the deadline —
+  // generous lower margin for scheduling jitter, upper bound to catch an
+  // original-timeout retry loop (which would run ~forever).
+  EXPECT_GE(elapsed, 100);
+  EXPECT_LE(elapsed, 5000);
 }
 
 }  // namespace

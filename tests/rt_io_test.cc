@@ -132,6 +132,37 @@ TEST_F(RtIoTest, SigTimedWait4BatchCostsLessThanSingles) {
       << "§6: returning several siginfo per invocation amortizes the trap";
 }
 
+TEST_F(RtIoTest, SigTimedWait4ChargesPerEntryCopyout) {
+  // Pin the batch-dequeue cost shape: the trap and the FIRST siginfo's
+  // copyout are flat (rt_sigwaitinfo_extra), but every entry beyond the
+  // first pays the marginal dequeue PLUS its own siginfo copyout. The batch
+  // amortizes the trap, not the copies.
+  auto [client, fd] = EstablishedPair();
+  ASSERT_EQ(sys_.ArmAsync(fd, kSig), 0);
+  for (int i = 0; i < 6; ++i) {
+    client->Write(Chunk{"x", 0});
+  }
+  RunFor(Millis(20));
+  kernel_.Charge(Nanos(1), ChargeCat::kOther);  // flush accumulated interrupt debt
+  const CostModel& cost = kernel_.cost();
+  const SimDuration busy0 = kernel_.busy_time();
+  SigInfo batch[6];
+  ASSERT_EQ(sys_.SigTimedWait4(batch, 0), 6);
+  const SimDuration batched = kernel_.busy_time() - busy0;
+  EXPECT_EQ(batched,
+            cost.syscall_entry + cost.rt_sigwaitinfo_extra +
+                5 * (cost.rt_sigwait_per_extra_sig + cost.rt_siginfo_copyout))
+      << "entries beyond the first each pay marginal dequeue + copyout";
+
+  // Single-entry dequeues are untouched by the fix: trap + flat extra only.
+  client->Write(Chunk{"y", 0});
+  RunFor(Millis(5));
+  kernel_.Charge(Nanos(1), ChargeCat::kOther);
+  const SimDuration busy1 = kernel_.busy_time();
+  ASSERT_EQ(sys_.SigTimedWait4({batch, 1}, 0), 1);
+  EXPECT_EQ(kernel_.busy_time() - busy1, cost.syscall_entry + cost.rt_sigwaitinfo_extra);
+}
+
 TEST_F(RtIoTest, SigTimedWait4EmptyBufferReturnsZero) {
   EXPECT_EQ(sys_.SigTimedWait4({static_cast<SigInfo*>(nullptr), 0}, 0), 0);
 }

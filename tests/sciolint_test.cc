@@ -336,6 +336,56 @@ TEST(SciolintC1, ReferenceInsideChargeCallCoversOrphan) {
   EXPECT_EQ(CountRule(analysis.Run(), "C1"), 0);
 }
 
+TEST(SciolintC1, SuccessorCoreCategoriesCoveredByBothChargeForms) {
+  // The epoll/kqueue cores charge their categories from process context
+  // (Charge, including the multi-item initializer-list form) and interrupt
+  // context (ChargeDebt): every successor category referenced either way
+  // counts as charged, so a fully-wired taxonomy is orphan-free.
+  Analysis analysis;
+  analysis.AddFile("src/trace/charge_category.h", R"(
+#define SCIO_CHARGE_CATEGORIES(X) \
+  X(kEpollCtl, epoll_ctl) \
+  X(kEpollReady, epoll_ready) \
+  X(kEpollWait, epoll_wait) \
+  X(kKqRegister, kq_register) \
+  X(kKqFilter, kq_filter)
+  )");
+  analysis.AddFile("src/core/epoll_core.cc", R"(
+    void Ctl(Kernel& kernel) {
+      kernel.Charge({{ChargeCat::kEpollCtl, kernel.cost().epoll_ctl_extra}});
+      kernel.Charge(kernel.cost().epoll_wait_per_event, ChargeCat::kEpollWait);
+      kernel.ChargeDebt(kernel.cost().epoll_ready_enqueue, ChargeCat::kEpollReady);
+    }
+  )");
+  analysis.AddFile("src/core/kqueue_core.cc", R"(
+    void Apply(Kernel& kernel) {
+      kernel.Charge(kernel.cost().kq_change_per_entry, ChargeCat::kKqRegister);
+      kernel.ChargeDebt(kernel.cost().kq_knote_activate, ChargeCat::kKqFilter);
+    }
+  )");
+  EXPECT_EQ(CountRule(analysis.Run(), "C1"), 0);
+}
+
+TEST(SciolintC1, SuccessorCategoryChargedNowhereIsOrphan) {
+  // Dropping the one ChargeDebt site for the driver-side category must
+  // resurface it as an orphan — the coverage is per category, not per file.
+  Analysis analysis;
+  analysis.AddFile("src/trace/charge_category.h", R"(
+#define SCIO_CHARGE_CATEGORIES(X) \
+  X(kEpollCtl, epoll_ctl) \
+  X(kEpollReady, epoll_ready)
+  )");
+  analysis.AddFile("src/core/epoll_core.cc", R"(
+    void Ctl(Kernel& kernel) {
+      kernel.Charge(kernel.cost().epoll_ctl_extra, ChargeCat::kEpollCtl);
+    }
+  )");
+  const auto findings = analysis.Run();
+  ASSERT_EQ(CountRule(findings, "C1"), 1);
+  EXPECT_NE(FindRule(findings, "C1")->message.find("kEpollReady"),
+            std::string::npos);
+}
+
 TEST(SciolintC1, FlagsUntaggedChargeLocal) {
   // ChargeLocal is the SMP scheduler's plain-call charge helper: no member
   // access, but the category requirement is the same.
@@ -442,6 +492,24 @@ TEST(SciolintP1, NonIntKeysAndOtherLayersAreClean) {
     std::map<int, Row> rows_by_figure_;
   )");
   EXPECT_EQ(CountRule(out_of_scope, "P1"), 0);
+}
+
+TEST(SciolintP1, FlagsFdKeyedMapInSuccessorCores) {
+  // The successor cores live in src/core and their per-fd state must ride
+  // the paged slabs: an fd-keyed node map in an epoll/kqueue path is exactly
+  // the scalability bug P1 exists to catch.
+  const auto epoll = RunOn("src/core/epoll_core.h", R"(
+    #include <map>
+    class EpollDevice {
+      std::map<int, EpollItem> items_;
+    };
+  )");
+  ASSERT_EQ(CountRule(epoll, "P1"), 1);
+  EXPECT_NE(FindRule(epoll, "P1")->message.find("paged slab"), std::string::npos);
+  const auto kqueue = RunOn("src/core/kqueue_core.cc", R"(
+    std::unordered_map<int, KnoteSlot> slots_;
+  )");
+  EXPECT_EQ(CountRule(kqueue, "P1"), 1);
 }
 
 TEST(SciolintP1, AnnotationSuppressesNonFdIntKey) {

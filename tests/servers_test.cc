@@ -10,7 +10,9 @@
 #include "src/load/inactive_pool.h"
 #include "src/servers/hybrid_server.h"
 #include "src/servers/phhttpd.h"
+#include "src/servers/phhttpd_kqueue.h"
 #include "src/servers/thttpd_devpoll.h"
+#include "src/servers/thttpd_epoll.h"
 #include "src/servers/thttpd_poll.h"
 #include "tests/sim_world.h"
 
@@ -105,6 +107,41 @@ TEST_F(ServersTest, HybridServesRequestsInSignalMode) {
   listener_ = sys_.listener(server.listener_fd());
   EXPECT_EQ(ServeClients(*this, server, 40), 40);
   EXPECT_EQ(server.mode(), EventMode::kSignals) << "light load: stays in signal mode";
+}
+
+TEST_F(ServersTest, ThttpdEpollServesRequests) {
+  ThttpdEpoll server(&sys_, &content_, ServerConfig{});
+  server.Setup();
+  server.SetupEpoll();
+  listener_ = sys_.listener(server.listener_fd());
+  const int ok = ServeClients(*this, server, 40);
+  EXPECT_EQ(ok, 40);
+  EXPECT_EQ(server.stats().responses_sent, 40u);
+  EXPECT_GT(kernel_.stats().epoll_waits, 0u);
+  EXPECT_GT(kernel_.stats().epoll_events_delivered, 0u);
+}
+
+TEST_F(ServersTest, ThttpdEpollEdgeTriggeredServesRequests) {
+  ThttpdEpollConfig config;
+  config.edge_triggered = true;
+  ThttpdEpoll server(&sys_, &content_, ServerConfig{}, config);
+  server.Setup();
+  server.SetupEpoll();
+  listener_ = sys_.listener(server.listener_fd());
+  EXPECT_EQ(ServeClients(*this, server, 40), 40);
+  EXPECT_EQ(server.stats().bad_requests, 0u);
+}
+
+TEST_F(ServersTest, PhhttpdKqueueServesRequests) {
+  PhhttpdKqueue server(&sys_, &content_, ServerConfig{});
+  server.Setup();
+  server.SetupKqueue();
+  listener_ = sys_.listener(server.listener_fd());
+  const int ok = ServeClients(*this, server, 40);
+  EXPECT_EQ(ok, 40);
+  EXPECT_EQ(server.stats().responses_sent, 40u);
+  EXPECT_GT(kernel_.stats().kq_kevents, 0u);
+  EXPECT_GT(kernel_.stats().kq_changes_applied, 0u);
 }
 
 TEST_F(ServersTest, MissingDocumentGets404) {
