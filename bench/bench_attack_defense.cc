@@ -320,9 +320,17 @@ int main(int argc, char** argv) {
   }
   const Layout layout = MakeLayout(quick);
   const std::vector<Campaign> campaigns = BuildCampaigns(layout);
+  // The successor cores (epoll, kqueue) run the same campaigns as the 1999
+  // interfaces — ROADMAP item 2's follow-up: the attack family must cover
+  // the cores the scale story recommends, not just the paper's.
   const std::vector<ServerKind> servers =
-      quick ? std::vector<ServerKind>{ServerKind::kThttpdDevPoll}
-            : std::vector<ServerKind>{ServerKind::kThttpdDevPoll, ServerKind::kPhhttpd};
+      quick ? std::vector<ServerKind>{ServerKind::kThttpdDevPoll,
+                                      ServerKind::kThttpdEpoll,
+                                      ServerKind::kPhhttpdKqueue}
+            : std::vector<ServerKind>{ServerKind::kThttpdDevPoll,
+                                      ServerKind::kPhhttpd,
+                                      ServerKind::kThttpdEpoll,
+                                      ServerKind::kPhhttpdKqueue};
   const std::vector<Posture> postures = {Posture::kNoFilter, Posture::kStatic,
                                          Posture::kAdaptive};
   int failures = 0;

@@ -341,8 +341,9 @@ int DevPollDevice::PollInternal(DvPoll* args) {
       }
       if (std::shared_ptr<File> file = interest.file.lock()) {
         if (used == waiter_pool_.size()) {
-          waiter_pool_.push_back(
-              std::make_unique<Waiter>([proc = owner_] { proc->Wake(); }));
+          // sciolint: allow(H1) -- bounded one-time pool growth to high-water
+          waiter_pool_.push_back(std::make_unique<Waiter>(
+              [proc = owner_] { proc->Wake(); }));
         }
         if (options_.exclusive_wait) {
           file->poll_wait().AddExclusive(waiter_pool_[used].get());

@@ -6,7 +6,11 @@
 namespace scio {
 
 EpollDevice::EpollDevice(SimKernel* kernel, Process* owner)
-    : File(kernel), owner_(owner), items_(), ready_(&items_) {
+    : File(kernel),
+      owner_(owner),
+      items_(),
+      ready_(&items_),
+      waiter_([proc = owner] { proc->Wake(); }) {
   items_.set_limit(static_cast<size_t>(owner->fds().max_fds()));
   items_.set_mem_ledger(&kernel->mem(), MemSys::kInterests);
 }
@@ -19,9 +23,7 @@ EpollDevice::~EpollDevice() {
 
 void EpollDevice::OnFdClose() {
   closed_ = true;
-  if (waiter_ != nullptr) {
-    waiter_->Detach();
-  }
+  waiter_.Detach();
   // Collect first: ForEach forbids releasing slots mid-walk.
   std::vector<size_t> live;
   items_.ForEach([&](size_t idx, EpollItem&) { live.push_back(idx); });
@@ -199,6 +201,7 @@ int EpollDevice::HarvestOnce(PollFd* out, int max) {
   return n;
 }
 
+// sciolint: hotpath
 int EpollDevice::Wait(PollFd* out, int max, int timeout_ms) {
   SyscallTraceScope trace(kernel(), "epoll_wait", max);
   KernelStats& stats = kernel()->stats();
@@ -224,16 +227,15 @@ int EpollDevice::Wait(PollFd* out, int max, int timeout_ms) {
     // Sleep as ONE exclusive waiter on the device's own queue — this is the
     // structural win over poll(): one wait-queue registration per sleep,
     // regardless of interest-set size, and a wake_up() rouses one sharer.
-    if (waiter_ == nullptr) {
-      waiter_ = std::make_unique<Waiter>([proc = owner_] { proc->Wake(); });
-    }
-    poll_wait().AddExclusive(waiter_.get());
+    // The waiter is a pooled member (constructed with the device) so this
+    // loop stays allocation-free.
+    poll_wait().AddExclusive(&waiter_);
     ++stats.wait_exclusive_adds;
     ++stats.poll_waitqueue_adds;
     kernel()->Charge(cost.poll_waitqueue_add_per_fd, ChargeCat::kWaitqueue);
     // sciolint: allow(E1) -- woken-vs-timeout is re-derived from the reharvest
     (void)kernel()->BlockProcess(*owner_, deadline);
-    waiter_->Detach();
+    waiter_.Detach();
     ++stats.poll_waitqueue_removes;
     kernel()->Charge(cost.poll_waitqueue_remove_per_fd, ChargeCat::kWaitqueue);
     if (FaultPlane* fault = kernel()->fault();

@@ -97,8 +97,9 @@ class EpollDevice : public File, public StatusListener {
   PagedStore<EpollItem> items_;
   IndexList<EpollItem, &EpollItem::ready> ready_;
   bool closed_ = false;
-  // Pooled wait-queue entry for the blocking path; reused across sleeps.
-  std::unique_ptr<Waiter> waiter_;
+  // Pooled wait-queue entry for the blocking path; constructed eagerly so
+  // Wait() never allocates (H1: the harvest/wait loop is a hot path).
+  Waiter waiter_;
 };
 
 }  // namespace scio

@@ -17,7 +17,8 @@ KqueueDevice::KqueueDevice(SimKernel* kernel, Process* owner)
       owner_(owner),
       slots_(),
       read_active_(&slots_),
-      write_active_(&slots_) {
+      write_active_(&slots_),
+      waiter_([proc = owner] { proc->Wake(); }) {
   slots_.set_limit(static_cast<size_t>(owner->fds().max_fds()));
   slots_.set_mem_ledger(&kernel->mem(), MemSys::kInterests);
 }
@@ -30,9 +31,7 @@ KqueueDevice::~KqueueDevice() {
 
 void KqueueDevice::OnFdClose() {
   closed_ = true;
-  if (waiter_ != nullptr) {
-    waiter_->Detach();
-  }
+  waiter_.Detach();
   std::vector<size_t> live;
   slots_.ForEach([&](size_t idx, KnoteSlot&) { live.push_back(idx); });
   for (size_t idx : live) {
@@ -282,6 +281,7 @@ int KqueueDevice::HarvestOnce(std::span<KEvent> out) {
   return n;
 }
 
+// sciolint: hotpath
 int KqueueDevice::Kevent(std::span<const KEvent> changes,
                          std::span<KEvent> events, int timeout_ms) {
   SyscallTraceScope trace(kernel(), "kevent",
@@ -321,17 +321,15 @@ int KqueueDevice::Kevent(std::span<const KEvent> changes,
       return 0;
     }
     // One exclusive waiter on the kqueue's own queue (wake-one), same
-    // structural win as the epoll core.
-    if (waiter_ == nullptr) {
-      waiter_ = std::make_unique<Waiter>([proc = owner_] { proc->Wake(); });
-    }
-    poll_wait().AddExclusive(waiter_.get());
+    // structural win as the epoll core. The waiter is a pooled member
+    // (constructed with the device) so this loop stays allocation-free.
+    poll_wait().AddExclusive(&waiter_);
     ++stats.wait_exclusive_adds;
     ++stats.poll_waitqueue_adds;
     kernel()->Charge(cost.poll_waitqueue_add_per_fd, ChargeCat::kWaitqueue);
     // sciolint: allow(E1) -- woken-vs-timeout is re-derived from the reharvest
     (void)kernel()->BlockProcess(*owner_, deadline);
-    waiter_->Detach();
+    waiter_.Detach();
     ++stats.poll_waitqueue_removes;
     kernel()->Charge(cost.poll_waitqueue_remove_per_fd, ChargeCat::kWaitqueue);
     if (FaultPlane* fault = kernel()->fault();

@@ -126,7 +126,9 @@ class KqueueDevice : public File, public StatusListener {
   IndexList<KnoteSlot, &KnoteSlot::read_active> read_active_;
   IndexList<KnoteSlot, &KnoteSlot::write_active> write_active_;
   bool closed_ = false;
-  std::unique_ptr<Waiter> waiter_;
+  // Pooled wait-queue entry for the blocking path; constructed eagerly so
+  // Kevent() never allocates (H1: the harvest/wait loop is a hot path).
+  Waiter waiter_;
 };
 
 }  // namespace scio

@@ -78,8 +78,9 @@ int PollSyscall::Poll(std::span<PollFd> fds, int timeout_ms) {
         continue;
       }
       if (used == waiter_pool_.size()) {
-        waiter_pool_.push_back(
-            std::make_unique<Waiter>([proc = proc_] { proc->Wake(); }));
+        // sciolint: allow(H1) -- bounded one-time pool growth to high-water
+        waiter_pool_.push_back(std::make_unique<Waiter>(
+            [proc = proc_] { proc->Wake(); }));
       }
       if (options_.exclusive_wait) {
         file->poll_wait().AddExclusive(waiter_pool_[used].get());

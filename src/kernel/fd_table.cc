@@ -7,6 +7,7 @@ namespace scio {
 int FdTable::Allocate(std::shared_ptr<File> file) {
   const long fd = slots_.AllocateLowest();
   if (fd < 0) {
+    // sciolint: allow(E2) -- pinned -1 API; Sys::Accept maps this to kErrMFile
     return -1;
   }
   file->set_fd_number(static_cast<int>(fd));
@@ -24,6 +25,7 @@ std::shared_ptr<File> FdTable::Get(int fd) const {
 int FdTable::Close(int fd) {
   std::shared_ptr<File> file = Get(fd);
   if (file == nullptr) {
+    // sciolint: allow(E2) -- pinned -1 API (EBADF); Sys layer owns errno codes
     return -1;
   }
   slots_.At(static_cast<size_t>(fd)).reset();

@@ -45,13 +45,16 @@ int RtSigBackend::Add(int fd, uint32_t interest) {
     return -1;
   }
   if (::fcntl(fd, F_SETOWN, getpid()) < 0) {
+    // sciolint: allow(E2) -- errno inherited from the failed fcntl
     return -1;
   }
   if (::fcntl(fd, F_SETSIG, signo_) < 0) {
+    // sciolint: allow(E2) -- errno inherited from the failed fcntl
     return -1;
   }
   const int flags = ::fcntl(fd, F_GETFL);
   if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_ASYNC | O_NONBLOCK) < 0) {
+    // sciolint: allow(E2) -- errno inherited from the failed fcntl
     return -1;
   }
   if (!interests_.Add(fd, interest)) {

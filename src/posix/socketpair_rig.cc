@@ -45,6 +45,7 @@ void SocketpairRig::Drain(size_t i) {
 int SocketpairRig::RegisterAll(EventBackend& backend) const {
   for (int fd : watch_fds_) {
     if (backend.Add(fd, kEvReadable) != 0) {
+      // sciolint: allow(E2) -- errno inherited from the failed backend Add
       return -1;
     }
   }

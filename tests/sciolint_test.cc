@@ -632,5 +632,538 @@ TEST(SciolintFixture, CleanTaxonomyParses) {
   EXPECT_TRUE(findings.empty());
 }
 
+// --- F1: use-after-close (flow-sensitive) -----------------------------------------
+
+TEST(SciolintF1, FlagsStraightLineUseAfterClose) {
+  const auto findings = RunOn("src/servers/conn.cc", R"(
+    void Teardown(Sys* sys_, int fd) {
+      sys_->Close(fd);
+      sys_->Write(fd, "x", 1);
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "F1"), 1);
+}
+
+TEST(SciolintF1, FlagsCloseOnOneBranchOnly) {
+  // May-analysis: closed on any incoming path taints the join.
+  const auto findings = RunOn("src/servers/conn.cc", R"(
+    void Maybe(Sys* sys, int fd, bool teardown) {
+      if (teardown) {
+        sys->Close(fd);
+      }
+      sys->Read(fd, 1);
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "F1"), 1);
+}
+
+TEST(SciolintF1, ReassignmentRevivesTheFd) {
+  const auto findings = RunOn("src/servers/conn.cc", R"(
+    void Recycle(Sys* sys, int fd) {
+      sys->Close(fd);
+      fd = sys->Accept(0);
+      sys->Read(fd, 1);
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "F1"), 0);
+}
+
+TEST(SciolintF1, NonSyscallReceiverCloseIsNotAClose) {
+  // conns_.Close(fd) is connection bookkeeping, not the kernel close — the
+  // server teardown order `conns_.Close(fd); sys_->Close(fd);` is legal.
+  const auto findings = RunOn("src/servers/conn.cc", R"(
+    void CloseConn(Sys* sys_, Table& conns_, int fd) {
+      conns_.Close(fd);
+      (void)sys_->Close(fd);
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "F1"), 0);
+}
+
+TEST(SciolintF1, FlagsSlabUseAfterRelease) {
+  const auto findings = RunOn("src/kernel/store.cc", R"(
+    void Drop(Store& slots_, size_t idx) {
+      slots_.ReleaseAt(idx);
+      slots_.At(idx).reset();
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "F1"), 1);
+}
+
+TEST(SciolintF1, EmplaceRearmsTheSlabIndex) {
+  const auto findings = RunOn("src/kernel/store.cc", R"(
+    void Recycle(Store& slots_, size_t idx) {
+      slots_.ReleaseAt(idx);
+      slots_.EmplaceAt(idx);
+      slots_.At(idx).reset();
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "F1"), 0);
+}
+
+TEST(SciolintF1, AnnotationSuppresses) {
+  const auto findings = RunOn("src/servers/conn.cc", R"(
+    void Teardown(Sys* sys_, int fd) {
+      sys_->Close(fd);
+      // sciolint: allow(F1) -- double-shutdown probe, the second is expected
+      sys_->Write(fd, "x", 1);
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "F1"), 0);
+  EXPECT_EQ(CountRule(findings, "F1", /*include_suppressed=*/true), 1);
+}
+
+// --- W1: waiter pairing (flow-sensitive) ------------------------------------------
+
+TEST(SciolintW1, FlagsEarlyReturnWithWaiterStillQueued) {
+  const auto findings = RunOn("src/core/waiters.cc", R"(
+    int Wait(File* file, Waiter* w, bool abort) {
+      file->poll_wait().Add(w);
+      if (abort) {
+        return -1;
+      }
+      w->Detach();
+      return 0;
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "W1"), 1) << "the abort path leaks the waiter";
+}
+
+TEST(SciolintW1, DetachOnEveryPathIsClean) {
+  const auto findings = RunOn("src/core/waiters.cc", R"(
+    int Wait(File* file, Waiter* w, bool abort) {
+      file->poll_wait().AddExclusive(w);
+      if (abort) {
+        w->Detach();
+        return -1;
+      }
+      w->Detach();
+      return 0;
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "W1"), 0);
+}
+
+TEST(SciolintW1, PooledDetachLoopIsClean) {
+  // The devpoll/poll shape: register across a loop, detach across a loop.
+  // The clear-wins merge keeps the loop-exit edge from false-positiving.
+  const auto findings = RunOn("src/core/waiters.cc", R"(
+    void WaitAll(std::vector<File*>& files, Waiter* w) {
+      for (File* f : files) {
+        f->poll_wait().Add(w);
+      }
+      for (File* f : files) {
+        w->Detach();
+      }
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "W1"), 0);
+}
+
+TEST(SciolintW1, EarlyReturnInsideLoopIsFlagged) {
+  // CFG edge case: the return exits through the loop body, not the loop exit.
+  const auto findings = RunOn("src/core/waiters.cc", R"(
+    int Scan(File* f, Waiter* w, int n) {
+      f->poll_wait().Add(w);
+      for (int i = 0; i < n; ++i) {
+        if (i == 7) {
+          return -1;
+        }
+      }
+      w->Detach();
+      return 0;
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "W1"), 1);
+}
+
+TEST(SciolintW1, OutOfScopeLayersAreIgnored) {
+  const auto findings = RunOn("src/load/driver.cc", R"(
+    int Wait(File* file, Waiter* w) {
+      file->poll_wait().Add(w);
+      return -1;
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "W1"), 0) << "W1 is scoped to kernel/core/smp";
+}
+
+TEST(SciolintW1, AnnotationSuppresses) {
+  const auto findings = RunOn("src/core/waiters.cc", R"(
+    int Park(File* file, Waiter* w) {
+      file->poll_wait().Add(w);
+      // sciolint: allow(W1) -- waiter intentionally stays parked until wake
+      return 0;
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "W1"), 0);
+  EXPECT_EQ(CountRule(findings, "W1", /*include_suppressed=*/true), 1);
+}
+
+// --- H1: hot-path allocation ban --------------------------------------------------
+
+TEST(SciolintH1, HotpathAnnotationBansAllocation) {
+  const auto findings = RunOn("src/core/fast.cc", R"(
+    // sciolint: hotpath
+    void Harvest() {
+      auto w = std::make_unique<int>(3);
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "H1"), 1);
+}
+
+TEST(SciolintH1, BuiltinHotLoopNeedsNoAnnotation) {
+  const auto findings = RunOn("src/core/poll_syscall.cc", R"(
+    int PollSyscall::ScanOnce(int n) {
+      int* p = new int[n];
+      return p[0];
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "H1"), 1)
+      << "the six cores' harvest/wait loops are hot by default";
+}
+
+TEST(SciolintH1, StdFunctionConstructionIsFlagged) {
+  const auto findings = RunOn("src/core/fast.cc", R"(
+    // sciolint: hotpath
+    void Harvest(int x) {
+      std::function<void()> cb = [x] { Use(x); };
+      cb();
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "H1"), 1);
+}
+
+TEST(SciolintH1, ColdFunctionsMayAllocate) {
+  const auto findings = RunOn("src/core/fast.cc", R"(
+    void Setup() {
+      auto w = std::make_unique<int>(3);
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "H1"), 0);
+}
+
+TEST(SciolintH1, AnnotationSuppressesPoolGrowth) {
+  const auto findings = RunOn("src/core/fast.cc", R"(
+    // sciolint: hotpath
+    void Harvest(std::vector<std::unique_ptr<int>>& pool, size_t used) {
+      if (used == pool.size()) {
+        // sciolint: allow(H1) -- bounded one-time pool growth
+        pool.push_back(std::make_unique<int>(3));
+      }
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "H1"), 0);
+  EXPECT_EQ(CountRule(findings, "H1", /*include_suppressed=*/true), 1);
+}
+
+TEST(SciolintH1, MalformedHotpathDirectiveIsAnnFinding) {
+  const auto findings = RunOn("src/core/fast.cc", R"(
+    // sciolint: hotpath because it is fast
+    void Harvest() {}
+  )");
+  EXPECT_EQ(CountRule(findings, "ANN"), 1) << "freeform tail needs `--`";
+}
+
+// --- E2: errno discipline ---------------------------------------------------------
+
+TEST(SciolintE2, FlagsBareMinusOneReturn) {
+  const auto findings = RunOn("src/kernel/thing.cc", R"(
+    int Open(int fd) {
+      if (fd < 0) {
+        return -1;
+      }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "E2"), 1);
+}
+
+TEST(SciolintE2, ErrnoAssignmentOnThePathIsClean) {
+  const auto findings = RunOn("src/kernel/thing.cc", R"(
+    int Open(int fd) {
+      if (fd < 0) {
+        errno = 9;
+        return -1;
+      }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "E2"), 0);
+}
+
+TEST(SciolintE2, AssignmentMustDominateTheReturn) {
+  // errno set on only one incoming path is not discipline (must-analysis).
+  const auto findings = RunOn("src/kernel/thing.cc", R"(
+    int Op(int fd) {
+      if (fd > 9) {
+        errno = 22;
+      }
+      if (fd < 0) {
+        return -1;
+      }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "E2"), 1);
+}
+
+TEST(SciolintE2, NestedBranchesBothAssigningAreClean) {
+  // CFG edge case: the assignment arrives through two different inner arms.
+  const auto findings = RunOn("src/kernel/thing.cc", R"(
+    int Nested(int a, int b) {
+      if (a) {
+        if (b) {
+          errno = 1;
+        } else {
+          errno = 2;
+        }
+        return -1;
+      }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "E2"), 0);
+}
+
+TEST(SciolintE2, NamedCodesAndArithmeticAreNotErrorExits) {
+  const auto findings = RunOn("src/kernel/thing.cc", R"(
+    int Shapes(int a) {
+      if (a == 1) {
+        return kErrBadF;
+      }
+      if (a == 2) {
+        return a - 1;
+      }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "E2"), 0)
+      << "only a literal `return -N;` is an undisciplined error exit";
+}
+
+TEST(SciolintE2, ErrnoComparisonDoesNotCount) {
+  const auto findings = RunOn("src/kernel/thing.cc", R"(
+    int Op(int fd) {
+      if (errno == 4) {
+        return -1;
+      }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "E2"), 1) << "reading errno is not assigning it";
+}
+
+TEST(SciolintE2, OutOfScopeLayersAreIgnored) {
+  const auto findings = RunOn("src/servers/loop.cc", R"(
+    int Op(int fd) {
+      if (fd < 0) {
+        return -1;
+      }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "E2"), 0) << "E2 is scoped to kernel/posix";
+}
+
+TEST(SciolintE2, AnnotationSuppresses) {
+  const auto findings = RunOn("src/kernel/thing.cc", R"(
+    int Open(int fd) {
+      if (fd < 0) {
+        // sciolint: allow(E2) -- pinned -1 API, caller owns the errno code
+        return -1;
+      }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "E2"), 0);
+  EXPECT_EQ(CountRule(findings, "E2", /*include_suppressed=*/true), 1);
+}
+
+// --- X1: exhaustive switch over taxonomy enums ------------------------------------
+
+constexpr char kThreeCatTaxonomy[] = R"(
+#define SCIO_CHARGE_CATEGORIES(X) \
+  X(kAlpha, alpha) \
+  X(kBeta, beta) \
+  X(kGamma, gamma)
+)";
+
+std::vector<Finding> RunOnPair(const std::string& path, const std::string& source) {
+  Analysis analysis;
+  analysis.AddFile("src/trace/charge_category.h", kThreeCatTaxonomy);
+  analysis.AddFile(path, source);
+  return analysis.Run();
+}
+
+TEST(SciolintX1, FlagsMissingEnumerator) {
+  const auto findings = RunOnPair("src/core/use.cc", R"(
+    int Name(ChargeCat c) {
+      switch (c) {
+        case ChargeCat::kAlpha: return 1;
+        case ChargeCat::kBeta: return 2;
+      }
+      return 0;
+    }
+  )");
+  ASSERT_EQ(CountRule(findings, "X1"), 1);
+  EXPECT_NE(FindRule(findings, "X1")->message.find("kGamma"), std::string::npos);
+}
+
+TEST(SciolintX1, FullCoverageIsClean) {
+  const auto findings = RunOnPair("src/core/use.cc", R"(
+    int Name(ChargeCat c) {
+      switch (c) {
+        case ChargeCat::kAlpha: return 1;
+        case ChargeCat::kBeta: return 2;
+        case ChargeCat::kGamma: return 3;
+      }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "X1"), 0);
+}
+
+TEST(SciolintX1, AnnotatedDefaultEscapes) {
+  const auto findings = RunOnPair("src/core/use.cc", R"(
+    int Name(ChargeCat c) {
+      switch (c) {
+        case ChargeCat::kAlpha: return 1;
+        // sciolint: allow(X1) -- only kAlpha is special-cased here
+        default: return 0;
+      }
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "X1"), 0);
+  EXPECT_EQ(CountRule(findings, "X1", /*include_suppressed=*/true), 1);
+}
+
+TEST(SciolintX1, MacroGeneratedSwitchIsExhaustiveByConstruction) {
+  const auto findings = RunOnPair("src/trace/names.cc", R"(
+    const char* Name(ChargeCat c) {
+      switch (c) {
+    #define X(name, str) case ChargeCat::name: return #str;
+        SCIO_CHARGE_CATEGORIES(X)
+    #undef X
+      }
+      return "unknown";
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "X1"), 0);
+}
+
+TEST(SciolintX1, CoversMemSysTaxonomy) {
+  Analysis analysis;
+  analysis.AddFile("src/trace/mem_ledger.h", R"(
+#define SCIO_MEM_SUBSYSTEMS(X) \
+  X(kFdTable, fd_table) \
+  X(kConns, conns)
+)");
+  analysis.AddFile("src/trace/report.cc", R"(
+    int Bytes(MemSys sys) {
+      switch (sys) {
+        case MemSys::kFdTable: return 1;
+      }
+      return 0;
+    }
+  )");
+  const auto findings = analysis.Run();
+  ASSERT_EQ(CountRule(findings, "X1"), 1);
+  EXPECT_NE(FindRule(findings, "X1")->message.find("kConns"), std::string::npos);
+}
+
+// --- CFG edge cases shared by the flow rules --------------------------------------
+
+TEST(SciolintFlowCfg, GotoFreeSwitchFallthroughCarriesState) {
+  // case 0 falls through into case 1: the close reaches the read.
+  const auto findings = RunOn("src/servers/conn.cc", R"(
+    void Dispatch(Sys* sys, int fd, int op) {
+      switch (op) {
+        case 0:
+          sys->Close(fd);
+        case 1:
+          sys->Read(fd, 1);
+          break;
+      }
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "F1"), 1);
+}
+
+TEST(SciolintFlowCfg, BreakSeversTheFallthroughEdge) {
+  const auto findings = RunOn("src/servers/conn.cc", R"(
+    void Dispatch(Sys* sys, int fd, int op) {
+      switch (op) {
+        case 0:
+          sys->Close(fd);
+          break;
+        case 1:
+          sys->Read(fd, 1);
+          break;
+      }
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "F1"), 0);
+}
+
+TEST(SciolintFlowCfg, InfiniteLoopReturnsAreTheOnlyExits) {
+  // `while (true)` has no natural exit edge; the waiter is detached before
+  // every return inside the loop, so the pairing holds.
+  const auto findings = RunOn("src/core/waiters.cc", R"(
+    int Wait(File* file, Waiter* w) {
+      while (true) {
+        file->poll_wait().AddExclusive(w);
+        Block();
+        w->Detach();
+        if (Done()) {
+          return 0;
+        }
+      }
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "W1"), 0);
+}
+
+// --- baseline machinery across the flow rules -------------------------------------
+
+TEST(SciolintFlowBaseline, E2FingerprintSurvivesLineDrift) {
+  const std::string body = R"(
+    int Open(int fd) {
+      if (fd < 0) {
+        return -1;
+      }
+      return 0;
+    }
+  )";
+  Analysis first;
+  first.AddFile("src/kernel/thing.cc", body);
+  Analysis second;
+  second.AddFile("src/kernel/thing.cc", "// new leading comment\n" + body);
+  const auto a = first.Run();
+  const auto b = second.Run();
+  ASSERT_EQ(CountRule(a, "E2"), 1);
+  ASSERT_EQ(CountRule(b, "E2"), 1);
+  EXPECT_EQ(Fingerprint(*FindRule(a, "E2")), Fingerprint(*FindRule(b, "E2")));
+}
+
+TEST(SciolintFlowBaseline, BaselineSuppressesFlowFinding) {
+  const std::string body = R"(
+    void Teardown(Sys* sys_, int fd) {
+      sys_->Close(fd);
+      sys_->Write(fd, "x", 1);
+    }
+  )";
+  Analysis first;
+  first.AddFile("src/servers/conn.cc", body);
+  const auto initial = first.Run();
+  ASSERT_EQ(CountRule(initial, "F1"), 1);
+
+  Analysis second;
+  second.AddFile("src/servers/conn.cc", body);
+  second.LoadBaseline(Fingerprint(*FindRule(initial, "F1")) + "\n");
+  const auto baselined = second.Run();
+  EXPECT_EQ(CountRule(baselined, "F1"), 0);
+  EXPECT_EQ(CountRule(baselined, "F1", /*include_suppressed=*/true), 1);
+}
+
 }  // namespace
 }  // namespace scio::lint

@@ -9,8 +9,9 @@ namespace scio::lint {
 namespace {
 
 const std::set<std::string>& KnownRules() {
-  static const std::set<std::string> kRules = {"D1", "D2", "E1", "C1",
-                                               "M1", "S1", "P1", "ANN"};
+  static const std::set<std::string> kRules = {"D1", "D2", "E1", "C1", "M1",
+                                               "S1", "P1", "F1", "W1", "H1",
+                                               "E2", "X1", "ANN"};
   return kRules;
 }
 
@@ -268,6 +269,10 @@ void Analysis::CollectIndex(const LexedFile& file) {
       if (base == "charge_category.h" && t[i + 2].text.rfind('k', 0) == 0 &&
           t[i + 4].kind == Tok::kIdent && i + 5 < t.size() && IsPunct(t[i + 5], ")")) {
         charge_cats_.emplace(t[i + 2].text, std::make_pair(file.path, t[i + 2].line));
+      } else if (base == "mem_ledger.h" && t[i + 2].text.rfind('k', 0) == 0 &&
+                 t[i + 4].kind == Tok::kIdent && i + 5 < t.size() &&
+                 IsPunct(t[i + 5], ")")) {
+        mem_sys_.insert(t[i + 2].text);
       } else if (base == "kernel_stats.h" && t[i + 4].kind == Tok::kString &&
                  i + 5 < t.size() && IsPunct(t[i + 5], ")")) {
         std::string row = t[i + 4].text;
@@ -308,7 +313,7 @@ void Analysis::CheckFile(const LexedFile& file, std::vector<Finding>* out) {
     if (ann.malformed) {
       AddFinding(file, "ANN", ann.line, 1,
                  "malformed sciolint comment (expected `sciolint: allow(<rules>) -- "
-                 "<reason>`): " + ann.raw,
+                 "<reason>` or `sciolint: hotpath`): " + ann.raw,
                  out);
       continue;
     }
@@ -511,6 +516,11 @@ void Analysis::CheckFile(const LexedFile& file, std::vector<Finding>* out) {
       }
     }
   }
+
+  // Flow-sensitive rules (F1/W1/H1/E2/X1): per-function CFG + dataflow.
+  for (const FlowFinding& ff : CheckFlowRules(file, flow_ctx_)) {
+    AddFinding(file, ff.rule, ff.line, ff.col, ff.message, out);
+  }
 }
 
 void Analysis::CheckTaxonomies(std::vector<Finding>* out) {
@@ -595,9 +605,17 @@ std::vector<Finding> Analysis::Run() {
   charge_cats_.clear();
   charge_cat_refs_.clear();
   stat_fields_.clear();
+  mem_sys_.clear();
+  flow_ctx_.taxonomy_enums.clear();
 
   for (const LexedFile& file : files_) {
     CollectIndex(file);
+  }
+  for (const auto& [cat, where] : charge_cats_) {
+    flow_ctx_.taxonomy_enums["ChargeCat"].insert(cat);
+  }
+  if (!mem_sys_.empty()) {
+    flow_ctx_.taxonomy_enums["MemSys"] = mem_sys_;
   }
   std::vector<Finding> findings;
   for (const LexedFile& file : files_) {

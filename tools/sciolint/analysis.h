@@ -24,6 +24,12 @@
 //   ANN malformed `sciolint:` control comment (allow() needs at least one
 //       rule id, a known rule id, and a `-- reason`).
 //
+// Pass 2 also runs the flow engine (tools/sciolint/flow.h): per-function
+// statement trees, a control-flow graph and forward dataflow, carrying the
+// flow-sensitive rule families — F1 use-after-close, W1 waiter pairing,
+// H1 hot-path allocation ban, E2 errno discipline, X1 exhaustive switch
+// over the X-macro taxonomies. See flow.h for their exact semantics.
+//
 // Escape hatch: `// sciolint: allow(<rule>) -- <reason>` on the finding's
 // line or the line above suppresses it; the finding is still reported as
 // suppressed in the JSON output so escapes stay auditable.
@@ -36,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "tools/sciolint/flow.h"
 #include "tools/sciolint/lexer.h"
 
 namespace scio::lint {
@@ -98,6 +105,10 @@ class Analysis {
     int line;
   };
   std::vector<StatField> stat_fields_;
+  // MemSys enumerators (src/trace/mem_ledger.h X-macro), for X1.
+  std::set<std::string> mem_sys_;
+  // Taxonomy index handed to the flow engine (built after pass 1).
+  FlowContext flow_ctx_;
 };
 
 }  // namespace scio::lint

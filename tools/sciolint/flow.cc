@@ -1,0 +1,1250 @@
+#include "tools/sciolint/flow.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <sstream>
+
+namespace scio::lint {
+namespace {
+
+// --- token helpers (mirrors of the analysis-pass helpers; both passes stay
+// independently linkable) --------------------------------------------------
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == Tok::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == Tok::kIdent && t.text == text;
+}
+
+std::string Normalize(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '_') {
+      continue;
+    }
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+// t[i] is an open bracket; return the index just past its match, or
+// tokens.size() on imbalance.
+size_t SkipBalanced(const std::vector<Token>& t, size_t i, const char* open,
+                    const char* close) {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (IsPunct(t[i], open)) {
+      ++depth;
+    } else if (IsPunct(t[i], close)) {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    }
+  }
+  return t.size();
+}
+
+// t[i] is a close bracket; return the index of its match, or `lo` on
+// imbalance. Walks backwards.
+size_t SkipBalancedBack(const std::vector<Token>& t, size_t i, const char* open,
+                        const char* close, size_t lo) {
+  int depth = 0;
+  for (size_t k = i + 1; k-- > lo;) {
+    if (IsPunct(t[k], close)) {
+      ++depth;
+    } else if (IsPunct(t[k], open)) {
+      if (--depth == 0) {
+        return k;
+      }
+    }
+  }
+  return lo;
+}
+
+bool Contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// --- function extraction ----------------------------------------------------
+
+const std::set<std::string>& StmtKeywords() {
+  static const std::set<std::string> kKw = {
+      "if",     "for",     "while",    "switch",   "do",       "else",
+      "return", "case",    "default",  "new",      "delete",   "sizeof",
+      "alignof", "catch",  "static_assert",        "noexcept", "decltype",
+      "operator", "requires", "throw", "template", "using",    "namespace",
+      "asm",    "co_await", "co_return", "co_yield", "assert",
+  };
+  return kKw;
+}
+
+struct FuncDef {
+  std::string name;
+  int name_line = 0;
+  int brace_line = 0;
+  int end_line = 0;
+  size_t body_begin = 0;  // index of '{'
+  size_t body_end = 0;    // just past the matching '}'
+  bool hot = false;
+};
+
+std::vector<FuncDef> ExtractFunctions(const LexedFile& file) {
+  const std::vector<Token>& t = file.tokens;
+  const size_t n = t.size();
+  std::vector<FuncDef> out;
+
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (t[i].kind != Tok::kIdent || !IsPunct(t[i + 1], "(") ||
+        StmtKeywords().count(t[i].text) != 0) {
+      continue;
+    }
+    size_t j = SkipBalanced(t, i + 1, "(", ")");
+    if (j >= n) {
+      continue;
+    }
+    // Trailing modifiers and a possible trailing return type.
+    bool reject = false;
+    while (j < n && !reject) {
+      if (t[j].kind == Tok::kIdent &&
+          (t[j].text == "const" || t[j].text == "noexcept" ||
+           t[j].text == "override" || t[j].text == "final")) {
+        const bool was_noexcept = t[j].text == "noexcept";
+        ++j;
+        if (was_noexcept && j < n && IsPunct(t[j], "(")) {
+          j = SkipBalanced(t, j, "(", ")");
+        }
+        continue;
+      }
+      if (IsPunct(t[j], "->")) {
+        ++j;
+        while (j < n) {
+          if (t[j].kind == Tok::kIdent || IsPunct(t[j], "::") ||
+              IsPunct(t[j], "*") || IsPunct(t[j], "&")) {
+            ++j;
+            continue;
+          }
+          if (IsPunct(t[j], "<")) {
+            j = SkipBalanced(t, j, "<", ">");
+            continue;
+          }
+          break;
+        }
+        continue;
+      }
+      break;
+    }
+    // Constructor member-initializer list: `: member(init), member{init} ... {`
+    if (j < n && IsPunct(t[j], ":")) {
+      ++j;
+      bool ok = true;
+      while (j < n) {
+        const size_t name_start = j;
+        while (j < n && (t[j].kind == Tok::kIdent || IsPunct(t[j], "::"))) {
+          ++j;
+        }
+        if (j < n && IsPunct(t[j], "<")) {
+          j = SkipBalanced(t, j, "<", ">");
+        }
+        if (j >= n || name_start == j) {
+          ok = false;
+          break;
+        }
+        if (IsPunct(t[j], "(")) {
+          j = SkipBalanced(t, j, "(", ")");
+        } else if (IsPunct(t[j], "{")) {
+          j = SkipBalanced(t, j, "{", "}");
+        } else {
+          ok = false;
+          break;
+        }
+        if (j < n && IsPunct(t[j], ",")) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      if (!ok) {
+        continue;
+      }
+    }
+    if (j >= n || !IsPunct(t[j], "{")) {
+      continue;
+    }
+    FuncDef f;
+    f.name = t[i].text;
+    f.name_line = t[i].line;
+    f.brace_line = t[j].line;
+    f.body_begin = j;
+    f.body_end = SkipBalanced(t, j, "{", "}");
+    f.end_line = f.body_end > 0 && f.body_end <= n ? t[f.body_end - 1].line
+                                                   : t[n - 1].line;
+    out.push_back(std::move(f));
+    i = f.body_end > 0 ? f.body_end - 1 : i;  // no nested functions; skip body
+  }
+
+  // Attach hotpath annotations: above the signature, on it, or inside the
+  // body all mark the function.
+  for (FuncDef& f : out) {
+    for (const Annotation& ann : file.annotations) {
+      if (ann.hotpath && ann.line >= f.name_line - 2 && ann.line <= f.end_line) {
+        f.hot = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// --- statement trees --------------------------------------------------------
+
+enum class StmtKind {
+  kSimple,
+  kReturn,
+  kBreak,
+  kContinue,
+  kIf,
+  kLoop,
+  kSwitch,
+  kBlock,
+};
+
+struct Stmt;
+
+struct CaseGroup {
+  // (enum qualifier, enumerator) per `case Enum::kValue:` label; the default
+  // label is recorded via is_default/line.
+  std::vector<std::pair<std::string, std::string>> labels;
+  bool is_default = false;
+  int line = 0;          // first label's line
+  int default_line = 0;  // line of the `default:` label, if any
+  std::vector<Stmt> stmts;
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kSimple;
+  size_t head_begin = 0;  // token span scanned for dataflow events:
+  size_t head_end = 0;    // condition for if/loop/switch, whole stmt otherwise
+  int line = 0;
+  bool infinite = false;  // while (true) / for (;;): no natural exit edge
+  bool is_do = false;
+  std::vector<Stmt> children;     // if: then[,else]; loop: body; block: stmts
+  std::vector<CaseGroup> cases;   // switch
+};
+
+class StmtParser {
+ public:
+  explicit StmtParser(const std::vector<Token>& t) : t_(t) {}
+
+  // Parse the statements of a `{ ... }` body. `begin` indexes the '{',
+  // `end` is just past the matching '}'.
+  std::vector<Stmt> ParseBody(size_t begin, size_t end) {
+    size_t i = begin + 1;
+    return ParseSeq(i, end > 0 ? end - 1 : end, /*in_switch=*/false);
+  }
+
+ private:
+  std::vector<Stmt> ParseSeq(size_t& i, size_t end, bool in_switch) {
+    std::vector<Stmt> out;
+    while (i < end) {
+      if (IsPunct(t_[i], "}")) {
+        break;  // caller owns the close brace
+      }
+      if (in_switch &&
+          (IsIdent(t_[i], "case") || IsIdent(t_[i], "default"))) {
+        break;  // next case group
+      }
+      const size_t before = i;
+      out.push_back(ParseOne(i, end, in_switch));
+      if (i == before) {
+        ++i;  // defensive: never stall on malformed input
+      }
+    }
+    return out;
+  }
+
+  Stmt ParseOne(size_t& i, size_t end, bool in_switch) {
+    Stmt s;
+    s.line = t_[i].line;
+
+    if (IsPunct(t_[i], ";")) {
+      s.kind = StmtKind::kSimple;
+      s.head_begin = i;
+      s.head_end = ++i;
+      return s;
+    }
+    if (IsPunct(t_[i], "{")) {
+      const size_t close = SkipBalanced(t_, i, "{", "}");
+      s.kind = StmtKind::kBlock;
+      size_t inner = i + 1;
+      s.children = ParseSeq(inner, close > 0 ? close - 1 : close, false);
+      i = close;
+      return s;
+    }
+    if (t_[i].kind == Tok::kIdent) {
+      const std::string& kw = t_[i].text;
+      if (kw == "if") {
+        s.kind = StmtKind::kIf;
+        s.head_begin = i;
+        size_t j = i + 1;
+        // `if constexpr (...)`
+        if (j < end && IsIdent(t_[j], "constexpr")) {
+          ++j;
+        }
+        j = j < end && IsPunct(t_[j], "(") ? SkipBalanced(t_, j, "(", ")") : j;
+        s.head_end = j;
+        i = j;
+        s.children.push_back(ParseOne(i, end, in_switch));
+        if (i < end && IsIdent(t_[i], "else")) {
+          ++i;
+          s.children.push_back(ParseOne(i, end, in_switch));
+        }
+        return s;
+      }
+      if (kw == "while") {
+        s.kind = StmtKind::kLoop;
+        s.head_begin = i;
+        const size_t j =
+            i + 1 < end && IsPunct(t_[i + 1], "(") ? SkipBalanced(t_, i + 1, "(", ")") : i + 1;
+        s.head_end = j;
+        // while (true) / while (1): no natural exit edge.
+        s.infinite = j == i + 4 && (IsIdent(t_[i + 2], "true") ||
+                                    (t_[i + 2].kind == Tok::kNumber &&
+                                     t_[i + 2].text == "1"));
+        i = j;
+        s.children.push_back(ParseOne(i, end, in_switch));
+        return s;
+      }
+      if (kw == "for") {
+        s.kind = StmtKind::kLoop;
+        s.head_begin = i;
+        const size_t j =
+            i + 1 < end && IsPunct(t_[i + 1], "(") ? SkipBalanced(t_, i + 1, "(", ")") : i + 1;
+        s.head_end = j;
+        // for (;;): the two top-level semicolons with an empty condition.
+        int depth = 0;
+        std::vector<size_t> semis;
+        for (size_t k = i + 1; k < j; ++k) {
+          if (IsPunct(t_[k], "(")) {
+            ++depth;
+          } else if (IsPunct(t_[k], ")")) {
+            --depth;
+          } else if (depth == 1 && IsPunct(t_[k], ";")) {
+            semis.push_back(k);
+          }
+        }
+        if (semis.size() == 2) {
+          const size_t cond_len = semis[1] - semis[0] - 1;
+          s.infinite = cond_len == 0 ||
+                       (cond_len == 1 && (IsIdent(t_[semis[0] + 1], "true") ||
+                                          (t_[semis[0] + 1].kind == Tok::kNumber &&
+                                           t_[semis[0] + 1].text == "1")));
+        }
+        i = j;
+        s.children.push_back(ParseOne(i, end, in_switch));
+        return s;
+      }
+      if (kw == "do") {
+        s.kind = StmtKind::kLoop;
+        s.is_do = true;
+        ++i;
+        s.children.push_back(ParseOne(i, end, in_switch));
+        if (i < end && IsIdent(t_[i], "while")) {
+          s.head_begin = i;
+          size_t j = i + 1 < end && IsPunct(t_[i + 1], "(")
+                         ? SkipBalanced(t_, i + 1, "(", ")")
+                         : i + 1;
+          s.head_end = j;
+          s.infinite = j == i + 4 && (IsIdent(t_[i + 2], "true") ||
+                                      (t_[i + 2].kind == Tok::kNumber &&
+                                       t_[i + 2].text == "1"));
+          i = j;
+          if (i < end && IsPunct(t_[i], ";")) {
+            ++i;
+          }
+        }
+        return s;
+      }
+      if (kw == "switch") {
+        s.kind = StmtKind::kSwitch;
+        s.head_begin = i;
+        size_t j = i + 1 < end && IsPunct(t_[i + 1], "(")
+                       ? SkipBalanced(t_, i + 1, "(", ")")
+                       : i + 1;
+        s.head_end = j;
+        if (j < end && IsPunct(t_[j], "{")) {
+          const size_t close = SkipBalanced(t_, j, "{", "}");
+          size_t k = j + 1;
+          const size_t inner_end = close > 0 ? close - 1 : close;
+          while (k < inner_end) {
+            if (!IsIdent(t_[k], "case") && !IsIdent(t_[k], "default")) {
+              ++k;  // stray tokens before the first label
+              continue;
+            }
+            CaseGroup group;
+            group.line = t_[k].line;
+            // Consecutive labels share one group.
+            while (k < inner_end &&
+                   (IsIdent(t_[k], "case") || IsIdent(t_[k], "default"))) {
+              if (IsIdent(t_[k], "default")) {
+                group.is_default = true;
+                group.default_line = t_[k].line;
+                ++k;
+              } else {
+                ++k;
+                // `case Enum::kValue:` — remember the qualified pair.
+                if (k + 2 < inner_end && t_[k].kind == Tok::kIdent &&
+                    IsPunct(t_[k + 1], "::") && t_[k + 2].kind == Tok::kIdent) {
+                  group.labels.emplace_back(t_[k].text, t_[k + 2].text);
+                }
+                while (k < inner_end && !IsPunct(t_[k], ":")) {
+                  ++k;
+                }
+              }
+              if (k < inner_end && IsPunct(t_[k], ":")) {
+                ++k;
+              }
+            }
+            group.stmts = ParseSeq(k, inner_end, /*in_switch=*/true);
+            s.cases.push_back(std::move(group));
+          }
+          i = close;
+        } else {
+          i = j;
+        }
+        return s;
+      }
+      if (kw == "return") {
+        s.kind = StmtKind::kReturn;
+        s.head_begin = i;
+        s.head_end = ConsumeToSemi(i, end);
+        i = s.head_end;
+        return s;
+      }
+      if (kw == "break" || kw == "continue") {
+        s.kind = kw == "break" ? StmtKind::kBreak : StmtKind::kContinue;
+        s.head_begin = i;
+        ++i;
+        if (i < end && IsPunct(t_[i], ";")) {
+          ++i;
+        }
+        s.head_end = i;
+        return s;
+      }
+      if (kw == "try") {
+        ++i;
+        return ParseOne(i, end, in_switch);  // exceptional edges not modelled
+      }
+      if (kw == "catch") {
+        ++i;
+        if (i < end && IsPunct(t_[i], "(")) {
+          i = SkipBalanced(t_, i, "(", ")");
+        }
+        return ParseOne(i, end, in_switch);
+      }
+    }
+    // Simple statement (declarations, expressions, calls — lambda bodies and
+    // brace initializers are consumed balanced and scanned linearly).
+    s.kind = StmtKind::kSimple;
+    s.head_begin = i;
+    s.head_end = ConsumeToSemi(i, end);
+    i = s.head_end;
+    return s;
+  }
+
+  // Consume from `i` to just past the terminating top-level ';', tracking
+  // (), [], {} nesting. Stops before a top-level '}' (body end).
+  size_t ConsumeToSemi(size_t i, size_t end) {
+    int paren = 0, bracket = 0, brace = 0;
+    for (; i < end; ++i) {
+      const Token& tok = t_[i];
+      if (tok.kind != Tok::kPunct) {
+        continue;
+      }
+      if (tok.text == "(") {
+        ++paren;
+      } else if (tok.text == ")") {
+        --paren;
+      } else if (tok.text == "[") {
+        ++bracket;
+      } else if (tok.text == "]") {
+        --bracket;
+      } else if (tok.text == "{") {
+        ++brace;
+      } else if (tok.text == "}") {
+        if (brace == 0) {
+          return i;  // unterminated statement at body end
+        }
+        --brace;
+      } else if (tok.text == ";" && paren == 0 && bracket == 0 && brace == 0) {
+        return i + 1;
+      }
+    }
+    return end;
+  }
+
+  const std::vector<Token>& t_;
+};
+
+// --- control-flow graph -----------------------------------------------------
+
+struct CfgNode {
+  const Stmt* stmt = nullptr;  // null for entry/exit/join markers
+  size_t begin = 0, end = 0;   // token span scanned for events
+  int line = 0;
+  bool is_return = false;
+  std::vector<int> succ;
+};
+
+struct Cfg {
+  std::vector<CfgNode> nodes;
+  int entry = 0;
+  int exit = 1;
+};
+
+class CfgBuilder {
+ public:
+  Cfg Build(const std::vector<Stmt>& body, int end_line) {
+    cfg_.nodes.clear();
+    New(nullptr, 0);  // entry
+    New(nullptr, 0);  // exit
+    std::vector<int> open = LowerSeq(body, {cfg_.entry});
+    if (!open.empty()) {
+      // Falling off the end of the body is an exit path too (void returns):
+      // model it as an implicit return at the closing brace.
+      const int fin = New(nullptr, end_line);
+      cfg_.nodes[fin].is_return = true;
+      Connect(open, fin);
+      Edge(fin, cfg_.exit);
+    }
+    return std::move(cfg_);
+  }
+
+ private:
+  int New(const Stmt* s, int line) {
+    CfgNode n;
+    n.stmt = s;
+    n.line = s != nullptr ? s->line : line;
+    if (s != nullptr) {
+      n.begin = s->head_begin;
+      n.end = s->head_end;
+    }
+    cfg_.nodes.push_back(std::move(n));
+    return static_cast<int>(cfg_.nodes.size()) - 1;
+  }
+  void Edge(int a, int b) { cfg_.nodes[static_cast<size_t>(a)].succ.push_back(b); }
+  void Connect(const std::vector<int>& from, int to) {
+    for (int f : from) {
+      Edge(f, to);
+    }
+  }
+
+  std::vector<int> LowerSeq(const std::vector<Stmt>& ss, std::vector<int> preds) {
+    for (const Stmt& s : ss) {
+      preds = LowerOne(s, std::move(preds));
+    }
+    return preds;
+  }
+
+  std::vector<int> LowerOne(const Stmt& s, std::vector<int> preds) {
+    switch (s.kind) {
+      case StmtKind::kSimple: {
+        const int n = New(&s, 0);
+        Connect(preds, n);
+        return {n};
+      }
+      case StmtKind::kReturn: {
+        const int n = New(&s, 0);
+        cfg_.nodes[static_cast<size_t>(n)].is_return = true;
+        Connect(preds, n);
+        Edge(n, cfg_.exit);
+        return {};
+      }
+      case StmtKind::kBreak: {
+        const int n = New(&s, 0);
+        Connect(preds, n);
+        Edge(n, brk_ >= 0 ? brk_ : cfg_.exit);
+        return {};
+      }
+      case StmtKind::kContinue: {
+        const int n = New(&s, 0);
+        Connect(preds, n);
+        Edge(n, cont_ >= 0 ? cont_ : cfg_.exit);
+        return {};
+      }
+      case StmtKind::kBlock:
+        return LowerSeq(s.children, std::move(preds));
+      case StmtKind::kIf: {
+        const int c = New(&s, 0);
+        Connect(preds, c);
+        std::vector<int> out =
+            s.children.empty() ? std::vector<int>{} : LowerOne(s.children[0], {c});
+        if (s.children.size() > 1) {
+          std::vector<int> other = LowerOne(s.children[1], {c});
+          out.insert(out.end(), other.begin(), other.end());
+        } else {
+          out.push_back(c);  // condition-false path
+        }
+        return out;
+      }
+      case StmtKind::kLoop: {
+        const int c = New(&s, 0);
+        const int ex = New(nullptr, s.line);
+        const int saved_brk = brk_;
+        const int saved_cont = cont_;
+        brk_ = ex;
+        cont_ = c;
+        if (s.is_do) {
+          const int body_entry = New(nullptr, s.line);
+          Connect(preds, body_entry);
+          std::vector<int> body_out =
+              s.children.empty() ? std::vector<int>{body_entry}
+                                 : LowerOne(s.children[0], {body_entry});
+          Connect(body_out, c);
+          Edge(c, body_entry);  // back edge
+        } else {
+          Connect(preds, c);
+          std::vector<int> body_out =
+              s.children.empty() ? std::vector<int>{c} : LowerOne(s.children[0], {c});
+          Connect(body_out, c);  // back edge
+        }
+        brk_ = saved_brk;
+        cont_ = saved_cont;
+        if (!s.infinite) {
+          Edge(c, ex);
+        }
+        return {ex};
+      }
+      case StmtKind::kSwitch: {
+        const int c = New(&s, 0);
+        Connect(preds, c);
+        const int ex = New(nullptr, s.line);
+        const int saved_brk = brk_;
+        brk_ = ex;
+        bool has_default = false;
+        std::vector<int> fall;  // goto-free fallthrough from the previous group
+        for (const CaseGroup& g : s.cases) {
+          has_default = has_default || g.is_default;
+          std::vector<int> entry = fall;
+          entry.push_back(c);
+          fall = LowerSeq(g.stmts, std::move(entry));
+        }
+        Connect(fall, ex);
+        if (!has_default) {
+          Edge(c, ex);  // unmatched value skips the switch
+        }
+        brk_ = saved_brk;
+        return {ex};
+      }
+    }
+    return preds;
+  }
+
+  Cfg cfg_;
+  int brk_ = -1;
+  int cont_ = -1;
+};
+
+std::vector<std::vector<int>> Preds(const Cfg& cfg) {
+  std::vector<std::vector<int>> preds(cfg.nodes.size());
+  for (size_t i = 0; i < cfg.nodes.size(); ++i) {
+    for (int s : cfg.nodes[i].succ) {
+      preds[static_cast<size_t>(s)].push_back(static_cast<int>(i));
+    }
+  }
+  return preds;
+}
+
+// --- event extraction helpers -----------------------------------------------
+
+// For a member call whose method name sits at token index m (t[m-1] is '.' or
+// '->'), collect the receiver-chain identifiers, nearest first:
+// `proc_->fds().Close` yields {fds, proc_}; `waiter_pool_[i]->Detach` yields
+// {waiter_pool_}.
+std::vector<std::string> ReceiverChain(const std::vector<Token>& t, size_t m,
+                                       size_t lo) {
+  std::vector<std::string> chain;
+  if (m == 0 || m <= lo) {
+    return chain;
+  }
+  size_t k = m - 1;
+  while (k > lo && (IsPunct(t[k], ".") || IsPunct(t[k], "->"))) {
+    --k;
+    if (IsPunct(t[k], ")")) {
+      k = SkipBalancedBack(t, k, "(", ")", lo);
+      if (k == lo) {
+        break;
+      }
+      --k;
+    }
+    if (IsPunct(t[k], "]")) {
+      k = SkipBalancedBack(t, k, "[", "]", lo);
+      if (k == lo) {
+        break;
+      }
+      --k;
+    }
+    if (t[k].kind != Tok::kIdent) {
+      break;
+    }
+    chain.push_back(t[k].text);
+    if (k == lo) {
+      break;
+    }
+    --k;
+  }
+  return chain;
+}
+
+bool ChainHas(const std::vector<std::string>& chain, const char* needle) {
+  for (const std::string& link : chain) {
+    if (Contains(Normalize(link), needle)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// The base identifier of the first argument of a call: `p` indexes the '('.
+// Skips &, *, std::move wrappers and C++ casts, so `&w`, `waiter_.get()`,
+// `std::move(fd)` and `static_cast<size_t>(fd)` all yield the variable.
+std::string ArgBaseIdent(const std::vector<Token>& t, size_t p) {
+  const size_t close = SkipBalanced(t, p, "(", ")");
+  size_t k = p + 1;
+  while (k + 1 < close) {
+    if (IsPunct(t[k], "&") || IsPunct(t[k], "*") || IsPunct(t[k], "(")) {
+      ++k;
+      continue;
+    }
+    if (t[k].kind == Tok::kIdent) {
+      const std::string& id = t[k].text;
+      if (id == "std" && k + 1 < close && IsPunct(t[k + 1], "::")) {
+        k += 2;
+        continue;
+      }
+      if (id == "move" && k + 1 < close && IsPunct(t[k + 1], "(")) {
+        k += 2;
+        continue;
+      }
+      if ((id == "static_cast" || id == "const_cast" ||
+           id == "reinterpret_cast" || id == "dynamic_cast") &&
+          k + 1 < close && IsPunct(t[k + 1], "<")) {
+        k = SkipBalanced(t, k + 1, "<", ">");
+        continue;
+      }
+      return id;
+    }
+    break;
+  }
+  return "";
+}
+
+// Is t[k] the left-hand side of a plain assignment `x = ...`? Compound and
+// comparison operators (==, +=, <=, !=) never match: the lexer splits them
+// into single-char puncts, so the token before '=' betrays them.
+bool IsAssignedAt(const std::vector<Token>& t, size_t k, size_t hi) {
+  if (t[k].kind != Tok::kIdent || k + 1 >= hi || !IsPunct(t[k + 1], "=")) {
+    return false;
+  }
+  if (k + 2 < hi && IsPunct(t[k + 2], "=")) {
+    return false;  // ==
+  }
+  return true;
+}
+
+struct Reporter {
+  const LexedFile* file;
+  std::vector<FlowFinding>* out;
+  void Add(const std::string& rule, int line, int col, std::string message) const {
+    out->push_back({rule, line, col, std::move(message)});
+  }
+};
+
+// --- F1: use-after-close ----------------------------------------------------
+
+// Syscall wrappers whose argument lists constitute a *use* of an fd.
+const std::set<std::string>& FdUseMethods() {
+  static const std::set<std::string> kUse = {
+      "Read",    "Write",  "Accept",       "Poll",   "Ctl",
+      "Wait",    "Kevent", "DevPollWrite", "ArmAsync", "SetSig",
+      "Sendfile",
+  };
+  return kUse;
+}
+
+void CheckF1(const LexedFile& file, const Cfg& cfg, const Reporter& report) {
+  const std::vector<Token>& t = file.tokens;
+  // State: key -> line of the close/release. Keys: "fd|var" for descriptors,
+  // "slab|recv|var" for slab indices. May-analysis: closed on any path in.
+  using State = std::map<std::string, int>;
+
+  const auto transfer = [&t](const CfgNode& node, State state,
+                             const Reporter* rep) {
+    for (size_t k = node.begin; k < node.end; ++k) {
+      if (t[k].kind != Tok::kIdent) {
+        continue;
+      }
+      // Reassignment revives the local.
+      if (IsAssignedAt(t, k, node.end)) {
+        for (auto it = state.begin(); it != state.end();) {
+          const std::string& key = it->first;
+          const size_t bar = key.rfind('|');
+          if (key.substr(bar + 1) == t[k].text) {
+            it = state.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        continue;
+      }
+      if (k + 1 >= node.end || !IsPunct(t[k + 1], "(") || k == node.begin ||
+          (!IsPunct(t[k - 1], ".") && !IsPunct(t[k - 1], "->"))) {
+        continue;
+      }
+      const std::string& name = t[k].text;
+      const std::vector<std::string> chain = ReceiverChain(t, k, node.begin);
+      const bool sys_recv = ChainHas(chain, "sys") || ChainHas(chain, "fds") ||
+                            ChainHas(chain, "kernel");
+      const std::string recv = chain.empty() ? "" : chain.front();
+      if (name == "Close" && sys_recv) {
+        const std::string var = ArgBaseIdent(t, k + 1);
+        if (!var.empty()) {
+          const std::string key = "fd|" + var;
+          if (const auto it = state.find(key); it != state.end()) {
+            if (rep != nullptr) {
+              rep->Add("F1", t[k].line, t[k].col,
+                       "fd '" + var + "' closed again after the Close on line " +
+                           std::to_string(it->second) + " (double close)");
+            }
+          }
+          state[key] = t[k].line;
+        }
+        continue;
+      }
+      if (name == "ReleaseAt" || name == "EmplaceAt") {
+        const std::string var = ArgBaseIdent(t, k + 1);
+        if (!var.empty() && !recv.empty()) {
+          const std::string key = "slab|" + recv + "|" + var;
+          if (name == "ReleaseAt") {
+            state[key] = t[k].line;
+          } else {
+            state.erase(key);
+          }
+        }
+        continue;
+      }
+      if (name == "At" && !recv.empty()) {
+        const std::string var = ArgBaseIdent(t, k + 1);
+        const std::string key = "slab|" + recv + "|" + var;
+        if (const auto it = state.find(key); !var.empty() && it != state.end()) {
+          if (rep != nullptr) {
+            rep->Add("F1", t[k].line, t[k].col,
+                     "slab index '" + var + "' passed to " + recv +
+                         ".At() after the ReleaseAt on line " +
+                         std::to_string(it->second) + " (use-after-release)");
+          }
+        }
+        continue;
+      }
+      if (sys_recv && FdUseMethods().count(name) != 0) {
+        const size_t close = SkipBalanced(t, k + 1, "(", ")");
+        for (size_t a = k + 2; a + 1 < close; ++a) {
+          if (t[a].kind != Tok::kIdent) {
+            continue;
+          }
+          const auto it = state.find("fd|" + t[a].text);
+          if (it != state.end() && rep != nullptr) {
+            rep->Add("F1", t[a].line, t[a].col,
+                     "fd '" + t[a].text + "' used in " + name +
+                         "() after the Close on line " +
+                         std::to_string(it->second) + " (use-after-close)");
+          }
+        }
+        continue;
+      }
+    }
+    return state;
+  };
+
+  // Fixpoint: union merge (closed on any incoming path).
+  const std::vector<std::vector<int>> preds = Preds(cfg);
+  std::vector<std::optional<State>> in(cfg.nodes.size());
+  in[static_cast<size_t>(cfg.entry)] = State{};
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < 64) {
+    changed = false;
+    for (size_t i = 0; i < cfg.nodes.size(); ++i) {
+      State merged;
+      bool any = false;
+      for (int p : preds[i]) {
+        const auto& pin = in[static_cast<size_t>(p)];
+        if (!pin.has_value()) {
+          continue;
+        }
+        State pout = transfer(cfg.nodes[static_cast<size_t>(p)], *pin, nullptr);
+        for (const auto& [key, line] : pout) {
+          const auto it = merged.find(key);
+          if (it == merged.end() || line < it->second) {
+            merged[key] = line;
+          }
+        }
+        any = true;
+      }
+      if (static_cast<int>(i) == cfg.entry) {
+        continue;
+      }
+      if (!any) {
+        continue;  // unreachable so far
+      }
+      if (!in[i].has_value() || *in[i] != merged) {
+        in[i] = std::move(merged);
+        changed = true;
+      }
+    }
+  }
+  // Reporting pass: re-run transfers with the reporter attached.
+  for (size_t i = 0; i < cfg.nodes.size(); ++i) {
+    if (in[i].has_value()) {
+      transfer(cfg.nodes[i], *in[i], &report);
+    }
+  }
+}
+
+// --- W1: waiter pairing -----------------------------------------------------
+
+void CheckW1(const LexedFile& file, const Cfg& cfg, const Reporter& report) {
+  const std::vector<Token>& t = file.tokens;
+  // State per waiter token: R (registered, value = line) or C (cleared,
+  // value = -1). Merge is optimistic for removal: a clear on any incoming
+  // path pairs the registration (pooled detach loops stay clean), while a
+  // registration with no clear anywhere on the way to an exit is flagged.
+  using State = std::map<std::string, int>;
+  constexpr int kCleared = -1;
+
+  const auto transfer = [&t](const CfgNode& node, State state) {
+    for (size_t k = node.begin; k < node.end; ++k) {
+      if (t[k].kind != Tok::kIdent || k + 1 >= node.end ||
+          !IsPunct(t[k + 1], "(") || k == node.begin ||
+          (!IsPunct(t[k - 1], ".") && !IsPunct(t[k - 1], "->"))) {
+        continue;
+      }
+      const std::string& name = t[k].text;
+      if (name != "Add" && name != "AddExclusive" && name != "Remove" &&
+          name != "Detach") {
+        continue;
+      }
+      const std::vector<std::string> chain = ReceiverChain(t, k, node.begin);
+      if (name == "Detach") {
+        if (!chain.empty()) {
+          state[chain.front()] = kCleared;
+        }
+        continue;
+      }
+      if (!ChainHas(chain, "wait")) {
+        continue;  // Add/Remove on something that is not a wait queue
+      }
+      const std::string var = ArgBaseIdent(t, k + 1);
+      if (var.empty()) {
+        continue;
+      }
+      state[var] = name == "Remove" ? kCleared : t[k].line;
+    }
+    return state;
+  };
+
+  const std::vector<std::vector<int>> preds = Preds(cfg);
+  std::vector<std::optional<State>> in(cfg.nodes.size());
+  in[static_cast<size_t>(cfg.entry)] = State{};
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < 64) {
+    changed = false;
+    for (size_t i = 0; i < cfg.nodes.size(); ++i) {
+      if (static_cast<int>(i) == cfg.entry) {
+        continue;
+      }
+      State merged;
+      bool any = false;
+      for (int p : preds[i]) {
+        const auto& pin = in[static_cast<size_t>(p)];
+        if (!pin.has_value()) {
+          continue;
+        }
+        State pout = transfer(cfg.nodes[static_cast<size_t>(p)], *pin);
+        for (const auto& [var, line] : pout) {
+          const auto it = merged.find(var);
+          if (it == merged.end()) {
+            merged[var] = line;
+          } else if (line == kCleared || it->second == kCleared) {
+            it->second = kCleared;  // cleared on any path wins
+          }
+        }
+        any = true;
+      }
+      if (!any) {
+        continue;
+      }
+      if (!in[i].has_value() || *in[i] != merged) {
+        in[i] = std::move(merged);
+        changed = true;
+      }
+    }
+  }
+  for (size_t i = 0; i < cfg.nodes.size(); ++i) {
+    const CfgNode& node = cfg.nodes[i];
+    if (!node.is_return || !in[i].has_value()) {
+      continue;
+    }
+    const State at_exit = transfer(node, *in[i]);
+    for (const auto& [var, line] : at_exit) {
+      if (line != kCleared) {
+        report.Add("W1", node.line, 1,
+                   "waiter '" + var + "' registered on line " +
+                       std::to_string(line) +
+                       " may still be enqueued at this exit — every "
+                       "registration needs a Detach/Remove on every path");
+      }
+    }
+  }
+}
+
+// --- E2: errno discipline ---------------------------------------------------
+
+void CheckE2(const LexedFile& file, const Cfg& cfg, const Reporter& report) {
+  const std::vector<Token>& t = file.tokens;
+  // State: has an `errno = ...` assignment dominated this point?
+  // Must-analysis: intersection at merges; `errno ==` comparisons and reads
+  // never count.
+  const auto transfer = [&t](const CfgNode& node, bool assigned) {
+    for (size_t k = node.begin; k < node.end; ++k) {
+      if (IsIdent(t[k], "errno") && IsAssignedAt(t, k, node.end)) {
+        assigned = true;
+      }
+    }
+    return assigned;
+  };
+
+  const std::vector<std::vector<int>> preds = Preds(cfg);
+  // tri-state: unset / false / true
+  std::vector<std::optional<bool>> in(cfg.nodes.size());
+  in[static_cast<size_t>(cfg.entry)] = false;
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < 64) {
+    changed = false;
+    for (size_t i = 0; i < cfg.nodes.size(); ++i) {
+      if (static_cast<int>(i) == cfg.entry) {
+        continue;
+      }
+      bool merged = true;
+      bool any = false;
+      for (int p : preds[i]) {
+        const auto& pin = in[static_cast<size_t>(p)];
+        if (!pin.has_value()) {
+          continue;
+        }
+        merged = merged && transfer(cfg.nodes[static_cast<size_t>(p)], *pin);
+        any = true;
+      }
+      if (!any) {
+        continue;
+      }
+      if (!in[i].has_value() || *in[i] != merged) {
+        in[i] = merged;
+        changed = true;
+      }
+    }
+  }
+  for (size_t i = 0; i < cfg.nodes.size(); ++i) {
+    const CfgNode& node = cfg.nodes[i];
+    if (!node.is_return || node.stmt == nullptr || !in[i].has_value() ||
+        *in[i]) {
+      continue;
+    }
+    // Error exit shape: `return -N;` exactly. Named kErr* codes and
+    // errno-reading expressions are disciplined by construction.
+    size_t b = node.begin + 1;
+    size_t e = node.end;
+    if (e > b && IsPunct(t[e - 1], ";")) {
+      --e;
+    }
+    if (e - b == 2 && IsPunct(t[b], "-") && t[b + 1].kind == Tok::kNumber) {
+      report.Add("E2", node.line, t[node.begin].col,
+                 "error exit returns -" + t[b + 1].text +
+                     " with no errno assignment on this path — assign a "
+                     "sys_errno.h code or return the named kErr* constant");
+    }
+  }
+}
+
+// --- H1: hot-path allocation ban --------------------------------------------
+
+// (file basename, function name) pairs for the harvest/wait loops of the six
+// event cores: poll, /dev/poll, RT signals, epoll, kqueue, and the hybrid
+// policy. These are hot even without a `// sciolint: hotpath` annotation.
+bool IsBuiltinHot(const std::string& base, const std::string& func) {
+  static const std::set<std::pair<std::string, std::string>> kHot = {
+      {"poll_syscall.cc", "Poll"},      {"poll_syscall.cc", "ScanOnce"},
+      {"devpoll.cc", "PollInternal"},   {"devpoll.cc", "ScanOnce"},
+      {"rt_io.cc", "SigWaitInfo"},      {"rt_io.cc", "SigTimedWait4"},
+      {"rt_io.cc", "WaitForSignal"},    {"epoll_core.cc", "Wait"},
+      {"epoll_core.cc", "HarvestOnce"}, {"kqueue_core.cc", "Kevent"},
+      {"kqueue_core.cc", "HarvestOnce"}, {"kqueue_core.cc", "HarvestFilter"},
+      {"hybrid_policy.h", "Update"},
+  };
+  return kHot.count({base, func}) != 0;
+}
+
+void CheckH1(const LexedFile& file, const FuncDef& fn, const Reporter& report) {
+  const std::vector<Token>& t = file.tokens;
+  for (size_t k = fn.body_begin; k < fn.body_end; ++k) {
+    if (t[k].kind != Tok::kIdent) {
+      continue;
+    }
+    std::string what;
+    if (t[k].text == "new" && !(k > 0 && IsPunct(t[k - 1], "."))) {
+      what = "new";
+    } else if (t[k].text == "make_unique" || t[k].text == "make_shared") {
+      what = t[k].text;
+    } else if (t[k].text == "function" && k >= 2 && IsIdent(t[k - 2], "std") &&
+               IsPunct(t[k - 1], "::")) {
+      what = "std::function";
+    }
+    if (!what.empty()) {
+      report.Add("H1", t[k].line, t[k].col,
+                 "hot path '" + fn.name + "' reaches '" + what +
+                     "' — harvest/wait loops must be allocation-free "
+                     "(annotate allow(H1) only for bounded one-time pool "
+                     "growth)");
+    }
+  }
+}
+
+// --- X1: exhaustive switch over the X-macro enums ----------------------------
+
+std::string JoinNames(const std::vector<std::string>& names, size_t limit) {
+  std::string out;
+  for (size_t i = 0; i < names.size() && i < limit; ++i) {
+    out += (i == 0 ? "" : ", ") + names[i];
+  }
+  if (names.size() > limit) {
+    out += ", ...";
+  }
+  return out;
+}
+
+void CheckX1(const Stmt& s, const FlowContext& ctx, const Reporter& report) {
+  if (s.kind == StmtKind::kSwitch) {
+    // Which taxonomy enum do the labels qualify?
+    std::string enum_name;
+    std::set<std::string> covered;
+    bool has_default = false;
+    int default_line = 0;
+    for (const CaseGroup& g : s.cases) {
+      if (g.is_default) {
+        has_default = true;
+        default_line = g.default_line;
+      }
+      for (const auto& [qual, value] : g.labels) {
+        if (ctx.taxonomy_enums.count(qual) != 0) {
+          enum_name = qual;
+          covered.insert(value);
+        }
+      }
+    }
+    // A label that is not a declared enumerator means the cases are
+    // macro-generated (`case MemSys::name:` inside an X(name, str) body) —
+    // exhaustive by construction, nothing to check.
+    bool macro_generated = false;
+    if (!enum_name.empty()) {
+      for (const std::string& value : covered) {
+        if (ctx.taxonomy_enums.at(enum_name).count(value) == 0) {
+          macro_generated = true;
+          break;
+        }
+      }
+    }
+    if (!enum_name.empty() && !macro_generated) {
+      std::vector<std::string> missing;
+      for (const std::string& value : ctx.taxonomy_enums.at(enum_name)) {
+        if (covered.count(value) == 0) {
+          missing.push_back(value);
+        }
+      }
+      if (!missing.empty()) {
+        report.Add(
+            "X1", has_default ? default_line : s.line, 1,
+            "switch over " + enum_name + " misses " +
+                std::to_string(missing.size()) + " enumerator(s): " +
+                JoinNames(missing, 4) +
+                " — cover every X-macro entry, or annotate the default with "
+                "allow(X1)");
+      }
+    }
+  }
+  for (const Stmt& child : s.children) {
+    CheckX1(child, ctx, report);
+  }
+  for (const CaseGroup& g : s.cases) {
+    for (const Stmt& child : g.stmts) {
+      CheckX1(child, ctx, report);
+    }
+  }
+}
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+bool PathHas(const std::string& path, const char* dir) {
+  return path.find(dir) != std::string::npos;
+}
+
+}  // namespace
+
+std::vector<FlowFinding> CheckFlowRules(const LexedFile& file,
+                                        const FlowContext& ctx) {
+  std::vector<FlowFinding> findings;
+  const Reporter report{&file, &findings};
+  const std::string base = Basename(file.path);
+  const bool in_src =
+      file.path.rfind("src/", 0) == 0 || PathHas(file.path, "/src/");
+  const bool w1_scope = PathHas(file.path, "src/kernel") ||
+                        PathHas(file.path, "src/core") ||
+                        PathHas(file.path, "src/smp");
+  const bool e2_scope =
+      PathHas(file.path, "src/kernel") || PathHas(file.path, "src/posix");
+
+  StmtParser parser(file.tokens);
+  for (const FuncDef& fn : ExtractFunctions(file)) {
+    if (fn.hot || IsBuiltinHot(base, fn.name)) {
+      CheckH1(file, fn, report);
+    }
+    const std::vector<Stmt> body = parser.ParseBody(fn.body_begin, fn.body_end);
+    // X1 applies everywhere a taxonomy switch can appear.
+    for (const Stmt& s : body) {
+      CheckX1(s, ctx, report);
+    }
+    if (!in_src && !w1_scope && !e2_scope) {
+      continue;
+    }
+    CfgBuilder builder;
+    const Cfg cfg = builder.Build(body, fn.end_line);
+    if (in_src) {
+      CheckF1(file, cfg, report);
+    }
+    if (w1_scope) {
+      CheckW1(file, cfg, report);
+    }
+    if (e2_scope) {
+      CheckE2(file, cfg, report);
+    }
+  }
+  return findings;
+}
+
+}  // namespace scio::lint

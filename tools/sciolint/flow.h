@@ -1,0 +1,77 @@
+// sciolint flow engine: function-granular control-flow and dataflow analysis
+// on top of the token stream.
+//
+// Three layers, each deliberately small:
+//
+//   1. Function extraction — find `name (args) [modifiers] [: init-list] {`
+//      definitions in the token stream (free functions, member definitions,
+//      inline methods, TEST bodies). Lambdas are *not* extracted: a lambda's
+//      tokens stay inside the statement that contains it and its events are
+//      scanned linearly as part of that statement.
+//   2. Statement trees + CFG — a recursive-descent parse of each body into
+//      if/loop/switch/return/break/continue/block/simple statements, then a
+//      per-function control-flow graph: branch joins, loop back edges,
+//      `while (true)`/`for (;;)` with no exit edge, switch fallthrough
+//      (goto-free), break/continue targets, every return wired to the exit.
+//   3. Forward dataflow — per-rule transfer functions over node token spans,
+//      iterated to a fixpoint with rule-specific merge operators.
+//
+// Rules implemented here (scopes chosen to match where each invariant lives):
+//
+//   F1  use-after-close (src/): an fd local that flowed into a Sys/SimKernel
+//       `Close(fd)` (receiver chain names sys/fds/kernel) reaches another
+//       syscall wrapper on a path after the close; likewise a slab index
+//       passed to `At()` on a path after `ReleaseAt()` on the same receiver.
+//       May-analysis (closed on any incoming path counts); reassignment and
+//       `EmplaceAt()` revive the value; `Contains()`/`Get()` are validity
+//       probes, not uses.
+//   W1  waiter pairing (src/{kernel,core,smp}): every `Add`/`AddExclusive`
+//       on a wait-queue receiver (chain names *wait*) must be matched by a
+//       `Detach()`/`Remove()` of the same waiter token before every exit.
+//       Merge is optimistic for removal (a clear on any path pairs the
+//       registration) so pooled detach loops don't false-positive, while a
+//       return reachable with no clear anywhere on the way is flagged.
+//   H1  hot-path allocation ban: functions annotated `// sciolint: hotpath`
+//       plus the built-in harvest/wait loops of the six event cores must not
+//       contain `new`, `make_unique`, `make_shared` or `std::function`.
+//   E2  errno discipline (src/kernel, src/posix): a `return -N;` error exit
+//       must be dominated by an `errno = ...` assignment (must-analysis:
+//       assigned on every path into the return). Returns of named `kErr*`
+//       codes or expressions that read `errno` are already disciplined.
+//   X1  exhaustive switch: a `switch` whose case labels qualify `ChargeCat::`
+//       or `MemSys::` must cover every enumerator of the X-macro taxonomy;
+//       a `default:` escape needs an allow(X1) annotation.
+
+#ifndef TOOLS_SCIOLINT_FLOW_H_
+#define TOOLS_SCIOLINT_FLOW_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/sciolint/lexer.h"
+
+namespace scio::lint {
+
+// Cross-file inputs the flow rules need: the X-macro enum taxonomies
+// (enum name -> enumerator set), collected by the index pass.
+struct FlowContext {
+  std::map<std::string, std::set<std::string>> taxonomy_enums;
+};
+
+// A finding before suppression/baseline handling (Analysis::AddFinding owns
+// that machinery).
+struct FlowFinding {
+  std::string rule;
+  int line = 0;
+  int col = 0;
+  std::string message;
+};
+
+std::vector<FlowFinding> CheckFlowRules(const LexedFile& file,
+                                        const FlowContext& ctx);
+
+}  // namespace scio::lint
+
+#endif  // TOOLS_SCIOLINT_FLOW_H_

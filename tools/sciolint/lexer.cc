@@ -22,6 +22,18 @@ void ParseAnnotation(std::string_view comment, int line, std::vector<Annotation>
   while (!rest.empty() && rest.front() == ' ') {
     rest.remove_prefix(1);
   }
+  if (rest.rfind("hotpath", 0) == 0) {
+    // `hotpath` takes no rule list; anything after it other than whitespace
+    // or an optional `-- reason` tail is a malformed directive.
+    std::string_view tail = rest.substr(7);
+    while (!tail.empty() && (tail.front() == ' ' || tail.front() == '\n')) {
+      tail.remove_prefix(1);
+    }
+    ann.hotpath = tail.empty() || tail.rfind("--", 0) == 0;
+    ann.malformed = !ann.hotpath;
+    out->push_back(std::move(ann));
+    return;
+  }
   if (rest.rfind("allow(", 0) != 0) {
     ann.malformed = true;
     out->push_back(std::move(ann));

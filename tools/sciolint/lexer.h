@@ -28,14 +28,18 @@ struct Token {
   int col = 0;   // 1-based
 };
 
-// One `// sciolint: allow(R1,R2) -- reason` control comment. A finding of
-// rule R on line L is suppressed when an annotation allowing R sits on line
-// L or on line L-1 (trailing comment or the dedicated line above).
+// One `// sciolint: ...` control comment. Two directives exist:
+//   `allow(R1,R2) -- reason` — a finding of rule R on line L is suppressed
+//       when an annotation allowing R sits on line L or on line L-1
+//       (trailing comment or the dedicated line above);
+//   `hotpath` — marks the enclosing function as a hot path for rule H1
+//       (placed above the signature or inside the body).
 struct Annotation {
   int line = 0;
   std::vector<std::string> rules;
   std::string reason;
-  bool malformed = false;  // not of the allow(<rules>) -- <reason> shape
+  bool hotpath = false;    // `sciolint: hotpath` directive
+  bool malformed = false;  // neither allow(<rules>) -- <reason> nor hotpath
   std::string raw;         // comment text, for diagnostics
 };
 

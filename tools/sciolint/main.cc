@@ -11,6 +11,7 @@
 //   --baseline=FILE        suppress findings whose fingerprint is listed
 //   --write-baseline=FILE  write the current findings' fingerprints and exit 0
 //   --json[=FILE]          machine-readable report (stdout, or FILE)
+//   --sarif=FILE           SARIF 2.1.0 report for code-scanning upload
 //   --quiet                suppress the human-readable report
 
 #include <algorithm>
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "tools/sciolint/analysis.h"
+#include "tools/sciolint/sarif.h"
 
 namespace scio::lint {
 namespace {
@@ -111,6 +113,7 @@ int Main(int argc, char** argv) {
   std::string baseline_path;
   std::string write_baseline_path;
   std::string json_path;
+  std::string sarif_path;
   bool want_json = false;
   bool quiet = false;
   std::vector<std::string> roots;
@@ -126,6 +129,8 @@ int Main(int argc, char** argv) {
     } else if (arg.rfind("--json=", 0) == 0) {
       want_json = true;
       json_path = arg.substr(7);
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -137,7 +142,7 @@ int Main(int argc, char** argv) {
   }
   if (roots.empty()) {
     std::cerr << "usage: sciolint [--baseline=FILE] [--write-baseline=FILE] "
-                 "[--json[=FILE]] [--quiet] <path>...\n";
+                 "[--json[=FILE]] [--sarif=FILE] [--quiet] <path>...\n";
     return 2;
   }
 
@@ -214,6 +219,14 @@ int Main(int argc, char** argv) {
       std::ofstream out(json_path, std::ios::binary);
       out << json;
     }
+  }
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "sciolint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    out << ToSarif(findings);
   }
   if (!write_baseline_path.empty()) {
     return 0;

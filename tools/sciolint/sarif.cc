@@ -1,0 +1,139 @@
+#include "tools/sciolint/sarif.h"
+
+#include <map>
+#include <sstream>
+
+namespace scio::lint {
+namespace {
+
+struct RuleMeta {
+  const char* id;
+  const char* name;
+  const char* description;
+};
+
+// One entry per rule family, in a stable order: `ruleIndex` in each result
+// points into this table.
+const std::vector<RuleMeta>& RuleCatalog() {
+  static const std::vector<RuleMeta> kRules = {
+      {"D1", "determinism-source",
+       "Nondeterminism source in src/ — seeded runs must not read wall "
+       "clocks, entropy or the environment."},
+      {"D2", "unordered-iteration",
+       "Iteration over an unordered container — order is "
+       "implementation-defined and simulation state must not depend on it."},
+      {"E1", "discarded-syscall-result",
+       "Discarded return value of a [[nodiscard]] syscall wrapper."},
+      {"C1", "charge-attribution",
+       "Charge call without a ChargeCat, or a taxonomy category never "
+       "referenced at a charge site."},
+      {"M1", "metric-naming",
+       "KernelStats counter name duplicated or not of the "
+       "subsystem.metric shape."},
+      {"S1", "wake-semantics",
+       "Bare Wake() in SMP-adjacent code — name WakeOne or WakeAll."},
+      {"P1", "per-fd-node-map",
+       "std::map<int, ...> in a per-connection layer — use a paged slab."},
+      {"F1", "fd-use-after-close",
+       "An fd or slab index reaches a syscall wrapper on a path after "
+       "Close()/ReleaseAt() (flow-sensitive)."},
+      {"W1", "waiter-pairing",
+       "A wait-queue registration has no matching Detach/Remove on some "
+       "exit path (flow-sensitive)."},
+      {"H1", "hotpath-allocation",
+       "A hot-path function (annotated or a known harvest/wait loop) "
+       "reaches new/make_unique/make_shared/std::function."},
+      {"E2", "errno-discipline",
+       "A `return -N;` error exit in src/kernel or src/posix with no "
+       "errno assignment dominating the path."},
+      {"X1", "exhaustive-taxonomy-switch",
+       "A switch over an X-macro taxonomy enum (ChargeCat, MemSys) misses "
+       "enumerators."},
+      {"ANN", "annotation-hygiene",
+       "Malformed sciolint control comment or unknown rule id."},
+  };
+  return kRules;
+}
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToSarif(const std::vector<Finding>& findings) {
+  std::map<std::string, size_t> rule_index;
+  for (size_t i = 0; i < RuleCatalog().size(); ++i) {
+    rule_index[RuleCatalog()[i].id] = i;
+  }
+
+  std::ostringstream out;
+  out << "{\n"
+         "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \"sciolint\",\n"
+         "          \"informationUri\": \"tools/sciolint\",\n"
+         "          \"rules\": [\n";
+  for (size_t i = 0; i < RuleCatalog().size(); ++i) {
+    const RuleMeta& r = RuleCatalog()[i];
+    out << "            {\"id\": \"" << r.id << "\", \"name\": \"" << r.name
+        << "\", \"shortDescription\": {\"text\": \"" << Escape(r.description)
+        << "\"}}" << (i + 1 < RuleCatalog().size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+         "        }\n"
+         "      },\n"
+         "      \"results\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    const auto idx = rule_index.find(f.rule);
+    out << "        {\n"
+           "          \"ruleId\": \"" << f.rule << "\",\n";
+    if (idx != rule_index.end()) {
+      out << "          \"ruleIndex\": " << idx->second << ",\n";
+    }
+    out << "          \"level\": \"" << (f.suppressed || f.baselined ? "note" : "error")
+        << "\",\n"
+           "          \"message\": {\"text\": \"" << Escape(f.message) << "\"},\n"
+           "          \"locations\": [{\"physicalLocation\": {"
+           "\"artifactLocation\": {\"uri\": \"" << Escape(f.path)
+        << "\"}, \"region\": {\"startLine\": " << (f.line > 0 ? f.line : 1)
+        << ", \"startColumn\": " << (f.col > 0 ? f.col : 1) << "}}}],\n"
+           "          \"partialFingerprints\": {\"sciolintFingerprint/v1\": \""
+        << Fingerprint(f) << "\"}";
+    if (f.suppressed || f.baselined) {
+      out << ",\n          \"suppressions\": [{\"kind\": \""
+          << (f.suppressed ? "inSource" : "external") << "\"}]";
+    }
+    out << "\n        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+         "    }\n"
+         "  ]\n"
+         "}\n";
+  return out.str();
+}
+
+}  // namespace scio::lint

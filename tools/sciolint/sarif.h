@@ -1,0 +1,21 @@
+// SARIF 2.1.0 emitter: renders sciolint findings as a static-analysis
+// results interchange log so CI can surface them as code-scanning
+// annotations. Suppressed (allow-annotated) and baselined findings are
+// emitted with a `suppressions` entry rather than dropped, keeping the
+// escape hatches auditable in the same report.
+
+#ifndef TOOLS_SCIOLINT_SARIF_H_
+#define TOOLS_SCIOLINT_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/sciolint/analysis.h"
+
+namespace scio::lint {
+
+std::string ToSarif(const std::vector<Finding>& findings);
+
+}  // namespace scio::lint
+
+#endif  // TOOLS_SCIOLINT_SARIF_H_
