@@ -17,6 +17,13 @@
 //                 fd-table / conn-slab rows cross-checked against the
 //                 structures' own tracked_bytes() self-reports.
 //
+// The grown event cores (epoll, kqueue) additionally run with the transport
+// plane attached ("+tp" rows): every idle connection then carries a cold TCP
+// block and a socket backpointer on the kTransport ledger row — which is
+// cross-checked against the plane's own tracked_bytes() and must fit under
+// the same 256-byte gate (idle connections never allocate hot blocks or
+// retransmit-queue slots).
+//
 // Determinism gate: every point runs twice and the full signature (memory
 // ledger, time-attribution ledger, busy time, loop iterations, population)
 // must match byte for byte. The fleet is self-paced — the next connect batch
@@ -156,6 +163,7 @@ struct PointResult {
   uint64_t interest_bytes = 0;
   uint64_t timer_bytes = 0;
   uint64_t buffer_bytes = 0;
+  uint64_t transport_bytes = 0;
   double bytes_per_conn = 0;
   bool ledger_consistent = false;
   bool crosscheck_ok = false;
@@ -171,7 +179,7 @@ struct PointResult {
   std::string signature;
 };
 
-PointResult RunPoint(ServerKind kind, size_t target) {
+PointResult RunPoint(ServerKind kind, size_t target, bool with_transport) {
   PointResult r;
   r.target = target;
 
@@ -186,6 +194,14 @@ PointResult RunPoint(ServerKind kind, size_t target) {
   const int max_fds = static_cast<int>(target + target / 2 + 64);
   Process& proc = kernel.CreateProcess("server", max_fds);
   Sys sys(&kernel, &proc, &net);
+  // Declared before the server so it outlives the server's sockets; their
+  // destructors detach from the plane.
+  std::unique_ptr<TransportPlane> transport;
+  if (with_transport) {
+    TransportConfig tp_config;
+    tp_config.max_connections = target + 8192;
+    transport = std::make_unique<TransportPlane>(&kernel, &net, tp_config);
+  }
   StaticContent content;
   content.AddDocument("/index.html", 6 * 1024);
 
@@ -274,12 +290,17 @@ PointResult RunPoint(ServerKind kind, size_t target) {
   r.interest_bytes = mem_at_plateau[MemSys::kInterests];
   r.timer_bytes = mem_at_plateau[MemSys::kTimers];
   r.buffer_bytes = mem_at_plateau[MemSys::kBuffers];
+  r.transport_bytes = mem_at_plateau[MemSys::kTransport];
   r.ledger_consistent = mem_at_plateau.Consistent();
   r.crosscheck_ok = mem_at_plateau[MemSys::kFdTable] == proc.fds().tracked_bytes() &&
-                    mem_at_plateau[MemSys::kConns] == server->conn_table_bytes();
+                    mem_at_plateau[MemSys::kConns] == server->conn_table_bytes() &&
+                    (transport == nullptr ||
+                     (mem_at_plateau[MemSys::kTransport] == transport->tracked_bytes() &&
+                      transport->live_hot() == 0 && transport->live_segments() == 0));
   r.bytes_per_conn =
       r.open == 0 ? 0.0
-                  : static_cast<double>(r.fd_bytes + r.conn_bytes + r.interest_bytes) /
+                  : static_cast<double>(r.fd_bytes + r.conn_bytes + r.interest_bytes +
+                                        r.transport_bytes) /
                         static_cast<double>(r.open);
 
   // Idle window: the population holds still; only the wait machinery and
@@ -326,19 +347,20 @@ std::string Fixed(double v, int precision) {
   return out.str();
 }
 
-void AppendJson(std::ostringstream& out, ServerKind kind, const PointResult& r,
-                bool identical, bool* first) {
+void AppendJson(std::ostringstream& out, const std::string& label,
+                const PointResult& r, bool identical, bool* first) {
   if (!*first) {
     out << ",\n";
   }
   *first = false;
-  out << "    {\"server\": \"" << ServerKindName(kind) << "\", "
+  out << "    {\"server\": \"" << label << "\", "
       << "\"connections\": " << r.target << ", "
       << "\"open\": " << r.open << ", "
       << "\"bytes_per_conn\": " << Fixed(r.bytes_per_conn, 1) << ", "
       << "\"fd_table_bytes\": " << r.fd_bytes << ", "
       << "\"conn_bytes\": " << r.conn_bytes << ", "
       << "\"interest_bytes\": " << r.interest_bytes << ", "
+      << "\"transport_bytes\": " << r.transport_bytes << ", "
       << "\"idle_cpu_pct\": " << Fixed(r.idle_cpu_pct, 3) << ", "
       << "\"wait_ms\": " << Fixed(ToMillis(r.t_wait), 2) << ", "
       << "\"sweep_ms\": " << Fixed(ToMillis(r.t_sweep), 2) << ", "
@@ -367,16 +389,23 @@ int main(int argc, char** argv) {
   if (!quick) {
     points.push_back(1'000'000);
   }
-  const std::vector<ServerKind> cores = {
-      ServerKind::kThttpdPoll,  ServerKind::kThttpdDevPoll,
-      ServerKind::kPhhttpd,     ServerKind::kHybrid,
-      ServerKind::kThttpdEpoll, ServerKind::kPhhttpdKqueue};
+  // Every core runs bare; the grown cores also run with the transport plane
+  // attached, which adds a kTransport ledger row per idle connection.
+  struct Leg {
+    ServerKind kind;
+    bool with_transport;
+  };
+  const std::vector<Leg> legs = {
+      {ServerKind::kThttpdPoll, false},  {ServerKind::kThttpdDevPoll, false},
+      {ServerKind::kPhhttpd, false},     {ServerKind::kHybrid, false},
+      {ServerKind::kThttpdEpoll, false}, {ServerKind::kPhhttpdKqueue, false},
+      {ServerKind::kThttpdEpoll, true},  {ServerKind::kPhhttpdKqueue, true}};
 
   std::cout << "=== million-idle sweep: CPU shape + bytes/connection"
             << (quick ? " (quick)" : "") << " ===\n\n";
   Table table({"server", "conns", "open", "bytes_per_conn", "fd_b", "conn_b",
-               "int_b", "idle_cpu_pct", "wait_ms", "sweep_ms", "loop_ms",
-               "iters", "verdict"});
+               "int_b", "tp_b", "idle_cpu_pct", "wait_ms", "sweep_ms",
+               "loop_ms", "iters", "verdict"});
 
   int failures = 0;
   std::ostringstream json;
@@ -384,10 +413,12 @@ int main(int argc, char** argv) {
        << ",\n  \"results\": [\n";
   bool first_row = true;
 
-  for (ServerKind kind : cores) {
+  for (const Leg& leg : legs) {
+    const std::string label =
+        ServerKindName(leg.kind) + (leg.with_transport ? "+tp" : "");
     for (size_t n : points) {
-      const PointResult a = RunPoint(kind, n);
-      const PointResult b = RunPoint(kind, n);
+      const PointResult a = RunPoint(leg.kind, n, leg.with_transport);
+      const PointResult b = RunPoint(leg.kind, n, leg.with_transport);
       const bool identical = a.signature == b.signature;
 
       bool ok = true;
@@ -418,15 +449,16 @@ int main(int argc, char** argv) {
         ++failures;
       }
 
-      table.AddRow({ServerKindName(kind), std::to_string(a.target),
-                    std::to_string(a.open), Fixed(a.bytes_per_conn, 1),
-                    std::to_string(a.fd_bytes), std::to_string(a.conn_bytes),
-                    std::to_string(a.interest_bytes), Fixed(a.idle_cpu_pct, 3),
+      table.AddRow({label, std::to_string(a.target), std::to_string(a.open),
+                    Fixed(a.bytes_per_conn, 1), std::to_string(a.fd_bytes),
+                    std::to_string(a.conn_bytes),
+                    std::to_string(a.interest_bytes),
+                    std::to_string(a.transport_bytes), Fixed(a.idle_cpu_pct, 3),
                     Fixed(ToMillis(a.t_wait), 2), Fixed(ToMillis(a.t_sweep), 2),
                     Fixed(ToMillis(a.t_loop), 2),
                     std::to_string(a.window_iterations), verdict});
-      AppendJson(json, kind, a, identical, &first_row);
-      std::cout << ServerKindName(kind) << " @ " << n << ": " << verdict << "\n";
+      AppendJson(json, label, a, identical, &first_row);
+      std::cout << label << " @ " << n << ": " << verdict << "\n";
     }
   }
 

@@ -123,10 +123,13 @@ FaultPlane::TransmitFault FaultPlane::OnTransmit(bool toward_server) {
   }
   if (const FaultWindow* loss = ActiveWindow(FaultKind::kPacketLoss, dir);
       Roll(loss)) {
-    // No retransmission machinery in the socket model, so a "lost" packet is
-    // delivered late by one RTO penalty; in-order delivery in Link keeps the
-    // byte stream intact, which is exactly TCP's contract under loss.
-    fault.extra_delay += static_cast<SimDuration>(loss->magnitude);
+    // Two consumers: the legacy reliable-pipe path (Link::Transmit) delivers
+    // the frame late by `loss_penalty` — in-order delivery keeps the byte
+    // stream intact, which is TCP's contract under loss. The transport plane
+    // (Link::TransmitSegment) drops the frame instead, and its own
+    // retransmission machinery repairs the stream.
+    fault.lost = true;
+    fault.loss_penalty = static_cast<SimDuration>(loss->magnitude);
     ++stats_.packets_lost;
     RecordInjection("fault_packet_loss");
   }

@@ -12,9 +12,11 @@
 //   - SimKernel/Sys syscalls: EMFILE on accept()/open, ENOMEM on /dev/poll
 //     interest-set growth, EINTR on blocking waits, and a forced RT signal
 //     queue cap that triggers early SIGIO overflow;
-//   - src/net Links: packet loss (modelled as a retransmission delay — the
-//     byte stream stays intact, as TCP guarantees), latency spikes, and link
-//     flap windows during which deliveries are held;
+//   - src/net Links: packet loss (transport-plane frames are dropped and
+//     really retransmitted; legacy reliable pipes deliver late by a
+//     retransmission penalty, keeping the byte stream intact as TCP
+//     guarantees), latency spikes, and link flap windows during which
+//     deliveries are held;
 //   - src/load: abusive client profiles live in src/load/abusive_clients.h
 //     and ride the same seeds.
 
@@ -39,7 +41,8 @@ enum class FaultKind {
   kInterestEnomem,  // /dev/poll interest-set growth fails with ENOMEM
   kEintr,           // blocking waits return EINTR
   kRtQueueShrink,   // RT signal queue capped at `magnitude` entries
-  kPacketLoss,      // packets delayed by a retransmission penalty
+  kPacketLoss,      // frame dropped (transport plane); legacy pipes deliver
+                    // late by the penalty instead
   kLatencySpike,    // extra one-way delay on every packet
   kLinkFlap,        // link down: deliveries held until the window closes
 };
@@ -63,7 +66,8 @@ struct FaultWindow {
   double probability = 1.0;
   // Kind-specific magnitude:
   //   kRtQueueShrink — the forced queue cap (entries);
-  //   kPacketLoss    — retransmission penalty in ns (delivery delay);
+  //   kPacketLoss    — legacy-pipe retransmission penalty in ns (delivery
+  //                    delay; transport-plane frames drop regardless);
   //   kLatencySpike  — extra one-way delay in ns.
   double magnitude = 0;
   LinkDir dir = LinkDir::kBoth;
@@ -89,7 +93,7 @@ struct FaultStats {
   uint64_t interest_enomem_injected = 0;
   uint64_t eintr_injected = 0;
   uint64_t rt_signals_shed = 0;     // dropped by the forced queue cap
-  uint64_t packets_lost = 0;        // delivered late after the RTO penalty
+  uint64_t packets_lost = 0;        // frames hit by a loss window
   uint64_t packets_spiked = 0;      // hit by a latency spike
   uint64_t packets_flap_held = 0;   // held until a link flap window closed
 
@@ -114,8 +118,10 @@ class FaultPlane {
 
   // --- network-side query, one per Link::Transmit ------------------------------
   struct TransmitFault {
-    SimDuration extra_delay = 0;  // added to the arrival time
-    SimTime hold_until = 0;       // flap: not delivered before this time (0 = none)
+    SimDuration extra_delay = 0;   // spikes: added to the arrival time
+    SimTime hold_until = 0;        // flap: not delivered before this time (0 = none)
+    bool lost = false;             // a kPacketLoss window hit this frame
+    SimDuration loss_penalty = 0;  // the window's magnitude, when lost
   };
   TransmitFault OnTransmit(bool toward_server);
 

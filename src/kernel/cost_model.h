@@ -111,6 +111,14 @@ struct CostModel {
   SimDuration defense_tick = Micros(10);
   SimDuration filter_rule_update = Micros(2);
 
+  // --- transport plane (opt-in TCP model; charged as interrupt-context debt
+  // on the server side only — the client machine's CPU stays free) -------------
+  SimDuration tcp_segment_cost = Micros(2);     // carve + header + queue one MSS
+  SimDuration tcp_ack_generate = Micros(2);     // build cumulative ACK + SACK blocks
+  SimDuration tcp_ack_process = Micros(3);      // scoreboard update per ACK received
+  SimDuration tcp_retransmit_extra = Micros(4); // on top of tcp_segment_cost
+  SimDuration tcp_pacing_release = Micros(1);   // pacing-timer fire + dequeue
+
   // --- SMP scheduling ------------------------------------------------------------
   // Charged when a virtual CPU switches which worker it runs: register/TLB
   // state plus the cold caches the incoming worker finds (2.2-era x86).

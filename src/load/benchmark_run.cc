@@ -54,6 +54,12 @@ BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config) {
       chain->Append(rule);
     }
   }
+  // Declared after `net`: the plane detaches its sockets and deregisters
+  // from the stack before either dies on unwind.
+  std::unique_ptr<TransportPlane> transport;
+  if (config.transport_enabled) {
+    transport = std::make_unique<TransportPlane>(&kernel, &net, config.transport);
+  }
   Process& proc = kernel.CreateProcess("server", config.server_max_fds);
   proc.set_rt_queue_max(config.rt_queue_max);
   Sys sys(&kernel, &proc, &net);
@@ -224,6 +230,9 @@ BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config) {
   }
   if (defense != nullptr) {
     result.defense_stats = defense->stats();
+  }
+  if (transport != nullptr) {
+    result.transport_stats = transport->stats();
   }
   result.syn_backlog_peak = listener->syn_backlog_peak();
 

@@ -28,6 +28,7 @@
 #include "src/servers/thttpd_poll.h"
 #include "src/trace/flight_recorder.h"
 #include "src/trace/time_attribution.h"
+#include "src/transport/transport_plane.h"
 
 namespace scio {
 
@@ -63,6 +64,13 @@ struct BenchmarkRunConfig {
   DefenseConfig defense;
   int filter_band_width = 1 << 16;
   int server_max_fds = 8192;
+
+  // Opt-in transport plane (src/transport): per-connection TCP with real
+  // segmentation, SACK loss recovery, and a selectable congestion-control
+  // stack. Off (the default) keeps every socket on the legacy reliable-pipe
+  // model and every existing bench bit-identical.
+  bool transport_enabled = false;
+  TransportConfig transport;
 
   // Size of the served document. The paper uses a 6 KB index.html (§5);
   // larger documents keep sockets active longer and exercise partial writes.
@@ -146,6 +154,9 @@ struct BenchmarkResult {
   FilterChainStats chain_stats;
   DefenseStats defense_stats;
   uint64_t syn_backlog_peak = 0;
+
+  // Transport-plane observability (all zero when the plane is off).
+  TransportStats transport_stats;
 };
 
 BenchmarkResult RunBenchmark(const BenchmarkRunConfig& config);

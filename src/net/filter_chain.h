@@ -43,6 +43,13 @@ enum class FilterVerdict : uint8_t {
 
 const char* FilterVerdictName(FilterVerdict verdict);
 
+// Default sustained admission rate for kRateLimit rules, in admissions per
+// second (a token per admitted SYN or data packet, refilled continuously).
+// 100/s holds a single abusive source band to ~1% of the paper's 10k-req/s
+// saturation load while leaving interactive traffic untouched; tests pin
+// this value, so changing it is an explicit decision, not a drive-by.
+inline constexpr double kDefaultFilterRatePerSec = 100.0;
+
 struct FilterRule {
   std::string label = "rule";
   // Source band [src_lo, src_hi); the defaults match every source.
@@ -54,7 +61,7 @@ struct FilterRule {
   bool on_packet = false;
   FilterVerdict verdict = FilterVerdict::kAccept;
   // kRateLimit parameters: sustained admissions per second plus burst depth.
-  double rate_per_sec = 100.0;
+  double rate_per_sec = kDefaultFilterRatePerSec;
   double burst = 32.0;
 };
 

@@ -31,6 +31,14 @@ class Link {
   // not allocate once the event pool has warmed up.
   void Transmit(size_t bytes, EventCallback deliver);
 
+  // Transport-plane variant: a kPacketLoss fault hit DROPS the frame instead
+  // of delaying it (the frame still occupies the wire — bandwidth is spent
+  // either way). Returns false on a drop, in which case `deliver` never runs
+  // and the caller's retransmission machinery repairs the stream.
+  // `extra_delay` adds seeded one-way jitter to the arrival time; in-order
+  // delivery is still enforced, so jitter stretches RTT without reordering.
+  bool TransmitSegment(size_t bytes, SimDuration extra_delay, EventCallback deliver);
+
   // Subject this link to a fault schedule (loss, latency spikes, flaps).
   // `toward_server` tells the plane which direction this link carries.
   void InstallFaultPlane(FaultPlane* plane, bool toward_server) {

@@ -5,6 +5,7 @@
 #include "src/kernel/sim_kernel.h"
 #include "src/net/filter_chain.h"
 #include "src/net/net_stack.h"
+#include "src/net/transport_hook.h"
 
 namespace scio {
 
@@ -73,6 +74,9 @@ void SimListener::HandleSyn(const std::shared_ptr<SimSocket>& client) {
 
   auto server = std::make_shared<SimSocket>(kernel(), net_, /*server_side=*/true);
   server->set_remote_port(client->port());
+  if (TcpTransportHook* transport = net_->transport(); transport != nullptr) {
+    transport->Attach(server.get());
+  }
   server->WirePeer(client);
   client->WirePeer(server);
   backlog_.push_back(server);

@@ -3,6 +3,7 @@
 #include "src/net/listener.h"
 #include "src/net/reuseport.h"
 #include "src/net/socket.h"
+#include "src/net/transport_hook.h"
 
 namespace scio {
 
@@ -13,6 +14,9 @@ std::shared_ptr<SimSocket> NetStack::Connect(const std::shared_ptr<SimListener>&
   }
   auto client = std::make_shared<SimSocket>(kernel_, this, /*server_side=*/false);
   client->set_port(port);
+  if (transport_ != nullptr) {
+    transport_->Attach(client.get());
+  }
   // SO_REUSEPORT: if the listener shares its port with a shard group, the
   // flow hash — not the caller — picks which member receives the SYN.
   const std::shared_ptr<SimListener>& target =

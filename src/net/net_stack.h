@@ -18,6 +18,7 @@ namespace scio {
 class IngressFilterChain;
 class SimListener;
 class SimSocket;
+class TcpTransportHook;
 
 struct NetConfig {
   double bandwidth_bps = 100e6;          // 100 Mbit/s Ethernet
@@ -56,6 +57,13 @@ class NetStack {
   void set_filter(IngressFilterChain* filter) { filter_ = filter; }
   IngressFilterChain* filter() const { return filter_; }
 
+  // Attach the opt-in transport plane (borrowed; null to detach). With a
+  // plane attached, every socket created from here on gets a per-connection
+  // TCP block at SYN time; without one the legacy reliable-pipe model runs
+  // and nothing changes.
+  void set_transport(TcpTransportHook* transport) { transport_ = transport; }
+  TcpTransportHook* transport() const { return transport_; }
+
   // Direction selector: traffic *from* the client flows toward the server.
   Link& LinkFor(bool toward_server) { return toward_server ? to_server_ : to_client_; }
   Link& to_server() { return to_server_; }
@@ -79,6 +87,7 @@ class NetStack {
   Link to_client_;
   PortAllocator ports_;
   IngressFilterChain* filter_ = nullptr;
+  TcpTransportHook* transport_ = nullptr;
 };
 
 }  // namespace scio

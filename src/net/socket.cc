@@ -6,6 +6,7 @@
 #include "src/kernel/sim_kernel.h"
 #include "src/net/filter_chain.h"
 #include "src/net/net_stack.h"
+#include "src/net/transport_hook.h"
 
 namespace scio {
 
@@ -17,6 +18,9 @@ SimSocket::SimSocket(SimKernel* kernel, NetStack* net, bool server_side)
       sndbuf_(net->config().sndbuf) {}
 
 SimSocket::~SimSocket() {
+  if (transport_ != nullptr) {
+    transport_->OnSocketDestroyed(this);
+  }
   // Sockets dropped without Close (in-flight delivery teardown) still hold
   // buffered bytes; release them from the ledger here.
   if (recv_available_ > 0) {
@@ -59,6 +63,13 @@ size_t SimSocket::Write(Chunk chunk) {
   out.synthetic = accepted - from_data;
   in_flight_ += accepted;
 
+  if (transport_ != nullptr) {
+    // The plane segments and (re)transmits; in_flight_ drains through
+    // TransportAcked when the peer's cumulative ACK covers the bytes.
+    transport_->Send(this, std::move(out));
+    return accepted;
+  }
+
   std::weak_ptr<SimSocket> self = weak_from_this();
   std::weak_ptr<SimSocket> peer = peer_;
   net_->LinkFor(/*toward_server=*/!server_side_)
@@ -98,6 +109,22 @@ void SimSocket::DeliverChunk(Chunk chunk) {
         filter->EvalPacket(remote_port_) == FilterVerdict::kDrop) {
       return;
     }
+  }
+  const size_t n = chunk.size();
+  recv_available_ += n;
+  kernel()->mem().Add(MemSys::kBuffers, n);
+  recv_queue_.push_back(std::move(chunk));
+  NotifyStatus(kPollIn);
+  // Copy before invoking: the callback may Close() and drop the last strong
+  // reference to this socket, destroying the member std::function mid-call.
+  if (auto cb = on_data) {
+    cb(n);
+  }
+}
+
+void SimSocket::AcceptTransportBytes(Chunk chunk) {
+  if (state_ == State::kClosed || state_ == State::kRefused) {
+    return;  // arrived after close; the real stack would RST
   }
   const size_t n = chunk.size();
   recv_available_ += n;
@@ -190,14 +217,20 @@ void SimSocket::CloseInternal() {
   recv_available_ = 0;
 
   if (prev == State::kEstablished || prev == State::kPeerClosed) {
-    // Send our FIN.
-    std::weak_ptr<SimSocket> peer = peer_;
-    net_->LinkFor(/*toward_server=*/!server_side_)
-        .Transmit(net_->config().control_packet_bytes, [peer] {
-          if (auto p = peer.lock()) {
-            p->DeliverEof();
-          }
-        });
+    if (transport_ != nullptr) {
+      // The plane sequences the FIN behind any unacked data and keeps the
+      // block retransmitting until it drains, even if this socket dies.
+      transport_->OnSocketClose(this);
+    } else {
+      // Send our FIN.
+      std::weak_ptr<SimSocket> peer = peer_;
+      net_->LinkFor(/*toward_server=*/!server_side_)
+          .Transmit(net_->config().control_packet_bytes, [peer] {
+            if (auto p = peer.lock()) {
+              p->DeliverEof();
+            }
+          });
+    }
   }
   if (!server_side_ && port_ >= 0 && !port_released_) {
     if (prev == State::kEstablished || prev == State::kPeerClosed) {

@@ -28,6 +28,7 @@
 namespace scio {
 
 class NetStack;
+class TcpTransportHook;
 
 // A unit of transmitted data. `data` carries real bytes (HTTP requests and
 // response headers are real so parsers can run); `synthetic` counts payload
@@ -111,6 +112,25 @@ class SimSocket : public File, public std::enable_shared_from_this<SimSocket> {
   size_t sndbuf() const { return sndbuf_; }
   size_t in_flight() const { return in_flight_; }
 
+  // --- transport plane (opt-in; see src/net/transport_hook.h) ------------------
+  // Wired by TcpTransportHook::Attach: `index` is the plane's per-connection
+  // block slot, so plane lookups from socket context are O(1).
+  void WireTransport(TcpTransportHook* hook, int32_t index) {
+    transport_ = hook;
+    transport_index_ = index;
+  }
+  TcpTransportHook* transport() const { return transport_; }
+  int32_t transport_index() const { return transport_index_; }
+
+  // Plane-side delivery of in-order reassembled bytes. Interrupt charges and
+  // the ingress packet filter already ran at segment arrival, so this only
+  // enqueues into the receive buffer and fires readiness.
+  void AcceptTransportBytes(Chunk chunk);
+
+  // Plane-side acknowledgement: `n` bytes left the retransmit queue for good
+  // (cumulatively acked by the peer), freeing send-buffer budget.
+  void TransportAcked(size_t n) { OnBytesAcked(n); }
+
  private:
   void CloseInternal();
   void OnBytesAcked(size_t n);
@@ -129,6 +149,9 @@ class SimSocket : public File, public std::enable_shared_from_this<SimSocket> {
 
   size_t sndbuf_;
   size_t in_flight_ = 0;
+
+  TcpTransportHook* transport_ = nullptr;
+  int32_t transport_index_ = -1;
 };
 
 }  // namespace scio

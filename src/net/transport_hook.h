@@ -1,0 +1,45 @@
+// TcpTransportHook: the seam between src/net and the opt-in transport plane.
+//
+// SimSocket and NetStack know only this interface; the concrete
+// TransportPlane (src/transport) implements it. That keeps the dependency
+// one-way — src/transport links against src/net, never the reverse — the
+// same layering trick the kernel uses for the SMP plane. With no hook
+// attached (the default), every socket runs the legacy reliable-pipe model
+// and all checked-in baselines stay byte-identical.
+
+#ifndef SRC_NET_TRANSPORT_HOOK_H_
+#define SRC_NET_TRANSPORT_HOOK_H_
+
+#include <cstddef>
+
+namespace scio {
+
+class SimSocket;
+struct Chunk;
+
+class TcpTransportHook {
+ public:
+  virtual ~TcpTransportHook() = default;
+
+  // Give `sock` a per-connection TCP block (called at SYN time from
+  // NetStack::Connect / SimListener::HandleSyn for both endpoints).
+  virtual void Attach(SimSocket* sock) = 0;
+
+  // Take ownership of bytes the socket accepted into its send buffer. The
+  // plane segments, paces and (re)transmits them; it reports delivery back
+  // through SimSocket::TransportAcked.
+  virtual void Send(SimSocket* sock, Chunk chunk) = 0;
+
+  // The socket closed: send a FIN once the retransmit queue drains, then
+  // release the block. May outlive the socket (orphaned close).
+  virtual void OnSocketClose(SimSocket* sock) = 0;
+
+  // The socket object is being destroyed; the plane must drop its raw
+  // pointer. Any still-unacked data keeps retransmitting for a bounded
+  // number of backoffs, then the block is abandoned.
+  virtual void OnSocketDestroyed(SimSocket* sock) = 0;
+};
+
+}  // namespace scio
+
+#endif  // SRC_NET_TRANSPORT_HOOK_H_

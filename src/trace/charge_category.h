@@ -62,6 +62,11 @@ namespace scio {
   X(kTimerSweep, timer_sweep)       /* periodic timeout scans */               \
   /* --- SMP scheduling ----------------------------------------------------*/ \
   X(kSmpSched, smp_sched) /* virtual-CPU context switches */                   \
+  /* --- transport plane (opt-in TCP model, src/transport) ------------------*/ \
+  X(kTcpSegment, tcp_segment)       /* segmentation + first transmission */    \
+  X(kTcpAck, tcp_ack)               /* ACK generation and ACK processing */    \
+  X(kTcpRetransmit, tcp_retransmit) /* fast retransmit / RTO / TLP probes */   \
+  X(kTcpPacing, tcp_pacing)         /* pacing-timer release of paced sends */  \
   /* --- fallback ----------------------------------------------------------*/ \
   X(kOther, other) /* tests and uncategorized charges */
 

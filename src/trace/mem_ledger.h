@@ -35,6 +35,7 @@ namespace scio {
   X(kInterests, interests)  /* interest-set nodes (/dev/poll, backends) */    \
   X(kTimers, timers)        /* event-engine timer-wheel slabs */              \
   X(kBuffers, buffers)      /* socket receive-queue payload bytes */          \
+  X(kTransport, transport)  /* server-side TCP blocks + retransmit slab */    \
   X(kOtherMem, other_mem)   /* tests and uncategorized allocations */
 
 enum class MemSys {

@@ -1,0 +1,117 @@
+#include "src/transport/bbr.h"
+
+#include <algorithm>
+
+namespace scio {
+
+namespace {
+
+// PROBE_BW pacing-gain cycle: one probing phase, one draining phase, six
+// cruise phases. The phase index advances deterministically (no randomized
+// start — seeded runs must replay bit-identically).
+constexpr double kCycleGain[8] = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+
+// Rounds the btlbw max-filter remembers a sample before letting it expire.
+constexpr uint32_t kBwWindowRounds = 10;
+
+}  // namespace
+
+double BbrCc::BdpBytes(const TcpHot& h) {
+  if (h.btlbw_Bps <= 0 || h.min_rtt_us == 0) {
+    return 0;
+  }
+  return h.btlbw_Bps * static_cast<double>(h.min_rtt_us) * 1e-6;
+}
+
+void BbrCc::OnAck(TcpConn& c, TcpHot& h, const CcAck& ack) {
+  if (ack.round_start) {
+    ++h.round_count;
+  }
+
+  // min-RTT filter: 10-second window, refreshed by any equal-or-lower sample.
+  if (ack.rtt_sample_us > 0 &&
+      (h.min_rtt_us == 0 || ack.rtt_sample_us <= h.min_rtt_us ||
+       ack.now - h.min_rtt_stamp > Seconds(10))) {
+    h.min_rtt_us = ack.rtt_sample_us;
+    h.min_rtt_stamp = ack.now;
+  }
+
+  // btlbw max filter. App-limited samples may only raise the estimate (they
+  // under-measure the path); an expired window lets a genuine slowdown in.
+  if (ack.delivery_rate_Bps > 0) {
+    if (ack.delivery_rate_Bps >= h.btlbw_Bps) {
+      h.btlbw_Bps = ack.delivery_rate_Bps;
+      h.btlbw_round = h.round_count;
+    } else if (!ack.app_limited &&
+               h.round_count - h.btlbw_round > kBwWindowRounds) {
+      h.btlbw_Bps = ack.delivery_rate_Bps;
+      h.btlbw_round = h.round_count;
+    }
+  }
+
+  // STARTUP exit: three rounds without ~25% bandwidth growth means the pipe
+  // is full; DRAIN then bleeds the startup queue back down to one BDP.
+  if (h.bbr_mode == kStartup && ack.round_start) {
+    if (h.btlbw_Bps >= h.full_bw * 1.25) {
+      h.full_bw = h.btlbw_Bps;
+      h.full_bw_cnt = 0;
+    } else if (++h.full_bw_cnt >= 3) {
+      h.bbr_mode = kDrain;
+    }
+  }
+  if (h.bbr_mode == kDrain &&
+      static_cast<double>(ack.pipe) <= BdpBytes(h)) {
+    h.bbr_mode = kProbeBw;
+    h.cycle_idx = 0;
+    h.cycle_stamp = ack.now;
+  }
+  if (h.bbr_mode == kProbeBw && h.min_rtt_us > 0 &&
+      ack.now - h.cycle_stamp >= Micros(h.min_rtt_us)) {
+    h.cycle_idx = static_cast<uint8_t>((h.cycle_idx + 1) % 8);
+    h.cycle_stamp = ack.now;
+  }
+
+  // cwnd from the model: 2*BDP keeps the pipe full through delayed and
+  // aggregated ACKs; 4 MSS floor keeps the ACK clock alive.
+  const double bdp = BdpBytes(h);
+  if (bdp > 0) {
+    const double gain = h.bbr_mode == kStartup ? kHighGain : 2.0;
+    const uint32_t target =
+        static_cast<uint32_t>(gain * bdp / kTcpMss) + 1;
+    c.cwnd_mss = static_cast<uint16_t>(
+        std::clamp<uint32_t>(target, 4, kTcpMaxCwndMss));
+  }
+}
+
+void BbrCc::OnRto(TcpConn& c, TcpHot& /*h*/) {
+  // Conservation while the ACK clock restarts; the model (btlbw, min_rtt)
+  // survives and OnAck restores cwnd as soon as samples flow again.
+  c.cwnd_mss = 4;
+}
+
+double BbrCc::PacingBytesPerSec(const TcpConn& c, const TcpHot& h) const {
+  if (h.btlbw_Bps <= 0) {
+    // No bandwidth estimate yet: pace the initial window out over the only
+    // RTT signal we have. Before the first sample, send unpaced.
+    if (c.srtt_us == 0) {
+      return 0;
+    }
+    const double cwnd_bytes = static_cast<double>(c.cwnd_mss) * kTcpMss;
+    return kHighGain * cwnd_bytes / (static_cast<double>(c.srtt_us) * 1e-6);
+  }
+  double gain = 1.0;
+  switch (h.bbr_mode) {
+    case kStartup:
+      gain = kHighGain;
+      break;
+    case kDrain:
+      gain = 1.0 / kHighGain;
+      break;
+    default:
+      gain = kCycleGain[h.cycle_idx % 8];
+      break;
+  }
+  return gain * h.btlbw_Bps;
+}
+
+}  // namespace scio

@@ -1,0 +1,43 @@
+// BBR-style stack: a simplified BBR v1 model (STARTUP / DRAIN / PROBE_BW)
+// driven by delivery-rate samples instead of loss. The plane feeds each ACK
+// a rate sample (bytes delivered since the acked segment left / elapsed
+// time); the stack keeps a windowed-max bottleneck-bandwidth estimate and a
+// 10-second-windowed min RTT, paces at gain * btlbw, and sets cwnd to twice
+// the bandwidth-delay product. Loss does not collapse the model — recovery
+// retransmits are handled by the RACK scoreboard, which this stack shares.
+// PROBE_RTT is omitted: the simulated path's min RTT cannot drift upward
+// under a single flow, so the phase would never trigger. Patterned on
+// FreeBSD tcp_stacks/bbr.c.
+
+#ifndef SRC_TRANSPORT_BBR_H_
+#define SRC_TRANSPORT_BBR_H_
+
+#include "src/transport/congestion_control.h"
+
+namespace scio {
+
+class BbrCc : public CongestionControl {
+ public:
+  static constexpr uint8_t kStartup = 0;
+  static constexpr uint8_t kDrain = 1;
+  static constexpr uint8_t kProbeBw = 2;
+  // 2/ln(2): doubles the sending rate every round during STARTUP.
+  static constexpr double kHighGain = 2.885;
+
+  CcKind kind() const override { return CcKind::kBbr; }
+  const char* name() const override { return "bbr"; }
+  bool TimeBasedRecovery() const override { return true; }
+
+  void OnAck(TcpConn& c, TcpHot& h, const CcAck& ack) override;
+  void OnEnterRecovery(TcpConn& /*c*/, TcpHot& /*h*/) override {}
+  void OnRto(TcpConn& c, TcpHot& h) override;
+
+  double PacingBytesPerSec(const TcpConn& c, const TcpHot& h) const override;
+
+  // btlbw * min_rtt, in bytes; 0 until both estimates exist.
+  static double BdpBytes(const TcpHot& h);
+};
+
+}  // namespace scio
+
+#endif  // SRC_TRANSPORT_BBR_H_

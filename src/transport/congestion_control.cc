@@ -1,0 +1,36 @@
+#include "src/transport/congestion_control.h"
+
+#include "src/transport/bbr.h"
+#include "src/transport/rack.h"
+#include "src/transport/reno.h"
+
+namespace scio {
+
+const char* CcKindName(CcKind kind) {
+  switch (kind) {
+    case CcKind::kReno:
+      return "reno";
+    case CcKind::kRack:
+      return "rack";
+    case CcKind::kBbr:
+      return "bbr";
+  }
+  return "unknown";
+}
+
+CongestionControl* GetCongestionControl(CcKind kind) {
+  static RenoCc reno;
+  static RackCc rack;
+  static BbrCc bbr;
+  switch (kind) {
+    case CcKind::kRack:
+      return &rack;
+    case CcKind::kBbr:
+      return &bbr;
+    case CcKind::kReno:
+      break;
+  }
+  return &reno;
+}
+
+}  // namespace scio

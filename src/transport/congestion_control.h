@@ -1,0 +1,63 @@
+// CongestionControl: the strategy interface behind the transport plane's
+// pluggable stacks, mirroring FreeBSD's tcp_stacks function-pointer modules.
+//
+// Stacks are stateless singletons — all per-connection state lives in the
+// TcpConn/TcpHot slabs — so selecting a stack per socket is a 2-bit field,
+// not an allocation. The plane drives the scoreboard (what was acked, sacked,
+// sampled); the stack only decides how cwnd/ssthresh move, whether loss
+// detection is dupack-counting or RACK time-based, and at what rate to pace.
+
+#ifndef SRC_TRANSPORT_CONGESTION_CONTROL_H_
+#define SRC_TRANSPORT_CONGESTION_CONTROL_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+#include "src/transport/tcp_state.h"
+
+namespace scio {
+
+// Everything one processed ACK tells a stack.
+struct CcAck {
+  SimTime now = 0;
+  uint32_t newly_acked = 0;   // bytes the cumulative ACK advanced
+  uint32_t newly_sacked = 0;  // bytes newly covered by SACK ranges
+  uint32_t pipe = 0;          // outstanding bytes after this ACK
+  uint32_t rtt_sample_us = 0;  // 0 = no sample (Karn's rule)
+  double delivery_rate_Bps = 0;  // 0 = no sample
+  bool app_limited = false;   // the sampled segment left an empty backlog
+  bool round_start = false;   // this ACK opened a new round trip
+};
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  virtual CcKind kind() const = 0;
+  virtual const char* name() const = 0;
+
+  virtual void OnAck(TcpConn& c, TcpHot& h, const CcAck& ack) = 0;
+
+  // First loss of an episode: fast retransmit is about to happen.
+  virtual void OnEnterRecovery(TcpConn& c, TcpHot& h) = 0;
+  // snd_una passed recover_seq: every byte outstanding at entry is repaired.
+  virtual void OnExitRecovery(TcpConn& /*c*/, TcpHot& /*h*/) {}
+  virtual void OnRto(TcpConn& c, TcpHot& h) = 0;
+
+  // true: the plane runs the RACK scoreboard (reorder-window marking + tail
+  // loss probes); false: classic 3-dupack counting + NewReno partial acks.
+  virtual bool TimeBasedRecovery() const { return false; }
+
+  // Pacing rate in bytes/sec; 0 disables pacing (window-limited bursts).
+  virtual double PacingBytesPerSec(const TcpConn& /*c*/,
+                                   const TcpHot& /*h*/) const {
+    return 0;
+  }
+};
+
+// The stateless singleton for `kind`; never null.
+CongestionControl* GetCongestionControl(CcKind kind);
+
+}  // namespace scio
+
+#endif  // SRC_TRANSPORT_CONGESTION_CONTROL_H_

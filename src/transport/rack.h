@@ -1,0 +1,25 @@
+// RACK-style stack: NewReno's cwnd dynamics with time-based loss detection
+// (RFC 8985) instead of dupack counting. The plane's scoreboard marks a
+// segment lost once something sent *after* it has been delivered for a full
+// reorder window (srtt/4), and arms a tail-loss probe at 2*srtt so losses at
+// the end of a flight — invisible to dupack counting — are discovered in a
+// couple of RTTs instead of a full RTO. Patterned on FreeBSD
+// tcp_stacks/rack.c.
+
+#ifndef SRC_TRANSPORT_RACK_H_
+#define SRC_TRANSPORT_RACK_H_
+
+#include "src/transport/reno.h"
+
+namespace scio {
+
+class RackCc : public RenoCc {
+ public:
+  CcKind kind() const override { return CcKind::kRack; }
+  const char* name() const override { return "rack"; }
+  bool TimeBasedRecovery() const override { return true; }
+};
+
+}  // namespace scio
+
+#endif  // SRC_TRANSPORT_RACK_H_

@@ -1,0 +1,52 @@
+#include "src/transport/reno.h"
+
+#include <algorithm>
+
+namespace scio {
+
+void RenoCc::OnAck(TcpConn& c, TcpHot& h, const CcAck& ack) {
+  if (h.in_recovery || ack.newly_acked == 0) {
+    // cwnd is frozen at ssthresh during recovery; growth resumes on exit.
+    return;
+  }
+  h.cwnd_acc += ack.newly_acked;
+  if (c.cwnd_mss < c.ssthresh_mss) {
+    // Slow start: one MSS of cwnd per MSS acknowledged.
+    while (h.cwnd_acc >= kTcpMss && c.cwnd_mss < kTcpMaxCwndMss) {
+      h.cwnd_acc -= kTcpMss;
+      ++c.cwnd_mss;
+    }
+  } else {
+    // Congestion avoidance: one MSS per full window acknowledged.
+    const uint32_t cwnd_bytes = static_cast<uint32_t>(c.cwnd_mss) * kTcpMss;
+    if (h.cwnd_acc >= cwnd_bytes) {
+      h.cwnd_acc -= cwnd_bytes;
+      if (c.cwnd_mss < kTcpMaxCwndMss) {
+        ++c.cwnd_mss;
+      }
+    }
+  }
+}
+
+void RenoCc::OnEnterRecovery(TcpConn& c, TcpHot& h) {
+  const uint32_t flight = c.snd_nxt - c.snd_una;
+  c.ssthresh_mss = static_cast<uint16_t>(
+      std::max<uint32_t>(flight / (2 * kTcpMss), 2));
+  c.cwnd_mss = c.ssthresh_mss;
+  h.cwnd_acc = 0;
+}
+
+void RenoCc::OnExitRecovery(TcpConn& c, TcpHot& h) {
+  c.cwnd_mss = c.ssthresh_mss;
+  h.cwnd_acc = 0;
+}
+
+void RenoCc::OnRto(TcpConn& c, TcpHot& h) {
+  const uint32_t flight = c.snd_nxt - c.snd_una;
+  c.ssthresh_mss = static_cast<uint16_t>(
+      std::max<uint32_t>(flight / (2 * kTcpMss), 2));
+  c.cwnd_mss = 1;
+  h.cwnd_acc = 0;
+}
+
+}  // namespace scio

@@ -1,0 +1,27 @@
+// NewReno baseline: slow start + AIMD congestion avoidance, 3-dupack fast
+// retransmit with partial-ack hole filling (RFC 6582, without inflation —
+// the plane's SACK scoreboard already knows exactly what is outstanding).
+// This is the reference stack the differential test pins against a
+// from-the-RFC reimplementation (tests/transport_test.cc).
+
+#ifndef SRC_TRANSPORT_RENO_H_
+#define SRC_TRANSPORT_RENO_H_
+
+#include "src/transport/congestion_control.h"
+
+namespace scio {
+
+class RenoCc : public CongestionControl {
+ public:
+  CcKind kind() const override { return CcKind::kReno; }
+  const char* name() const override { return "reno"; }
+
+  void OnAck(TcpConn& c, TcpHot& h, const CcAck& ack) override;
+  void OnEnterRecovery(TcpConn& c, TcpHot& h) override;
+  void OnExitRecovery(TcpConn& c, TcpHot& h) override;
+  void OnRto(TcpConn& c, TcpHot& h) override;
+};
+
+}  // namespace scio
+
+#endif  // SRC_TRANSPORT_RENO_H_

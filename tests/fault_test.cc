@@ -75,8 +75,12 @@ TEST(FaultPlaneTest, DirectionFilterAppliesLossOneWay) {
   schedule.Add({FaultKind::kPacketLoss, 0, kSimTimeNever, 1.0,
                 static_cast<double>(Millis(3)), LinkDir::kToServer});
   FaultPlane plane(&sim, schedule);
-  EXPECT_EQ(plane.OnTransmit(/*toward_server=*/false).extra_delay, 0);
-  EXPECT_EQ(plane.OnTransmit(/*toward_server=*/true).extra_delay, Millis(3));
+  EXPECT_FALSE(plane.OnTransmit(/*toward_server=*/false).lost);
+  const FaultPlane::TransmitFault hit = plane.OnTransmit(/*toward_server=*/true);
+  EXPECT_TRUE(hit.lost) << "loss faults now drop the frame";
+  EXPECT_EQ(hit.loss_penalty, Millis(3))
+      << "legacy reliable-pipe consumers deliver late by the penalty instead";
+  EXPECT_EQ(hit.extra_delay, 0);
   EXPECT_EQ(plane.stats().packets_lost, 1u);
 }
 

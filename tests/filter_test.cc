@@ -31,6 +31,15 @@ TEST_F(FilterChainTest, EmptyChainAcceptsAtZeroTraversalCost) {
   EXPECT_EQ(kernel_.attribution()[ChargeCat::kFilterMatch], 0);
 }
 
+TEST(FilterRuleDefaults, RateLimitDefaultsPinnedToNamedConstant) {
+  // The default admission rate is load-bearing for every checked-in defense
+  // bench: silently changing it would shift attack-run CSVs. Pin both the
+  // constant's value and that a default-constructed rule uses it.
+  EXPECT_DOUBLE_EQ(kDefaultFilterRatePerSec, 100.0);
+  FilterRule rule;
+  EXPECT_DOUBLE_EQ(rule.rate_per_sec, kDefaultFilterRatePerSec);
+}
+
 TEST_F(FilterChainTest, FirstMatchDecidesAndBandsAreHalfOpen) {
   FilterRule drop;
   drop.src_lo = 100;

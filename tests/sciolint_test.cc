@@ -512,6 +512,21 @@ TEST(SciolintP1, FlagsFdKeyedMapInSuccessorCores) {
   EXPECT_EQ(CountRule(kqueue, "P1"), 1);
 }
 
+TEST(SciolintP1, FlagsFdKeyedMapInTransport) {
+  // The transport plane carries per-connection TCP state and sits squarely
+  // in P1's scope: cold/hot blocks belong on the paged slabs, and a
+  // connection-keyed node map there is the same scalability bug as in the
+  // event cores.
+  const auto findings = RunOn("src/transport/transport_plane.h", R"(
+    #include <map>
+    class TransportPlane {
+      std::map<int, TcpConn> conns_;
+    };
+  )");
+  ASSERT_EQ(CountRule(findings, "P1"), 1);
+  EXPECT_NE(FindRule(findings, "P1")->message.find("paged slab"), std::string::npos);
+}
+
 TEST(SciolintP1, AnnotationSuppressesNonFdIntKey) {
   const auto findings = RunOn("src/servers/defense.h", R"(
     // sciolint: allow(P1) -- keyed by traffic band, not by fd
@@ -856,6 +871,19 @@ TEST(SciolintH1, AnnotationSuppressesPoolGrowth) {
   EXPECT_EQ(CountRule(findings, "H1", /*include_suppressed=*/true), 1);
 }
 
+TEST(SciolintH1, TransportAckPathHotpathBansAllocation) {
+  // The transport plane's per-ACK path is annotated hot in the real tree;
+  // this fixture pins that the annotation carries the allocation ban into
+  // src/transport the same way it does in the cores.
+  const auto findings = RunOn("src/transport/ack_path.cc", R"(
+    // sciolint: hotpath
+    void OnAckPacket(int ci) {
+      auto scratch = std::make_unique<int>(ci);
+    }
+  )");
+  EXPECT_EQ(CountRule(findings, "H1"), 1);
+}
+
 TEST(SciolintH1, MalformedHotpathDirectiveIsAnnFinding) {
   const auto findings = RunOn("src/core/fast.cc", R"(
     // sciolint: hotpath because it is fast
@@ -1069,6 +1097,53 @@ TEST(SciolintX1, CoversMemSysTaxonomy) {
   const auto findings = analysis.Run();
   ASSERT_EQ(CountRule(findings, "X1"), 1);
   EXPECT_NE(FindRule(findings, "X1")->message.find("kConns"), std::string::npos);
+}
+
+TEST(SciolintX1, GrownTcpChargeTaxonomyKeepsSwitchesHonest) {
+  // The transport plane grew the charge taxonomy by four categories; a
+  // switch that enumerates only the old world must name the newcomer.
+  Analysis analysis;
+  analysis.AddFile("src/trace/charge_category.h", R"(
+#define SCIO_CHARGE_CATEGORIES(X) \
+  X(kInterrupt, interrupt) \
+  X(kTcpSegment, t_tcp_segment) \
+  X(kTcpAck, t_tcp_ack) \
+  X(kTcpRetransmit, t_tcp_retransmit) \
+  X(kTcpPacing, t_tcp_pacing)
+)");
+  analysis.AddFile("src/transport/report.cc", R"(
+    int Weigh(ChargeCat c) {
+      switch (c) {
+        case ChargeCat::kInterrupt: return 1;
+        case ChargeCat::kTcpSegment: return 2;
+        case ChargeCat::kTcpAck: return 3;
+        case ChargeCat::kTcpRetransmit: return 4;
+      }
+      return 0;
+    }
+  )");
+  const auto findings = analysis.Run();
+  ASSERT_EQ(CountRule(findings, "X1"), 1);
+  EXPECT_NE(FindRule(findings, "X1")->message.find("kTcpPacing"), std::string::npos);
+}
+
+TEST(SciolintX1, GrownMemSysTaxonomyWithTransportRowIsClean) {
+  Analysis analysis;
+  analysis.AddFile("src/trace/mem_ledger.h", R"(
+#define SCIO_MEM_SUBSYSTEMS(X) \
+  X(kConns, conns) \
+  X(kTransport, transport)
+)");
+  analysis.AddFile("src/trace/report.cc", R"(
+    int Bytes(MemSys sys) {
+      switch (sys) {
+        case MemSys::kConns: return 1;
+        case MemSys::kTransport: return 2;
+      }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(CountRule(analysis.Run(), "X1"), 0);
 }
 
 // --- CFG edge cases shared by the flow rules --------------------------------------

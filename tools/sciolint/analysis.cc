@@ -41,7 +41,7 @@ bool InSrc(const std::string& path) {
 // a scalability bug (P1), not a style choice.
 bool InP1Scope(const std::string& path) {
   static const char* const kDirs[] = {"src/kernel", "src/servers", "src/posix",
-                                      "src/core"};
+                                      "src/core", "src/transport"};
   for (const char* dir : kDirs) {
     if (path.find(dir) != std::string::npos) {
       return true;
